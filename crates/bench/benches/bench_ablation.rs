@@ -1,0 +1,171 @@
+//! Ablations over the design choices the paper calls out in its discussion
+//! (§V): the cosine-similarity violation threshold, the de-duplication
+//! threshold, the prompt-prefix fraction and the quantisation width.
+//!
+//! Each sweep is printed as a table; one representative configuration per
+//! sweep is benchmarked with Criterion.
+
+use bench::{print_artifact, timing_scale};
+use copyright_bench::{BenchmarkConfig, CopyrightBenchmark, CopyrightedReference};
+use criterion::{black_box, Criterion};
+use curation::{CopyrightDetector, CurationConfig, CurationPipeline, DedupConfig};
+use freeset::config::FreeSetConfig;
+use freeset::corpus::ScrapedCorpus;
+use freeset::freev::FreeVBuilder;
+use freeset::report::markdown_table;
+use verilogeval::{EvalConfig, ProblemSuite, Runner};
+
+fn ablation_scale() -> freeset::config::ExperimentScale {
+    freeset::config::ExperimentScale::small()
+}
+
+/// Sweep 1: violation rate as a function of the cosine-similarity threshold.
+fn sweep_similarity_threshold(scraped: &ScrapedCorpus) -> String {
+    let detector = CopyrightDetector::new();
+    let protected: Vec<_> = scraped
+        .files
+        .iter()
+        .filter(|f| f.repo_license.is_accepted_open_source() && detector.is_protected(&f.content))
+        .cloned()
+        .collect();
+    let raw_corpus: Vec<String> = scraped.files.iter().map(|f| f.content.clone()).collect();
+    let leaky = FreeVBuilder::default().build(scraped, &raw_corpus);
+    let mut rows = Vec::new();
+    for threshold in [0.6, 0.7, 0.8, 0.9, 0.95] {
+        let benchmark = CopyrightBenchmark::new(
+            CopyrightedReference::from_extracted(&protected),
+            BenchmarkConfig {
+                similarity_threshold: threshold,
+                ..Default::default()
+            },
+        );
+        let report = benchmark.evaluate(&leaky.quantized_tuned());
+        rows.push(vec![
+            format!("{threshold:.2}"),
+            format!("{:.1}", report.violation_percent()),
+            format!("{:.3}", report.mean_max_similarity()),
+        ]);
+    }
+    markdown_table(
+        &["similarity threshold", "violation % (unfiltered fine-tune)", "mean max similarity"],
+        &rows,
+    )
+}
+
+/// Sweep 2: dataset size as a function of the de-duplication threshold.
+fn sweep_dedup_threshold(scraped: &ScrapedCorpus) -> String {
+    let mut rows = Vec::new();
+    for threshold in [0.70, 0.80, 0.85, 0.90, 0.95] {
+        let mut config = CurationConfig::freeset();
+        config.dedup = DedupConfig {
+            similarity_threshold: threshold,
+            ..Default::default()
+        };
+        let dataset = CurationPipeline::new(config).run(scraped.files.clone());
+        rows.push(vec![
+            format!("{threshold:.2}"),
+            dataset.len().to_string(),
+            format!("{:.1}", 100.0 * dataset.funnel().dedup_removal_rate()),
+        ]);
+    }
+    markdown_table(
+        &["dedup threshold", "final dataset size", "dedup removal %"],
+        &rows,
+    )
+}
+
+/// Sweep 3: violation rate as a function of the prompt-prefix fraction.
+fn sweep_prefix_fraction(scraped: &ScrapedCorpus) -> String {
+    let detector = CopyrightDetector::new();
+    let protected: Vec<_> = scraped
+        .files
+        .iter()
+        .filter(|f| f.repo_license.is_accepted_open_source() && detector.is_protected(&f.content))
+        .cloned()
+        .collect();
+    let raw_corpus: Vec<String> = scraped.files.iter().map(|f| f.content.clone()).collect();
+    let leaky = FreeVBuilder::default().build(scraped, &raw_corpus);
+    let mut rows = Vec::new();
+    for fraction in [0.1, 0.2, 0.3, 0.4] {
+        let benchmark = CopyrightBenchmark::new(
+            CopyrightedReference::from_extracted(&protected),
+            BenchmarkConfig {
+                prefix_fraction: fraction,
+                ..Default::default()
+            },
+        );
+        let report = benchmark.evaluate(&leaky.quantized_tuned());
+        rows.push(vec![
+            format!("{fraction:.1}"),
+            format!("{:.1}", report.violation_percent()),
+        ]);
+    }
+    markdown_table(&["prompt prefix fraction", "violation %"], &rows)
+}
+
+/// Sweep 4: pass@k of FreeV as a function of the quantisation width.
+fn sweep_quantization(scraped: &ScrapedCorpus) -> String {
+    let build = freeset::dataset::curate_with_policy(scraped, CurationConfig::freeset());
+    let corpus: Vec<String> = build.contents().map(str::to_string).collect();
+    let freev = FreeVBuilder::default().build(scraped, &corpus);
+    let suite = ProblemSuite::verilog_eval_human();
+    let runner = Runner::new(
+        suite,
+        EvalConfig {
+            samples_per_problem: 5,
+            ks: vec![1, 5],
+            temperatures: vec![0.2, 0.8],
+            max_new_tokens: 200,
+            seed: 21,
+        },
+    );
+    let mut rows = Vec::new();
+    for bits in [2u32, 4, 8] {
+        let quantized = hwlm::QuantizedModel::new(freev.tuned(), bits);
+        let report = runner.evaluate(&quantized);
+        rows.push(vec![
+            format!("{bits}-bit"),
+            format!("{:.1}", report.pass_percent(1).unwrap_or(0.0)),
+            format!("{:.1}", report.pass_percent(5).unwrap_or(0.0)),
+        ]);
+    }
+    markdown_table(&["quantisation", "pass@1 %", "pass@5 %"], &rows)
+}
+
+fn bench_one_point(c: &mut Criterion, scraped: &ScrapedCorpus) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("dedup_threshold_085_pipeline", |b| {
+        b.iter(|| {
+            let dataset =
+                CurationPipeline::new(CurationConfig::freeset()).run(black_box(scraped.files.clone()));
+            black_box(dataset.len())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let report_scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(&ablation_scale()));
+    print_artifact(
+        "Ablation — cosine-similarity violation threshold (paper uses 0.8)",
+        &sweep_similarity_threshold(&report_scraped),
+    );
+    print_artifact(
+        "Ablation — MinHash/LSH de-duplication threshold (paper uses 0.85)",
+        &sweep_dedup_threshold(&report_scraped),
+    );
+    print_artifact(
+        "Ablation — prompt prefix fraction (paper uses 20%)",
+        &sweep_prefix_fraction(&report_scraped),
+    );
+    print_artifact(
+        "Ablation — quantisation width (paper uses 4-bit)",
+        &sweep_quantization(&report_scraped),
+    );
+
+    let timing_scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(&timing_scale()));
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_one_point(&mut criterion, &timing_scraped);
+    criterion.final_summary();
+}

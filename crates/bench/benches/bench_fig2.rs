@@ -1,0 +1,41 @@
+//! Regenerates Figure 2 (file-length distribution) and benchmarks histogram
+//! construction.
+
+use bench::{print_artifact, report_scale, timing_scale};
+use criterion::{black_box, Criterion};
+use curation::LengthHistogram;
+use freeset::config::FreeSetConfig;
+use freeset::corpus::ScrapedCorpus;
+use freeset::experiments::fig2::Fig2Experiment;
+
+fn regenerate() {
+    let result = Fig2Experiment::run(&report_scale());
+    print_artifact(
+        "Figure 2 — file-length distribution: FreeSet vs VeriGen",
+        &result.render_markdown(),
+    );
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(&timing_scale()));
+    let lengths: Vec<usize> = scraped.files.iter().map(|f| f.char_len()).collect();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+    group.bench_function("length_histogram", |b| {
+        b.iter(|| black_box(LengthHistogram::from_lengths(lengths.iter().copied())))
+    });
+    group.bench_function("fig2_experiment_end_to_end", |b| {
+        b.iter(|| {
+            let result = Fig2Experiment::run_on(&timing_scale(), black_box(&scraped));
+            black_box(result.freeset.total())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_histograms(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,62 @@
+//! Regenerates Figure 3 (copyright infringement rates) and benchmarks the
+//! infringement benchmark itself.
+
+use bench::{print_artifact, report_scale, timing_scale};
+use copyright_bench::{BenchmarkConfig, CopyrightBenchmark, CopyrightedReference};
+use criterion::{black_box, Criterion};
+use curation::CopyrightDetector;
+use freeset::config::FreeSetConfig;
+use freeset::corpus::ScrapedCorpus;
+use freeset::experiments::fig3::Fig3Experiment;
+use freeset::freev::FreeVBuilder;
+
+fn regenerate() {
+    let result = Fig3Experiment::run_with(&report_scale(), BenchmarkConfig::default(), 1_500);
+    print_artifact(
+        "Figure 3 — copyright infringement rates: paper vs measured",
+        &result.render_markdown(),
+    );
+}
+
+fn bench_infringement(c: &mut Criterion) {
+    let scale = timing_scale();
+    let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(&scale));
+    let detector = CopyrightDetector::new();
+    let protected: Vec<_> = scraped
+        .files
+        .iter()
+        .filter(|f| f.repo_license.is_accepted_open_source() && detector.is_protected(&f.content))
+        .cloned()
+        .collect();
+    let reference = CopyrightedReference::from_extracted(&protected);
+    let benchmark = CopyrightBenchmark::new(reference, BenchmarkConfig::default());
+    let raw_corpus: Vec<String> = scraped.files.iter().map(|f| f.content.clone()).collect();
+    let model = FreeVBuilder::default().build(&scraped, &raw_corpus);
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("copyright_benchmark_evaluate", |b| {
+        b.iter(|| {
+            let report = benchmark.evaluate(black_box(&model.quantized_tuned()));
+            black_box(report.violations)
+        })
+    });
+    group.bench_function("copyright_scan_of_scrape", |b| {
+        b.iter(|| {
+            let found = scraped
+                .files
+                .iter()
+                .filter(|f| detector.is_protected(black_box(&f.content)))
+                .count();
+            black_box(found)
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_infringement(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Regenerates the §IV-A dataset funnel and benchmarks the curation pipeline.
+
+use bench::{print_artifact, report_scale, timing_scale};
+use criterion::{black_box, Criterion};
+use curation::{CurationConfig, CurationPipeline};
+use freeset::config::FreeSetConfig;
+use freeset::corpus::ScrapedCorpus;
+use freeset::experiments::funnel::FunnelExperiment;
+
+fn regenerate() {
+    let result = FunnelExperiment::run(&report_scale());
+    print_artifact(
+        "Dataset funnel (paper §IV-A): paper vs measured",
+        &result.render_markdown(),
+    );
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(&timing_scale()));
+    let mut group = c.benchmark_group("funnel");
+    group.sample_size(10);
+    group.bench_function("freeset_curation_pipeline", |b| {
+        b.iter(|| {
+            let dataset = CurationPipeline::new(CurationConfig::freeset())
+                .run(black_box(scraped.files.clone()));
+            black_box(dataset.len())
+        })
+    });
+    group.bench_function("universe_generation_and_scrape", |b| {
+        b.iter(|| {
+            let corpus = ScrapedCorpus::build(&FreeSetConfig::at_scale(&timing_scale()));
+            black_box(corpus.len())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_pipeline(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table I (dataset comparison) and benchmarks policy curation.
+
+use bench::{print_artifact, report_scale, timing_scale};
+use criterion::{black_box, Criterion};
+use freeset::config::FreeSetConfig;
+use freeset::corpus::ScrapedCorpus;
+use freeset::dataset::curate_with_policy;
+use freeset::experiments::table1::Table1Experiment;
+use freeset::modelzoo::ZooEntry;
+
+fn regenerate() {
+    let result = Table1Experiment::run(&report_scale());
+    print_artifact("Table I — dataset comparison: paper vs measured", &result.render_markdown());
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(&timing_scale()));
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for entry in ZooEntry::all() {
+        let policy = entry.policy.clone();
+        let name = policy.name.clone();
+        group.bench_function(format!("curate_{name}"), |b| {
+            b.iter(|| {
+                let dataset = curate_with_policy(black_box(&scraped), policy.clone());
+                black_box(dataset.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_policies(&mut criterion);
+    criterion.final_summary();
+}

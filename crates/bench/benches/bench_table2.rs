@@ -1,0 +1,62 @@
+//! Regenerates Table II (VerilogEval pass@k) and benchmarks the evaluation
+//! loop.
+
+use bench::{print_artifact, report_scale, timing_scale};
+use criterion::{black_box, Criterion};
+use freeset::config::FreeSetConfig;
+use freeset::dataset::build_freeset;
+use freeset::experiments::table2::Table2Experiment;
+use freeset::freev::FreeVBuilder;
+use verilogeval::{EvalConfig, ProblemSuite, Runner};
+
+fn regenerate() {
+    let result = Table2Experiment::run_with(
+        &report_scale(),
+        ProblemSuite::verilog_eval_human(),
+        EvalConfig::default(),
+    );
+    print_artifact(
+        "Table II — VerilogEval pass@k: paper vs measured",
+        &result.render_markdown(),
+    );
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let build = build_freeset(&FreeSetConfig::at_scale(&timing_scale()));
+    let freev = FreeVBuilder::default().build(&build.scraped, &build.training_corpus());
+    let suite = ProblemSuite::verilog_eval_human();
+    let quick = Runner::new(
+        suite.truncated(8),
+        EvalConfig {
+            samples_per_problem: 2,
+            ks: vec![1, 2],
+            temperatures: vec![0.2],
+            max_new_tokens: 120,
+            seed: 3,
+        },
+    );
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("verilogeval_runner_8_problems", |b| {
+        b.iter(|| {
+            let report = quick.evaluate(black_box(&freev.quantized_tuned()));
+            black_box(report.pass_at_k_percent.len())
+        })
+    });
+    group.bench_function("freev_continual_pretraining", |b| {
+        b.iter(|| {
+            let model = FreeVBuilder::default()
+                .build(black_box(&build.scraped), black_box(&build.training_corpus()));
+            black_box(model.quantization_bits())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_eval(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper (printing
+//! it before the timing runs) and then benchmarks the computation behind it
+//! with Criterion. The helpers here keep scale selection and printing
+//! consistent across targets.
+
+use freeset::config::ExperimentScale;
+
+/// The scale used for the printed (regenerated) tables and figures.
+///
+/// Set the environment variable `FFH_BENCH_SCALE=full` to regenerate at the
+/// paper-default scale instead of the small one.
+pub fn report_scale() -> ExperimentScale {
+    match std::env::var("FFH_BENCH_SCALE").as_deref() {
+        Ok("full") | Ok("paper") => ExperimentScale::paper_default(),
+        _ => ExperimentScale::small(),
+    }
+}
+
+/// The scale used inside Criterion measurement loops (kept tiny so repeated
+/// iterations stay affordable).
+pub fn timing_scale() -> ExperimentScale {
+    ExperimentScale::tiny()
+}
+
+/// Prints a regenerated artefact with a banner, so `cargo bench` output
+/// doubles as the experiment log.
+pub fn print_artifact(title: &str, body: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+    println!("{body}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(timing_scale().repo_count <= report_scale().repo_count);
+    }
+}

@@ -1,0 +1,274 @@
+//! MinHash + LSH near-duplicate removal (§III-D2).
+//!
+//! Following VeriGen's procedure as described in the paper, every file is
+//! reduced to a MinHash signature of its shingle set, locality-sensitive
+//! hashing retrieves previously-kept files that may be similar, and a file
+//! is discarded when its similarity with any kept file reaches the 0.85
+//! threshold. Candidates are verified with exact Jaccard similarity so LSH
+//! false positives cannot evict distinct files.
+
+use gh_sim::ExtractedFile;
+use serde::{Deserialize, Serialize};
+use textsim::{char_shingles, jaccard_similarity, LshIndex, LshParams, MinHasher};
+
+/// Configuration of the de-duplicator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DedupConfig {
+    /// Jaccard similarity at or above which a file counts as a duplicate.
+    pub similarity_threshold: f64,
+    /// Character shingle size.
+    pub shingle_size: usize,
+    /// Number of MinHash permutations.
+    pub permutations: usize,
+    /// Seed for the MinHash permutation family.
+    pub seed: u64,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        Self {
+            similarity_threshold: 0.85,
+            shingle_size: 8,
+            permutations: 128,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The result of de-duplicating a file bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DedupOutcome {
+    /// Indices (into the input slice) of the files that were kept.
+    pub kept: Vec<usize>,
+    /// `(dropped_index, kept_index_it_duplicates, similarity)` for removals.
+    pub removed: Vec<(usize, usize, f64)>,
+}
+
+impl DedupOutcome {
+    /// Fraction of the input that was removed.
+    pub fn removal_rate(&self) -> f64 {
+        let total = self.kept.len() + self.removed.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.removed.len() as f64 / total as f64
+        }
+    }
+}
+
+/// MinHash/LSH de-duplicator.
+///
+/// # Example
+///
+/// ```
+/// use curation::{DedupConfig, Deduplicator};
+///
+/// let dedup = Deduplicator::new(DedupConfig::default());
+/// let docs = vec![
+///     "module a(input x, output y); assign y = ~x; endmodule".to_string(),
+///     "module a(input x, output y); assign y = ~x; endmodule".to_string(),
+///     "module fifo(input clk, input rst); reg [7:0] mem [0:15]; endmodule".to_string(),
+/// ];
+/// let outcome = dedup.dedup_texts(&docs);
+/// assert_eq!(outcome.kept.len(), 2);
+/// assert_eq!(outcome.removed.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Deduplicator {
+    config: DedupConfig,
+    hasher: MinHasher,
+    lsh_params: LshParams,
+}
+
+impl Deduplicator {
+    /// Creates a de-duplicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero permutations or a threshold
+    /// outside `(0, 1)`.
+    pub fn new(config: DedupConfig) -> Self {
+        let hasher = MinHasher::new(config.permutations, config.seed);
+        let lsh_params = LshParams::for_threshold(config.permutations, config.similarity_threshold);
+        Self {
+            config,
+            hasher,
+            lsh_params,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DedupConfig {
+        self.config
+    }
+
+    /// De-duplicates a slice of raw texts, keeping the first occurrence of
+    /// each near-duplicate group.
+    pub fn dedup_texts<S: AsRef<str>>(&self, texts: &[S]) -> DedupOutcome {
+        let mut outcome = DedupOutcome::default();
+        let mut index = LshIndex::new(self.lsh_params);
+        // Shingle sets of kept documents, addressed by their input index.
+        let mut kept_shingles: Vec<(usize, textsim::ShingleSet)> = Vec::new();
+
+        for (i, text) in texts.iter().enumerate() {
+            // Shingle the comment-stripped text: real-world copies typically
+            // differ only in banner comments or header boilerplate, and the
+            // similarity judgement should be about the code itself.
+            let code = verilog::strip_comments(text.as_ref());
+            let shingles = char_shingles(&code, self.config.shingle_size);
+            let signature = self.hasher.signature(&shingles);
+            let mut duplicate_of: Option<(usize, f64)> = None;
+            for candidate in index.candidates(&signature) {
+                let (kept_input_index, kept_set) = &kept_shingles[candidate as usize];
+                let similarity = jaccard_similarity(&shingles, kept_set);
+                if similarity >= self.config.similarity_threshold {
+                    duplicate_of = Some((*kept_input_index, similarity));
+                    break;
+                }
+            }
+            match duplicate_of {
+                Some((kept_index, similarity)) => {
+                    outcome.removed.push((i, kept_index, similarity));
+                }
+                None => {
+                    let slot = kept_shingles.len() as u64;
+                    index.insert(slot, &signature);
+                    kept_shingles.push((i, shingles));
+                    outcome.kept.push(i);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// De-duplicates extracted files by their content, returning the kept
+    /// files (first occurrence wins) and the outcome.
+    pub fn dedup_files(&self, files: Vec<ExtractedFile>) -> (Vec<ExtractedFile>, DedupOutcome) {
+        let outcome = self.dedup_texts(
+            &files
+                .iter()
+                .map(|f| f.content.as_str())
+                .collect::<Vec<&str>>(),
+        );
+        let keep: std::collections::HashSet<usize> = outcome.kept.iter().copied().collect();
+        let kept_files = files
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, f)| keep.contains(&i).then_some(f))
+            .collect();
+        (kept_files, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distinct_docs() -> Vec<String> {
+        vec![
+            "module alu(input [3:0] a, input [3:0] b, input [1:0] op, output reg [3:0] y);\n\
+             always @* case (op) 2'd0: y = a + b; 2'd1: y = a - b; 2'd2: y = a & b; default: y = a | b; endcase endmodule"
+                .to_string(),
+            "module fifo(input clk, input rst, input wr, input rd, input [7:0] din, output [7:0] dout);\n\
+             reg [7:0] mem [0:15]; reg [4:0] wp, rp; assign dout = mem[rp[3:0]]; endmodule"
+                .to_string(),
+            "module uart_tx(input clk, input start, input [7:0] data, output reg txd);\n\
+             reg [3:0] state; always @(posedge clk) if (start) state <= 1; endmodule"
+                .to_string(),
+        ]
+    }
+
+    #[test]
+    fn exact_duplicates_are_removed() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let mut docs = distinct_docs();
+        docs.push(docs[0].clone());
+        docs.push(docs[1].clone());
+        let outcome = dedup.dedup_texts(&docs);
+        assert_eq!(outcome.kept.len(), 3);
+        assert_eq!(outcome.removed.len(), 2);
+        assert!((outcome.removal_rate() - 0.4).abs() < 1e-9);
+        // The duplicates point back at the originals.
+        assert!(outcome.removed.iter().any(|(d, k, s)| *d == 3 && *k == 0 && *s >= 0.85));
+    }
+
+    #[test]
+    fn near_duplicates_with_banner_comments_are_removed() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let base = distinct_docs()[0].clone();
+        let variant = format!("// imported from a vendor reference design\n{base}\n// end of file\n");
+        let outcome = dedup.dedup_texts(&[base, variant]);
+        assert_eq!(outcome.kept.len(), 1, "banner-comment variant should be deduplicated");
+    }
+
+    #[test]
+    fn distinct_designs_are_all_kept() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let outcome = dedup.dedup_texts(&distinct_docs());
+        assert_eq!(outcome.kept.len(), 3);
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.removal_rate(), 0.0);
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = distinct_docs();
+        let dupes = vec![docs[2].clone(), docs[0].clone(), docs[2].clone()];
+        let outcome = dedup.dedup_texts(&dupes);
+        assert_eq!(outcome.kept, vec![0, 1]);
+        assert_eq!(outcome.removed[0].0, 2);
+        assert_eq!(outcome.removed[0].1, 0);
+    }
+
+    #[test]
+    fn threshold_controls_aggressiveness() {
+        let strict = Deduplicator::new(DedupConfig {
+            similarity_threshold: 0.98,
+            ..Default::default()
+        });
+        let loose = Deduplicator::new(DedupConfig {
+            similarity_threshold: 0.30,
+            ..Default::default()
+        });
+        let base = distinct_docs()[0].clone();
+        // A moderately edited variant.
+        let variant = base.replace("2'd0: y = a + b;", "2'd0: y = a + b + 1;");
+        let docs = vec![base, variant];
+        assert_eq!(strict.dedup_texts(&docs).kept.len(), 2);
+        assert_eq!(loose.dedup_texts(&docs).kept.len(), 1);
+    }
+
+    #[test]
+    fn dedup_files_preserves_metadata_of_kept_files() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = distinct_docs();
+        let files: Vec<ExtractedFile> = docs
+            .iter()
+            .chain(std::iter::once(&docs[0]))
+            .enumerate()
+            .map(|(i, content)| ExtractedFile {
+                repo_id: i as u64,
+                repo_full_name: format!("owner/repo{i}"),
+                owner: "owner".into(),
+                repo_license: gh_sim::License::Mit,
+                created_year: 2020,
+                path: format!("f{i}.v"),
+                content: content.clone(),
+            })
+            .collect();
+        let (kept, outcome) = dedup.dedup_files(files);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(outcome.removed.len(), 1);
+        assert_eq!(kept[0].repo_full_name, "owner/repo0");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let outcome = dedup.dedup_texts::<String>(&[]);
+        assert!(outcome.kept.is_empty());
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.removal_rate(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Stage-by-stage dataset funnel statistics (§IV-A).
+//!
+//! The paper reports how each curation stage shrinks the corpus: 1.3 million
+//! extracted files, 608 180 after the license filter, 62.5 % removed by LSH
+//! de-duplication, and a final dataset of 222 624 files after the syntax and
+//! copyright checks. [`FunnelStats`] captures the same funnel for a pipeline
+//! run.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of surviving files after each curation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FunnelStats {
+    /// Files entering the pipeline (the raw scrape).
+    pub initial: usize,
+    /// Files surviving the repository license filter.
+    pub after_license_filter: usize,
+    /// Files surviving the optional maximum-length filter (equal to the
+    /// previous stage when the policy has no length cap).
+    pub after_length_filter: usize,
+    /// Files surviving MinHash/LSH de-duplication.
+    pub after_dedup: usize,
+    /// Files surviving the syntax check.
+    pub after_syntax_filter: usize,
+    /// Files surviving the per-file copyright check — the final dataset size.
+    pub after_copyright_filter: usize,
+}
+
+impl FunnelStats {
+    /// The final dataset size.
+    pub fn final_count(&self) -> usize {
+        self.after_copyright_filter
+    }
+
+    /// Fraction of the initial corpus that survived the license filter.
+    pub fn license_survival_rate(&self) -> f64 {
+        ratio(self.after_license_filter, self.initial)
+    }
+
+    /// Fraction of the de-duplication *input* removed as duplicates (the
+    /// paper reports 62.5 %).
+    pub fn dedup_removal_rate(&self) -> f64 {
+        if self.after_length_filter == 0 {
+            return 0.0;
+        }
+        1.0 - ratio(self.after_dedup, self.after_length_filter)
+    }
+
+    /// Fraction of the de-duplicated corpus removed by the copyright check
+    /// (the paper reports roughly 1 % of the original corpus; ~2k of ~228k
+    /// deduplicated files).
+    pub fn copyright_removal_rate(&self) -> f64 {
+        if self.after_syntax_filter == 0 {
+            return 0.0;
+        }
+        1.0 - ratio(self.after_copyright_filter, self.after_syntax_filter)
+    }
+
+    /// Fraction of the initial corpus that made it into the final dataset.
+    pub fn overall_survival_rate(&self) -> f64 {
+        ratio(self.final_count(), self.initial)
+    }
+
+    /// Files removed by each named stage, as `(stage, removed)` rows.
+    pub fn removals(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            (
+                "license filter",
+                self.initial.saturating_sub(self.after_license_filter),
+            ),
+            (
+                "length filter",
+                self.after_license_filter
+                    .saturating_sub(self.after_length_filter),
+            ),
+            (
+                "deduplication",
+                self.after_length_filter.saturating_sub(self.after_dedup),
+            ),
+            (
+                "syntax filter",
+                self.after_dedup.saturating_sub(self.after_syntax_filter),
+            ),
+            (
+                "copyright filter",
+                self.after_syntax_filter
+                    .saturating_sub(self.after_copyright_filter),
+            ),
+        ]
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for FunnelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "extracted files          : {:>10}", self.initial)?;
+        writeln!(
+            f,
+            "after license filter     : {:>10}  ({:.1}% kept)",
+            self.after_license_filter,
+            100.0 * self.license_survival_rate()
+        )?;
+        writeln!(
+            f,
+            "after length filter      : {:>10}",
+            self.after_length_filter
+        )?;
+        writeln!(
+            f,
+            "after de-duplication     : {:>10}  ({:.1}% removed)",
+            self.after_dedup,
+            100.0 * self.dedup_removal_rate()
+        )?;
+        writeln!(
+            f,
+            "after syntax filter      : {:>10}",
+            self.after_syntax_filter
+        )?;
+        writeln!(
+            f,
+            "after copyright filter   : {:>10}  ({:.2}% removed)",
+            self.after_copyright_filter,
+            100.0 * self.copyright_removal_rate()
+        )?;
+        write!(
+            f,
+            "overall survival         : {:>9.1}%",
+            100.0 * self.overall_survival_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like() -> FunnelStats {
+        FunnelStats {
+            initial: 1_300_000,
+            after_license_filter: 608_180,
+            after_length_filter: 608_180,
+            after_dedup: 228_068,
+            after_syntax_filter: 224_700,
+            after_copyright_filter: 222_624,
+        }
+    }
+
+    #[test]
+    fn rates_match_paper_figures() {
+        let f = paper_like();
+        assert!((f.license_survival_rate() - 0.468).abs() < 0.01);
+        assert!((f.dedup_removal_rate() - 0.625).abs() < 0.01);
+        assert!(f.copyright_removal_rate() < 0.02);
+        assert_eq!(f.final_count(), 222_624);
+    }
+
+    #[test]
+    fn removals_sum_to_total_loss() {
+        let f = paper_like();
+        let removed: usize = f.removals().iter().map(|(_, n)| n).sum();
+        assert_eq!(removed, f.initial - f.final_count());
+    }
+
+    #[test]
+    fn empty_funnel_has_zero_rates() {
+        let f = FunnelStats::default();
+        assert_eq!(f.license_survival_rate(), 0.0);
+        assert_eq!(f.dedup_removal_rate(), 0.0);
+        assert_eq!(f.overall_survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_stage() {
+        let text = paper_like().to_string();
+        for needle in ["license", "de-duplication", "syntax", "copyright", "overall"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

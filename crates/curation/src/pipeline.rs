@@ -1,0 +1,408 @@
+//! The end-to-end curation pipeline.
+
+use gh_sim::ExtractedFile;
+use serde::{Deserialize, Serialize};
+
+use crate::copyright::CopyrightDetector;
+use crate::dedup::{DedupConfig, Deduplicator};
+use crate::funnel::FunnelStats;
+use crate::license_filter::LicenseFilter;
+use crate::syntax_filter::SyntaxFilter;
+
+/// How the curated dataset is meant to be consumed downstream — mirrored from
+/// Table I's "Dataset Structure" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetStructure {
+    /// Raw files for continual (causal) pre-training — FreeSet and VeriGen.
+    ContinualPretraining,
+    /// Prompt/response pairs for instruction tuning — RTLCoder, CodeV, ….
+    InstructionTuning,
+}
+
+/// Configuration of a curation run. Stage toggles exist so that prior works'
+/// weaker policies can be reproduced for the comparison experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurationConfig {
+    /// Human-readable policy name (e.g. `"FreeSet"`, `"VeriGen"`).
+    pub name: String,
+    /// Whether to drop files from repositories without an accepted license.
+    pub check_repository_license: bool,
+    /// Whether to run the per-file copyright keyword filter.
+    pub check_file_copyright: bool,
+    /// Whether to run MinHash/LSH de-duplication.
+    pub deduplicate: bool,
+    /// Whether to drop files that fail the syntax check.
+    pub check_syntax: bool,
+    /// Optional maximum file length in characters (CodeV-style truncation of
+    /// the corpus; `None` keeps everything).
+    pub max_file_chars: Option<usize>,
+    /// De-duplication parameters.
+    pub dedup: DedupConfig,
+    /// Dataset structure produced by the policy.
+    pub structure: DatasetStructure,
+    /// Whether the policy augments the corpus with synthetic/LLM-generated
+    /// data (recorded for Table I; this pipeline never fabricates files).
+    pub augmented: bool,
+}
+
+impl CurationConfig {
+    /// The paper's FreeSet policy: license check, copyright check,
+    /// de-duplication and syntax check all enabled, no length cap.
+    pub fn freeset() -> Self {
+        Self {
+            name: "FreeSet".into(),
+            check_repository_license: true,
+            check_file_copyright: true,
+            deduplicate: true,
+            check_syntax: true,
+            max_file_chars: None,
+            dedup: DedupConfig::default(),
+            structure: DatasetStructure::ContinualPretraining,
+            augmented: false,
+        }
+    }
+
+    /// A policy that applies no filtering at all (the raw scrape).
+    pub fn unfiltered(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            check_repository_license: false,
+            check_file_copyright: false,
+            deduplicate: false,
+            check_syntax: false,
+            max_file_chars: None,
+            dedup: DedupConfig::default(),
+            structure: DatasetStructure::ContinualPretraining,
+            augmented: false,
+        }
+    }
+}
+
+/// One file of a curated dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuratedFile {
+    /// The extracted file, with provenance.
+    pub file: ExtractedFile,
+}
+
+impl CuratedFile {
+    /// File length in characters.
+    pub fn char_len(&self) -> usize {
+        self.file.char_len()
+    }
+
+    /// The file contents.
+    pub fn content(&self) -> &str {
+        &self.file.content
+    }
+}
+
+/// The output of a curation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuratedDataset {
+    name: String,
+    structure: DatasetStructure,
+    augmented: bool,
+    files: Vec<CuratedFile>,
+    funnel: FunnelStats,
+    copyright_rejects: Vec<ExtractedFile>,
+}
+
+impl CuratedDataset {
+    /// Policy name that produced the dataset.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared dataset structure.
+    pub fn structure(&self) -> DatasetStructure {
+        self.structure
+    }
+
+    /// Whether the producing policy augments its data.
+    pub fn augmented(&self) -> bool {
+        self.augmented
+    }
+
+    /// The curated files.
+    pub fn files(&self) -> &[CuratedFile] {
+        &self.files
+    }
+
+    /// Number of files (Table I's "Size (Rows)").
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total size in characters (the proxy for Table I's on-disk size).
+    pub fn total_chars(&self) -> usize {
+        self.files.iter().map(CuratedFile::char_len).sum()
+    }
+
+    /// The stage-by-stage funnel.
+    pub fn funnel(&self) -> &FunnelStats {
+        &self.funnel
+    }
+
+    /// Files the copyright filter rejected — the raw material for the
+    /// copyrighted reference set of the infringement benchmark.
+    pub fn copyright_rejects(&self) -> &[ExtractedFile] {
+        &self.copyright_rejects
+    }
+
+    /// Iterates over file contents (training corpus view).
+    pub fn contents(&self) -> impl Iterator<Item = &str> {
+        self.files.iter().map(|f| f.file.content.as_str())
+    }
+}
+
+/// Runs the staged curation pipeline.
+///
+/// # Example
+///
+/// ```
+/// use curation::{CurationConfig, CurationPipeline};
+///
+/// let pipeline = CurationPipeline::new(CurationConfig::freeset());
+/// assert_eq!(pipeline.config().name, "FreeSet");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurationPipeline {
+    config: CurationConfig,
+    license_filter: LicenseFilter,
+    copyright_detector: CopyrightDetector,
+    syntax_filter: SyntaxFilter,
+}
+
+impl CurationPipeline {
+    /// Creates a pipeline from a policy configuration.
+    pub fn new(config: CurationConfig) -> Self {
+        Self {
+            config,
+            license_filter: LicenseFilter::paper_default(),
+            copyright_detector: CopyrightDetector::new(),
+            syntax_filter: SyntaxFilter::new(),
+        }
+    }
+
+    /// Overrides the license filter (e.g. permissive-only ablations).
+    pub fn with_license_filter(mut self, filter: LicenseFilter) -> Self {
+        self.license_filter = filter;
+        self
+    }
+
+    /// Overrides the copyright detector.
+    pub fn with_copyright_detector(mut self, detector: CopyrightDetector) -> Self {
+        self.copyright_detector = detector;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CurationConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline over a bank of extracted files.
+    ///
+    /// Stage order follows the paper: license filter → (length filter) →
+    /// de-duplication → syntax check → per-file copyright check.
+    pub fn run(&self, files: Vec<ExtractedFile>) -> CuratedDataset {
+        let mut funnel = FunnelStats {
+            initial: files.len(),
+            ..Default::default()
+        };
+
+        // Stage 1: repository license filter.
+        let files = if self.config.check_repository_license {
+            let (accepted, _) = self.license_filter.partition(files);
+            accepted
+        } else {
+            files
+        };
+        funnel.after_license_filter = files.len();
+
+        // Stage 1b: optional length cap (prior-work policies only).
+        let files: Vec<ExtractedFile> = match self.config.max_file_chars {
+            Some(cap) => files.into_iter().filter(|f| f.char_len() <= cap).collect(),
+            None => files,
+        };
+        funnel.after_length_filter = files.len();
+
+        // Stage 2: MinHash/LSH de-duplication.
+        let files = if self.config.deduplicate {
+            let dedup = Deduplicator::new(self.config.dedup);
+            let (kept, _) = dedup.dedup_files(files);
+            kept
+        } else {
+            files
+        };
+        funnel.after_dedup = files.len();
+
+        // Stage 3: syntax filter.
+        let files: Vec<ExtractedFile> = if self.config.check_syntax {
+            files
+                .into_iter()
+                .filter(|f| self.syntax_filter.passes(&f.content))
+                .collect()
+        } else {
+            files
+        };
+        funnel.after_syntax_filter = files.len();
+
+        // Stage 4: per-file copyright filter.
+        let mut copyright_rejects = Vec::new();
+        let files: Vec<ExtractedFile> = if self.config.check_file_copyright {
+            files
+                .into_iter()
+                .filter_map(|f| {
+                    if self.copyright_detector.is_protected(&f.content) {
+                        copyright_rejects.push(f);
+                        None
+                    } else {
+                        Some(f)
+                    }
+                })
+                .collect()
+        } else {
+            files
+        };
+        funnel.after_copyright_filter = files.len();
+
+        CuratedDataset {
+            name: self.config.name.clone(),
+            structure: self.config.structure,
+            augmented: self.config.augmented,
+            files: files.into_iter().map(|file| CuratedFile { file }).collect(),
+            funnel,
+            copyright_rejects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_sim::{GithubApi, License, Scraper, ScraperConfig, Universe, UniverseConfig};
+
+    fn scraped_corpus(repos: usize, seed: u64) -> Vec<ExtractedFile> {
+        let universe = Universe::generate(&UniverseConfig {
+            repo_count: repos,
+            seed,
+            ..Default::default()
+        });
+        let api = GithubApi::new(&universe);
+        Scraper::new(ScraperConfig::default())
+            .run(&api)
+            .expect("scrape")
+            .files
+    }
+
+    #[test]
+    fn freeset_pipeline_shrinks_the_corpus_stage_by_stage() {
+        let files = scraped_corpus(120, 31);
+        let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
+        let funnel = dataset.funnel();
+        assert!(funnel.initial > funnel.after_license_filter);
+        assert!(funnel.after_length_filter >= funnel.after_dedup);
+        assert!(funnel.after_dedup >= funnel.after_syntax_filter);
+        assert!(funnel.after_syntax_filter >= funnel.after_copyright_filter);
+        assert_eq!(funnel.final_count(), dataset.len());
+        assert!(!dataset.is_empty());
+        assert!(dataset.total_chars() > 0);
+    }
+
+    #[test]
+    fn funnel_shape_tracks_the_paper() {
+        let files = scraped_corpus(250, 5);
+        let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
+        let funnel = dataset.funnel();
+        // License survival near ~47%, dedup removal near ~62%.
+        assert!(
+            (0.30..=0.75).contains(&funnel.license_survival_rate()),
+            "license survival {}",
+            funnel.license_survival_rate()
+        );
+        assert!(
+            (0.40..=0.80).contains(&funnel.dedup_removal_rate()),
+            "dedup removal {}",
+            funnel.dedup_removal_rate()
+        );
+        assert!(
+            funnel.copyright_removal_rate() < 0.08,
+            "copyright removal {}",
+            funnel.copyright_removal_rate()
+        );
+    }
+
+    #[test]
+    fn copyright_rejects_are_reported_and_protected() {
+        let files = scraped_corpus(200, 77);
+        let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
+        assert!(
+            !dataset.copyright_rejects().is_empty(),
+            "the planted proprietary files should be caught"
+        );
+        let detector = CopyrightDetector::new();
+        for f in dataset.copyright_rejects() {
+            assert!(detector.is_protected(&f.content));
+            assert!(f.repo_license.is_accepted_open_source());
+        }
+        // And none of the kept files are protected.
+        for f in dataset.files() {
+            assert!(!detector.is_protected(f.content()));
+        }
+    }
+
+    #[test]
+    fn unfiltered_policy_keeps_everything() {
+        let files = scraped_corpus(60, 3);
+        let count = files.len();
+        let dataset = CurationPipeline::new(CurationConfig::unfiltered("Raw")).run(files);
+        assert_eq!(dataset.len(), count);
+        assert_eq!(dataset.funnel().overall_survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn length_cap_drops_large_files() {
+        let files = scraped_corpus(60, 9);
+        let mut config = CurationConfig::unfiltered("Capped");
+        config.max_file_chars = Some(600);
+        let dataset = CurationPipeline::new(config).run(files.clone());
+        assert!(dataset.len() < files.len());
+        assert!(dataset.files().iter().all(|f| f.char_len() <= 600));
+    }
+
+    #[test]
+    fn permissive_only_filter_is_stricter() {
+        let files = scraped_corpus(150, 13);
+        let default = CurationPipeline::new(CurationConfig::freeset()).run(files.clone());
+        let permissive = CurationPipeline::new(CurationConfig::freeset())
+            .with_license_filter(LicenseFilter::permissive_only())
+            .run(files);
+        assert!(permissive.funnel().after_license_filter < default.funnel().after_license_filter);
+    }
+
+    #[test]
+    fn curated_files_only_come_from_accepted_repos() {
+        let files = scraped_corpus(100, 21);
+        let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
+        for f in dataset.files() {
+            assert!(f.file.repo_license.is_accepted_open_source());
+            assert_ne!(f.file.repo_license, License::Proprietary);
+        }
+    }
+
+    #[test]
+    fn dataset_metadata_reflects_config() {
+        let dataset = CurationPipeline::new(CurationConfig::freeset()).run(vec![]);
+        assert_eq!(dataset.name(), "FreeSet");
+        assert_eq!(dataset.structure(), DatasetStructure::ContinualPretraining);
+        assert!(!dataset.augmented());
+        assert!(dataset.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Syntax filtering stage (§III-D2) — the Icarus Verilog stand-in.
+
+use serde::{Deserialize, Serialize};
+use verilog::SyntaxChecker;
+
+/// Removes files with syntax errors, tolerating unresolved references to
+/// modules defined in other files (exactly the paper's policy: "only
+/// syntax-specific errors were identified and removed").
+///
+/// # Example
+///
+/// ```
+/// use curation::SyntaxFilter;
+///
+/// let filter = SyntaxFilter::new();
+/// assert!(filter.passes("module m(input a, output y); assign y = a; endmodule"));
+/// assert!(!filter.passes("module m(input a output y); assign y = a; endmodule"));
+/// assert!(filter.passes("module top(input a); other_block u0(.x(a)); endmodule"));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntaxFilter {
+    _private: (),
+}
+
+impl SyntaxFilter {
+    /// Creates a syntax filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the file passes the syntax check.
+    pub fn passes(&self, content: &str) -> bool {
+        SyntaxChecker::new().is_valid(content)
+    }
+
+    /// Partitions contents into `(passing, failing)` index lists.
+    pub fn partition_indices<S: AsRef<str>>(&self, contents: &[S]) -> (Vec<usize>, Vec<usize>) {
+        let mut pass = Vec::new();
+        let mut fail = Vec::new();
+        for (i, c) in contents.iter().enumerate() {
+            if self.passes(c.as_ref()) {
+                pass.push(i);
+            } else {
+                fail.push(i);
+            }
+        }
+        (pass, fail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_and_broken_files_are_separated() {
+        let filter = SyntaxFilter::new();
+        let contents = vec![
+            "module a(input x, output y); assign y = x; endmodule",
+            "module b(input x, output y) assign y = x; endmodule", // missing ;
+            "not verilog at all",
+            "module c(input clk); always @(posedge clk) ; endmodule",
+        ];
+        let (pass, fail) = filter.partition_indices(&contents);
+        assert_eq!(pass, vec![0, 3]);
+        assert_eq!(fail, vec![1, 2]);
+    }
+
+    #[test]
+    fn comment_only_files_fail() {
+        let filter = SyntaxFilter::new();
+        assert!(!filter.passes("// just a comment"));
+    }
+
+    #[test]
+    fn unresolved_instances_still_pass() {
+        let filter = SyntaxFilter::new();
+        assert!(filter.passes(
+            "module soc(input clk); cpu u_cpu(.clk(clk)); dram u_mem(.clk(clk)); endmodule"
+        ));
+    }
+}

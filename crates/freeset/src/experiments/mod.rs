@@ -1,0 +1,20 @@
+//! Experiment drivers, one per table/figure of the paper's evaluation:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`funnel`] | §IV-A dataset-minimisation funnel (1.3M → 608k → dedup → 222k) |
+//! | [`table1`] | Table I — dataset comparison across prior works |
+//! | [`fig2`] | Figure 2 — file-length distribution, FreeSet vs VeriGen |
+//! | [`fig3`] | Figure 3 — copyright-infringement rates across models |
+//! | [`table2`] | Table II — VerilogEval pass@k comparison |
+//!
+//! Every driver follows the same shape: `run(&ExperimentScale)` performs the
+//! experiment deterministically, the result is `Serialize`, and
+//! `render_markdown()` produces the table/figure data as text with the
+//! paper's reported values alongside the measured ones.
+
+pub mod fig2;
+pub mod fig3;
+pub mod funnel;
+pub mod table1;
+pub mod table2;

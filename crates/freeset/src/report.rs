@@ -1,0 +1,104 @@
+//! Report rendering helpers: markdown tables and JSON emission.
+
+use serde::Serialize;
+
+/// Renders a GitHub-flavoured markdown table.
+///
+/// # Panics
+///
+/// Panics if any row has a different number of cells than the header.
+///
+/// # Example
+///
+/// ```
+/// use freeset::report::markdown_table;
+///
+/// let table = markdown_table(
+///     &["model", "pass@1"],
+///     &[vec!["base".to_string(), "14.8".to_string()]],
+/// );
+/// assert!(table.contains("| model | pass@1 |"));
+/// assert!(table.contains("| base | 14.8 |"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Serialises any experiment result to pretty-printed JSON.
+///
+/// # Panics
+///
+/// Panics if the value cannot be serialised (never the case for the types in
+/// this crate).
+pub fn to_json_string<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment reports are always serialisable")
+}
+
+/// Formats a percentage with one decimal place.
+pub fn pct(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+/// Formats an optional percentage, rendering `-` when absent.
+pub fn opt_pct(value: Option<f64>) -> String {
+    value.map(pct).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_renders_rows() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["3".into(), "4".into()],
+            ],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 3 | 4 |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match header width")]
+    fn mismatched_rows_panic() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn json_and_formatting_helpers() {
+        #[derive(Serialize)]
+        struct Tiny {
+            x: u32,
+        }
+        assert!(to_json_string(&Tiny { x: 7 }).contains("\"x\": 7"));
+        assert_eq!(pct(12.345), "12.3");
+        assert_eq!(opt_pct(None), "-");
+        assert_eq!(opt_pct(Some(3.0)), "3.0");
+    }
+}

@@ -1,0 +1,154 @@
+//! Controlled corruption of Verilog sources.
+//!
+//! The paper's quality discussion (§III-D) notes that scraped corpora contain
+//! files with syntax errors which would "train errors into the model". To
+//! exercise the syntax-filter stage of the curation pipeline, the synthetic
+//! universe deliberately damages a calibrated fraction of its files using the
+//! mutations below.
+
+use rand::Rng;
+
+/// The kinds of damage that can be applied to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionKind {
+    /// Remove a semicolon.
+    DropSemicolon,
+    /// Remove the closing `endmodule`.
+    DropEndmodule,
+    /// Truncate the file at a random point.
+    Truncate,
+    /// Delete a random parenthesis or brace.
+    DropDelimiter,
+    /// Duplicate a random token sequence in a way that breaks the grammar.
+    StrayKeyword,
+}
+
+impl CorruptionKind {
+    /// All corruption kinds.
+    pub const ALL: [CorruptionKind; 5] = [
+        CorruptionKind::DropSemicolon,
+        CorruptionKind::DropEndmodule,
+        CorruptionKind::Truncate,
+        CorruptionKind::DropDelimiter,
+        CorruptionKind::StrayKeyword,
+    ];
+}
+
+/// Applies a random corruption to `source`, returning the damaged text.
+///
+/// The result is *intended* to be syntactically invalid, though a very small
+/// fraction of mutations may survive parsing (e.g. truncation landing exactly
+/// on a module boundary); the universe treats the returned text as
+/// "probably broken" rather than "guaranteed broken", exactly like real
+/// scraped data.
+pub fn corrupt<R: Rng>(source: &str, rng: &mut R) -> String {
+    let kind = CorruptionKind::ALL[rng.gen_range(0..CorruptionKind::ALL.len())];
+    corrupt_with(source, kind, rng)
+}
+
+/// Applies a specific corruption to `source`.
+pub fn corrupt_with<R: Rng>(source: &str, kind: CorruptionKind, rng: &mut R) -> String {
+    match kind {
+        CorruptionKind::DropSemicolon => remove_nth_occurrence(source, ';', rng),
+        CorruptionKind::DropEndmodule => source.replacen("endmodule", "", 1),
+        CorruptionKind::Truncate => {
+            let len = source.len();
+            if len < 20 {
+                return String::from("module ");
+            }
+            let cut = rng.gen_range(len / 4..(3 * len) / 4);
+            // Cut on a char boundary.
+            let mut cut = cut;
+            while !source.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            source[..cut].to_string()
+        }
+        CorruptionKind::DropDelimiter => {
+            let target = if rng.gen_bool(0.5) { '(' } else { ')' };
+            remove_nth_occurrence(source, target, rng)
+        }
+        CorruptionKind::StrayKeyword => {
+            // Insert a dangling `case (` fragment near the middle.
+            let mid = source.len() / 2;
+            let mut mid = mid;
+            while !source.is_char_boundary(mid) {
+                mid -= 1;
+            }
+            format!("{} case ( {}", &source[..mid], &source[mid..])
+        }
+    }
+}
+
+fn remove_nth_occurrence<R: Rng>(source: &str, needle: char, rng: &mut R) -> String {
+    let positions: Vec<usize> = source
+        .char_indices()
+        .filter(|(_, c)| *c == needle)
+        .map(|(i, _)| i)
+        .collect();
+    if positions.is_empty() {
+        // Nothing to remove: fall back to truncation.
+        return source[..source.len() / 2].to_string();
+    }
+    let pos = positions[rng.gen_range(0..positions.len())];
+    let mut out = String::with_capacity(source.len());
+    out.push_str(&source[..pos]);
+    out.push_str(&source[pos + needle.len_utf8()..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use verilog::SyntaxChecker;
+
+    const SAMPLE: &str = "module counter(input clk, input rst, output reg [7:0] q);\n\
+                          always @(posedge clk) begin\n  if (rst) q <= 0; else q <= q + 1;\nend\nendmodule\n";
+
+    #[test]
+    fn corruptions_usually_break_the_syntax() {
+        let checker = SyntaxChecker::new();
+        assert!(checker.is_valid(SAMPLE));
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut broken = 0;
+        let total = 50;
+        for _ in 0..total {
+            let damaged = corrupt(SAMPLE, &mut rng);
+            if !checker.is_valid(&damaged) {
+                broken += 1;
+            }
+        }
+        assert!(
+            broken * 10 >= total * 8,
+            "only {broken}/{total} corruptions broke the file"
+        );
+    }
+
+    #[test]
+    fn each_corruption_kind_changes_the_text() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for kind in CorruptionKind::ALL {
+            let damaged = corrupt_with(SAMPLE, kind, &mut rng);
+            assert_ne!(damaged, SAMPLE, "{kind:?} left the file unchanged");
+        }
+    }
+
+    #[test]
+    fn drop_endmodule_removes_exactly_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let two_modules = format!("{SAMPLE}\nmodule other; endmodule\n");
+        let damaged = corrupt_with(&two_modules, CorruptionKind::DropEndmodule, &mut rng);
+        assert_eq!(damaged.matches("endmodule").count(), 1);
+    }
+
+    #[test]
+    fn corruption_of_tiny_files_does_not_panic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for kind in CorruptionKind::ALL {
+            let _ = corrupt_with("module m;", kind, &mut rng);
+            let _ = corrupt_with("", kind, &mut rng);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The query-granularising scraper (the paper's "automated system
+//! implementing the GitHub API").
+//!
+//! The scraper mirrors §III-B2 of the paper:
+//!
+//! 1. queries are granularised by repository-creation-date ranges (2008 to
+//!    2024) and, when a date range still exceeds the 1 000-result cap, further
+//!    split by license;
+//! 2. every matching repository is cloned so author information is retained
+//!    for accreditation;
+//! 3. non-Verilog files are discarded and the Verilog files are condensed
+//!    into one large bank of [`ExtractedFile`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{ApiError, GithubApi, RepoQuery};
+use crate::license::License;
+use crate::repo::ExtractedFile;
+
+/// Configuration of a scraping run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScraperConfig {
+    /// First creation year to query (GitHub was established in 2008).
+    pub from_year: u32,
+    /// Last creation year to query.
+    pub to_year: u32,
+    /// Restrict scraping to accepted open-source licenses only. The paper's
+    /// framework queries per license anyway; turning this off scrapes the
+    /// whole universe (useful for building the *copyrighted* reference set).
+    pub accepted_licenses_only: bool,
+}
+
+impl Default for ScraperConfig {
+    fn default() -> Self {
+        Self {
+            from_year: 2008,
+            to_year: 2024,
+            accepted_licenses_only: false,
+        }
+    }
+}
+
+/// Statistics describing a scraping run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ScrapeReport {
+    /// Search queries issued (including ones rejected for being too broad).
+    pub queries_issued: usize,
+    /// Queries that had to be split because they exceeded the result cap.
+    pub queries_over_cap: usize,
+    /// Times the scraper had to wait out the rate limit.
+    pub rate_limit_waits: usize,
+    /// Repositories discovered by the search phase.
+    pub repositories_found: usize,
+    /// Repositories successfully cloned.
+    pub repositories_cloned: usize,
+    /// Total files seen in cloned repositories (all kinds).
+    pub files_seen: usize,
+    /// Verilog files extracted.
+    pub verilog_files_extracted: usize,
+}
+
+/// The result of a scraping run: the file bank plus its report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ScrapeOutput {
+    /// Extracted Verilog files with provenance.
+    pub files: Vec<ExtractedFile>,
+    /// Run statistics.
+    pub report: ScrapeReport,
+}
+
+/// The granularising scraper.
+///
+/// # Example
+///
+/// ```
+/// use gh_sim::{GithubApi, Scraper, ScraperConfig, Universe, UniverseConfig};
+///
+/// let universe = Universe::generate(&UniverseConfig { repo_count: 50, seed: 2, ..Default::default() });
+/// let api = GithubApi::new(&universe);
+/// let output = Scraper::new(ScraperConfig::default()).run(&api)?;
+/// assert_eq!(output.report.repositories_cloned, 50);
+/// # Ok::<(), gh_sim::ApiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scraper {
+    config: ScraperConfig,
+}
+
+impl Scraper {
+    /// Creates a scraper.
+    pub fn new(config: ScraperConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ScraperConfig {
+        self.config
+    }
+
+    /// Runs the scrape against `api`, granularising queries as needed and
+    /// waiting out rate limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] only for conditions granularisation cannot fix
+    /// (for example a single year × license bucket still exceeding the result
+    /// cap, which cannot happen with the provided universe sizes).
+    pub fn run(&self, api: &GithubApi<'_>) -> Result<ScrapeOutput, ApiError> {
+        let mut report = ScrapeReport::default();
+        let mut repo_ids: Vec<u64> = Vec::new();
+
+        // Phase 1: discovery. Try whole-range queries first and granularise
+        // by year, then by license, when the result cap is hit.
+        let licenses: Vec<Option<License>> = if self.config.accepted_licenses_only {
+            License::ACCEPTED.iter().copied().map(Some).collect()
+        } else {
+            vec![None]
+        };
+        for license in &licenses {
+            let base = RepoQuery {
+                created_between: Some((self.config.from_year, self.config.to_year)),
+                license: *license,
+                page: 0,
+            };
+            self.discover(api, base, &mut report, &mut repo_ids)?;
+        }
+        repo_ids.sort_unstable();
+        repo_ids.dedup();
+        report.repositories_found = repo_ids.len();
+
+        // Phase 2: clone and extract.
+        let mut files = Vec::new();
+        for id in repo_ids {
+            let repo = loop {
+                match api.clone_repository(id) {
+                    Ok(repo) => break repo,
+                    Err(ApiError::RateLimited) => {
+                        report.rate_limit_waits += 1;
+                        api.wait_for_rate_limit_reset();
+                    }
+                    Err(other) => return Err(other),
+                }
+            };
+            report.repositories_cloned += 1;
+            report.files_seen += repo.files.len();
+            for file in repo.verilog_files() {
+                report.verilog_files_extracted += 1;
+                files.push(ExtractedFile {
+                    repo_id: repo.id,
+                    repo_full_name: repo.full_name.clone(),
+                    owner: repo.owner.clone(),
+                    repo_license: repo.license,
+                    created_year: repo.created_year,
+                    path: file.path.clone(),
+                    content: file.content.clone(),
+                });
+            }
+        }
+        Ok(ScrapeOutput { files, report })
+    }
+
+    /// Recursively narrows `query` until every bucket fits under the result
+    /// cap, accumulating matching repository ids.
+    fn discover(
+        &self,
+        api: &GithubApi<'_>,
+        query: RepoQuery,
+        report: &mut ScrapeReport,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ApiError> {
+        let mut page = 0;
+        loop {
+            let paged = RepoQuery {
+                page,
+                ..query.clone()
+            };
+            report.queries_issued += 1;
+            match api.search(&paged) {
+                Ok(result) => {
+                    out.extend(result.repo_ids);
+                    if !result.has_more {
+                        return Ok(());
+                    }
+                    page += 1;
+                }
+                Err(ApiError::RateLimited) => {
+                    report.rate_limit_waits += 1;
+                    api.wait_for_rate_limit_reset();
+                }
+                Err(ApiError::TooManyResults { .. }) => {
+                    report.queries_over_cap += 1;
+                    return self.split(api, query, report, out);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    fn split(
+        &self,
+        api: &GithubApi<'_>,
+        query: RepoQuery,
+        report: &mut ScrapeReport,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ApiError> {
+        let (from, to) = query
+            .created_between
+            .unwrap_or((self.config.from_year, self.config.to_year));
+        if from < to {
+            // Split the date range in half, as the paper granularises by
+            // repository creation date.
+            let mid = (from + to) / 2;
+            let first = RepoQuery {
+                created_between: Some((from, mid)),
+                page: 0,
+                ..query.clone()
+            };
+            let second = RepoQuery {
+                created_between: Some((mid + 1, to)),
+                page: 0,
+                ..query.clone()
+            };
+            self.discover(api, first, report, out)?;
+            self.discover(api, second, report, out)
+        } else if query.license.is_none() {
+            // A single year still over the cap: granularise by license.
+            for license in License::ALL {
+                let narrowed = RepoQuery {
+                    license: Some(license),
+                    page: 0,
+                    ..query.clone()
+                };
+                self.discover(api, narrowed, report, out)?;
+            }
+            Ok(())
+        } else {
+            // Cannot be narrowed further.
+            Err(ApiError::TooManyResults { matched: usize::MAX })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Universe, UniverseConfig};
+
+    fn universe(repos: usize, seed: u64) -> Universe {
+        Universe::generate(&UniverseConfig {
+            repo_count: repos,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn scrapes_every_repository_and_only_verilog_files() {
+        let u = universe(80, 11);
+        let api = GithubApi::new(&u);
+        let output = Scraper::new(ScraperConfig::default()).run(&api).unwrap();
+        assert_eq!(output.report.repositories_cloned, 80);
+        assert_eq!(
+            output.report.verilog_files_extracted,
+            u.stats().verilog_files
+        );
+        assert_eq!(output.files.len(), u.stats().verilog_files);
+        assert!(output.report.files_seen > output.report.verilog_files_extracted);
+        for file in &output.files {
+            assert!(file.path.ends_with(".v"));
+        }
+    }
+
+    #[test]
+    fn rate_limits_are_waited_out_not_fatal() {
+        let u = universe(120, 13);
+        let api = GithubApi::with_rate_limit(&u, 5);
+        let output = Scraper::new(ScraperConfig::default()).run(&api).unwrap();
+        assert_eq!(output.report.repositories_cloned, 120);
+        assert!(output.report.rate_limit_waits > 0);
+        assert!(api.usage().rate_limit_resets > 0);
+    }
+
+    #[test]
+    fn oversized_universes_force_query_granularisation() {
+        let u = universe(1500, 17);
+        let api = GithubApi::with_rate_limit(&u, 100_000);
+        let output = Scraper::new(ScraperConfig::default()).run(&api).unwrap();
+        assert_eq!(output.report.repositories_cloned, 1500);
+        assert!(
+            output.report.queries_over_cap > 0,
+            "the 1000-result cap should have been hit at least once"
+        );
+        assert!(output.report.queries_issued > 15);
+    }
+
+    #[test]
+    fn accepted_license_only_scrape_excludes_unlicensed_repos() {
+        let u = universe(200, 19);
+        let api = GithubApi::with_rate_limit(&u, 100_000);
+        let output = Scraper::new(ScraperConfig {
+            accepted_licenses_only: true,
+            ..Default::default()
+        })
+        .run(&api)
+        .unwrap();
+        assert!(output.report.repositories_cloned < 200);
+        for file in &output.files {
+            assert!(file.repo_license.is_accepted_open_source());
+        }
+    }
+
+    #[test]
+    fn provenance_is_preserved() {
+        let u = universe(30, 23);
+        let api = GithubApi::new(&u);
+        let output = Scraper::new(ScraperConfig::default()).run(&api).unwrap();
+        for file in &output.files {
+            let repo = u.repository(file.repo_id).unwrap();
+            assert_eq!(repo.full_name, file.repo_full_name);
+            assert_eq!(repo.owner, file.owner);
+            assert_eq!(repo.license, file.repo_license);
+        }
+    }
+}

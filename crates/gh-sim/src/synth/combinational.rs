@@ -1,0 +1,167 @@
+//! Generators for combinational datapath blocks.
+
+use rand::Rng;
+
+/// Ripple/behavioural adder with optional carry ports.
+pub(crate) fn adder<R: Rng>(name: &str, width: u32, rng: &mut R) -> String {
+    let with_carry_in = rng.gen_bool(0.5);
+    let cin_port = if with_carry_in { ", input cin" } else { "" };
+    let cin_term = if with_carry_in { " + cin" } else { "" };
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput [WIDTH-1:0] a,\n\
+         \tinput [WIDTH-1:0] b{cin_port},\n\
+         \toutput [WIDTH-1:0] sum,\n\
+         \toutput carry\n\
+         );\n\
+         \twire [WIDTH:0] full;\n\
+         \tassign full = a + b{cin_term};\n\
+         \tassign sum = full[WIDTH-1:0];\n\
+         \tassign carry = full[WIDTH];\n\
+         endmodule\n"
+    )
+}
+
+/// A small ALU selecting among arithmetic and logic operations.
+pub(crate) fn alu<R: Rng>(name: &str, width: u32, rng: &mut R) -> String {
+    let with_flags = rng.gen_bool(0.5);
+    let flag_ports = if with_flags {
+        ",\n\toutput zero,\n\toutput negative"
+    } else {
+        ""
+    };
+    let flag_assigns = if with_flags {
+        "\tassign zero = (result == 0);\n\tassign negative = result[WIDTH-1];\n"
+    } else {
+        ""
+    };
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput [WIDTH-1:0] a,\n\
+         \tinput [WIDTH-1:0] b,\n\
+         \tinput [2:0] op,\n\
+         \toutput reg [WIDTH-1:0] result{flag_ports}\n\
+         );\n\
+         \talways @* begin\n\
+         \t\tcase (op)\n\
+         \t\t\t3'd0: result = a + b;\n\
+         \t\t\t3'd1: result = a - b;\n\
+         \t\t\t3'd2: result = a & b;\n\
+         \t\t\t3'd3: result = a | b;\n\
+         \t\t\t3'd4: result = a ^ b;\n\
+         \t\t\t3'd5: result = ~a;\n\
+         \t\t\t3'd6: result = a << 1;\n\
+         \t\t\tdefault: result = a >> 1;\n\
+         \t\tendcase\n\
+         \tend\n\
+         {flag_assigns}endmodule\n"
+    )
+}
+
+/// An N-to-1 multiplexer (2 or 4 way).
+pub(crate) fn mux<R: Rng>(name: &str, width: u32, rng: &mut R) -> String {
+    if rng.gen_bool(0.5) {
+        format!(
+            "module {name} #(parameter WIDTH = {width}) (\n\
+             \tinput [WIDTH-1:0] d0,\n\
+             \tinput [WIDTH-1:0] d1,\n\
+             \tinput sel,\n\
+             \toutput [WIDTH-1:0] y\n\
+             );\n\
+             \tassign y = sel ? d1 : d0;\n\
+             endmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} #(parameter WIDTH = {width}) (\n\
+             \tinput [WIDTH-1:0] d0,\n\
+             \tinput [WIDTH-1:0] d1,\n\
+             \tinput [WIDTH-1:0] d2,\n\
+             \tinput [WIDTH-1:0] d3,\n\
+             \tinput [1:0] sel,\n\
+             \toutput reg [WIDTH-1:0] y\n\
+             );\n\
+             \talways @* begin\n\
+             \t\tcase (sel)\n\
+             \t\t\t2'd0: y = d0;\n\
+             \t\t\t2'd1: y = d1;\n\
+             \t\t\t2'd2: y = d2;\n\
+             \t\t\tdefault: y = d3;\n\
+             \t\tendcase\n\
+             \tend\n\
+             endmodule\n"
+        )
+    }
+}
+
+/// A binary decoder (2-to-4 or 3-to-8) with enable.
+pub(crate) fn decoder<R: Rng>(name: &str, rng: &mut R) -> String {
+    let (in_bits, out_bits): (u32, u32) = if rng.gen_bool(0.5) { (2, 4) } else { (3, 8) };
+    let mut arms = String::new();
+    for i in 0..out_bits {
+        arms.push_str(&format!(
+            "\t\t\t{in_bits}'d{i}: y = {out_bits}'d{};\n",
+            1u32 << i
+        ));
+    }
+    format!(
+        "module {name} (\n\
+         \tinput [{msb}:0] sel,\n\
+         \tinput en,\n\
+         \toutput reg [{omsb}:0] y\n\
+         );\n\
+         \talways @* begin\n\
+         \t\tif (!en) y = 0;\n\
+         \t\telse case (sel)\n\
+         {arms}\
+         \t\t\tdefault: y = 0;\n\
+         \t\tendcase\n\
+         \tend\n\
+         endmodule\n",
+        msb = in_bits - 1,
+        omsb = out_bits - 1,
+    )
+}
+
+/// Even/odd parity generator.
+pub(crate) fn parity(name: &str, width: u32) -> String {
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput [WIDTH-1:0] data,\n\
+         \toutput even_parity,\n\
+         \toutput odd_parity\n\
+         );\n\
+         \tassign odd_parity = ^data;\n\
+         \tassign even_parity = ~^data;\n\
+         endmodule\n"
+    )
+}
+
+/// Binary-to-Gray and Gray-to-binary converter.
+pub(crate) fn gray_code(name: &str, width: u32) -> String {
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput [WIDTH-1:0] bin,\n\
+         \toutput [WIDTH-1:0] gray\n\
+         );\n\
+         \tassign gray = bin ^ (bin >> 1);\n\
+         endmodule\n"
+    )
+}
+
+/// Magnitude comparator.
+pub(crate) fn comparator(name: &str, width: u32) -> String {
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput [WIDTH-1:0] a,\n\
+         \tinput [WIDTH-1:0] b,\n\
+         \toutput lt,\n\
+         \toutput eq,\n\
+         \toutput gt\n\
+         );\n\
+         \tassign lt = (a < b);\n\
+         \tassign eq = (a == b);\n\
+         \tassign gt = (a > b);\n\
+         endmodule\n"
+    )
+}

@@ -1,0 +1,323 @@
+//! Generators for FSMs, protocol blocks, testbenches and top-level
+//! integrations.
+
+use rand::Rng;
+
+/// Classic three-state traffic-light controller.
+pub(crate) fn traffic_light_fsm<R: Rng>(name: &str, rng: &mut R) -> String {
+    let green_ticks = rng.gen_range(4..=12);
+    let yellow_ticks = rng.gen_range(2..=4);
+    format!(
+        "module {name} (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \toutput reg red,\n\
+         \toutput reg yellow,\n\
+         \toutput reg green\n\
+         );\n\
+         \tlocalparam S_RED = 2'd0;\n\
+         \tlocalparam S_GREEN = 2'd1;\n\
+         \tlocalparam S_YELLOW = 2'd2;\n\
+         \tlocalparam GREEN_TICKS = {green_ticks};\n\
+         \tlocalparam YELLOW_TICKS = {yellow_ticks};\n\
+         \treg [1:0] state;\n\
+         \treg [3:0] timer;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tstate <= S_RED;\n\
+         \t\t\ttimer <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\ttimer <= timer + 1;\n\
+         \t\t\tcase (state)\n\
+         \t\t\t\tS_RED: if (timer >= GREEN_TICKS) begin state <= S_GREEN; timer <= 0; end\n\
+         \t\t\t\tS_GREEN: if (timer >= GREEN_TICKS) begin state <= S_YELLOW; timer <= 0; end\n\
+         \t\t\t\tS_YELLOW: if (timer >= YELLOW_TICKS) begin state <= S_RED; timer <= 0; end\n\
+         \t\t\t\tdefault: state <= S_RED;\n\
+         \t\t\tendcase\n\
+         \t\tend\n\
+         \tend\n\
+         \talways @* begin\n\
+         \t\tred = (state == S_RED);\n\
+         \t\tyellow = (state == S_YELLOW);\n\
+         \t\tgreen = (state == S_GREEN);\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// Valid/ready handshake buffer (one-entry skid buffer).
+pub(crate) fn handshake_fsm(name: &str) -> String {
+    format!(
+        "module {name} #(parameter WIDTH = 8) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput in_valid,\n\
+         \toutput in_ready,\n\
+         \tinput [WIDTH-1:0] in_data,\n\
+         \toutput reg out_valid,\n\
+         \tinput out_ready,\n\
+         \toutput reg [WIDTH-1:0] out_data\n\
+         );\n\
+         \tassign in_ready = !out_valid || out_ready;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tout_valid <= 1'b0;\n\
+         \t\t\tout_data <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\tif (in_valid && in_ready) begin\n\
+         \t\t\t\tout_valid <= 1'b1;\n\
+         \t\t\t\tout_data <= in_data;\n\
+         \t\t\tend else if (out_ready) begin\n\
+         \t\t\t\tout_valid <= 1'b0;\n\
+         \t\t\tend\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// UART transmitter with a configurable clock divider.
+pub(crate) fn uart_tx<R: Rng>(name: &str, rng: &mut R) -> String {
+    let divider = [434, 868, 1736, 217][rng.gen_range(0..4usize)];
+    format!(
+        "module {name} #(parameter CLKS_PER_BIT = {divider}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput tx_start,\n\
+         \tinput [7:0] tx_data,\n\
+         \toutput reg txd,\n\
+         \toutput reg busy\n\
+         );\n\
+         \tlocalparam S_IDLE = 2'd0;\n\
+         \tlocalparam S_START = 2'd1;\n\
+         \tlocalparam S_DATA = 2'd2;\n\
+         \tlocalparam S_STOP = 2'd3;\n\
+         \treg [1:0] state;\n\
+         \treg [15:0] clk_count;\n\
+         \treg [2:0] bit_index;\n\
+         \treg [7:0] shift;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tstate <= S_IDLE;\n\
+         \t\t\ttxd <= 1'b1;\n\
+         \t\t\tbusy <= 1'b0;\n\
+         \t\t\tclk_count <= 0;\n\
+         \t\t\tbit_index <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\tcase (state)\n\
+         \t\t\t\tS_IDLE: begin\n\
+         \t\t\t\t\ttxd <= 1'b1;\n\
+         \t\t\t\t\tif (tx_start) begin\n\
+         \t\t\t\t\t\tshift <= tx_data;\n\
+         \t\t\t\t\t\tbusy <= 1'b1;\n\
+         \t\t\t\t\t\tstate <= S_START;\n\
+         \t\t\t\t\t\tclk_count <= 0;\n\
+         \t\t\t\t\tend\n\
+         \t\t\t\tend\n\
+         \t\t\t\tS_START: begin\n\
+         \t\t\t\t\ttxd <= 1'b0;\n\
+         \t\t\t\t\tif (clk_count < CLKS_PER_BIT - 1) clk_count <= clk_count + 1;\n\
+         \t\t\t\t\telse begin clk_count <= 0; state <= S_DATA; bit_index <= 0; end\n\
+         \t\t\t\tend\n\
+         \t\t\t\tS_DATA: begin\n\
+         \t\t\t\t\ttxd <= shift[bit_index];\n\
+         \t\t\t\t\tif (clk_count < CLKS_PER_BIT - 1) clk_count <= clk_count + 1;\n\
+         \t\t\t\t\telse begin\n\
+         \t\t\t\t\t\tclk_count <= 0;\n\
+         \t\t\t\t\t\tif (bit_index < 7) bit_index <= bit_index + 1;\n\
+         \t\t\t\t\t\telse state <= S_STOP;\n\
+         \t\t\t\t\tend\n\
+         \t\t\t\tend\n\
+         \t\t\t\tdefault: begin\n\
+         \t\t\t\t\ttxd <= 1'b1;\n\
+         \t\t\t\t\tif (clk_count < CLKS_PER_BIT - 1) clk_count <= clk_count + 1;\n\
+         \t\t\t\t\telse begin busy <= 1'b0; state <= S_IDLE; clk_count <= 0; end\n\
+         \t\t\t\tend\n\
+         \t\t\tendcase\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// UART receiver with majority sampling at mid-bit.
+pub(crate) fn uart_rx<R: Rng>(name: &str, rng: &mut R) -> String {
+    let divider = [434, 868, 1736][rng.gen_range(0..3usize)];
+    format!(
+        "module {name} #(parameter CLKS_PER_BIT = {divider}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput rxd,\n\
+         \toutput reg [7:0] rx_data,\n\
+         \toutput reg rx_done\n\
+         );\n\
+         \tlocalparam S_IDLE = 2'd0;\n\
+         \tlocalparam S_START = 2'd1;\n\
+         \tlocalparam S_DATA = 2'd2;\n\
+         \tlocalparam S_STOP = 2'd3;\n\
+         \treg [1:0] state;\n\
+         \treg [15:0] clk_count;\n\
+         \treg [2:0] bit_index;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tstate <= S_IDLE;\n\
+         \t\t\trx_done <= 1'b0;\n\
+         \t\t\tclk_count <= 0;\n\
+         \t\t\tbit_index <= 0;\n\
+         \t\t\trx_data <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\trx_done <= 1'b0;\n\
+         \t\t\tcase (state)\n\
+         \t\t\t\tS_IDLE: if (!rxd) begin state <= S_START; clk_count <= 0; end\n\
+         \t\t\t\tS_START: begin\n\
+         \t\t\t\t\tif (clk_count == (CLKS_PER_BIT - 1) / 2) begin\n\
+         \t\t\t\t\t\tif (!rxd) begin state <= S_DATA; clk_count <= 0; bit_index <= 0; end\n\
+         \t\t\t\t\t\telse state <= S_IDLE;\n\
+         \t\t\t\t\tend else clk_count <= clk_count + 1;\n\
+         \t\t\t\tend\n\
+         \t\t\t\tS_DATA: begin\n\
+         \t\t\t\t\tif (clk_count < CLKS_PER_BIT - 1) clk_count <= clk_count + 1;\n\
+         \t\t\t\t\telse begin\n\
+         \t\t\t\t\t\tclk_count <= 0;\n\
+         \t\t\t\t\t\trx_data[bit_index] <= rxd;\n\
+         \t\t\t\t\t\tif (bit_index < 7) bit_index <= bit_index + 1;\n\
+         \t\t\t\t\t\telse state <= S_STOP;\n\
+         \t\t\t\t\tend\n\
+         \t\t\t\tend\n\
+         \t\t\t\tdefault: begin\n\
+         \t\t\t\t\tif (clk_count < CLKS_PER_BIT - 1) clk_count <= clk_count + 1;\n\
+         \t\t\t\t\telse begin rx_done <= 1'b1; state <= S_IDLE; clk_count <= 0; end\n\
+         \t\t\t\tend\n\
+         \t\t\tendcase\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// SPI master (mode 0) shifting MSB first.
+pub(crate) fn spi_master(name: &str, width: u32) -> String {
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput start,\n\
+         \tinput [WIDTH-1:0] mosi_data,\n\
+         \toutput reg [WIDTH-1:0] miso_data,\n\
+         \tinput miso,\n\
+         \toutput reg mosi,\n\
+         \toutput reg sclk,\n\
+         \toutput reg cs_n,\n\
+         \toutput reg done\n\
+         );\n\
+         \treg [7:0] bit_count;\n\
+         \treg [WIDTH-1:0] shift;\n\
+         \treg active;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tsclk <= 1'b0;\n\
+         \t\t\tcs_n <= 1'b1;\n\
+         \t\t\tdone <= 1'b0;\n\
+         \t\t\tactive <= 1'b0;\n\
+         \t\t\tbit_count <= 0;\n\
+         \t\t\tmosi <= 1'b0;\n\
+         \t\t\tmiso_data <= 0;\n\
+         \t\t\tshift <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\tdone <= 1'b0;\n\
+         \t\t\tif (start && !active) begin\n\
+         \t\t\t\tactive <= 1'b1;\n\
+         \t\t\t\tcs_n <= 1'b0;\n\
+         \t\t\t\tshift <= mosi_data;\n\
+         \t\t\t\tbit_count <= 0;\n\
+         \t\t\tend else if (active) begin\n\
+         \t\t\t\tsclk <= ~sclk;\n\
+         \t\t\t\tif (!sclk) begin\n\
+         \t\t\t\t\tmosi <= shift[WIDTH-1];\n\
+         \t\t\t\tend else begin\n\
+         \t\t\t\t\tshift <= {{shift[WIDTH-2:0], miso}};\n\
+         \t\t\t\t\tbit_count <= bit_count + 1;\n\
+         \t\t\t\t\tif (bit_count == WIDTH - 1) begin\n\
+         \t\t\t\t\t\tactive <= 1'b0;\n\
+         \t\t\t\t\t\tcs_n <= 1'b1;\n\
+         \t\t\t\t\t\tdone <= 1'b1;\n\
+         \t\t\t\t\t\tmiso_data <= {{shift[WIDTH-2:0], miso}};\n\
+         \t\t\t\t\tend\n\
+         \t\t\t\tend\n\
+         \t\t\tend\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// A simple self-checking testbench skeleton (the kind of file the paper's
+/// quality discussion worries about biasing a training set).
+pub(crate) fn testbench(name: &str, width: u32) -> String {
+    format!(
+        "module {name};\n\
+         \treg clk;\n\
+         \treg rst;\n\
+         \treg [{msb}:0] stimulus;\n\
+         \twire [{msb}:0] response;\n\
+         \tinitial begin\n\
+         \t\tclk = 0;\n\
+         \t\trst = 1;\n\
+         \t\tstimulus = 0;\n\
+         \t\t#20 rst = 0;\n\
+         \t\t#100 $finish;\n\
+         \tend\n\
+         \tinitial begin\n\
+         \t\t$dumpfile(\"{name}.vcd\");\n\
+         \t\t$dumpvars(0, {name});\n\
+         \tend\n\
+         \tdut_core u_dut (\n\
+         \t\t.clk(clk),\n\
+         \t\t.rst(rst),\n\
+         \t\t.din(stimulus),\n\
+         \t\t.dout(response)\n\
+         \t);\n\
+         endmodule\n",
+        msb = width - 1
+    )
+}
+
+/// A top-level module instantiating several sub-blocks (some of which live in
+/// other files of the repository, so the syntax checker must tolerate the
+/// unresolved references).
+pub(crate) fn top_integration<R: Rng>(name: &str, width: u32, rng: &mut R) -> String {
+    let sub_count = rng.gen_range(2..=4);
+    let mut wires = String::new();
+    let mut instances = String::new();
+    for i in 0..sub_count {
+        wires.push_str(&format!("\twire [{}:0] stage{i}_out;\n", width - 1));
+        let source = if i == 0 {
+            "data_in".to_string()
+        } else {
+            format!("stage{}_out", i - 1)
+        };
+        instances.push_str(&format!(
+            "\tprocessing_stage #(.WIDTH({width})) u_stage{i} (\n\
+             \t\t.clk(clk),\n\
+             \t\t.rst(rst),\n\
+             \t\t.din({source}),\n\
+             \t\t.dout(stage{i}_out)\n\
+             \t);\n"
+        ));
+    }
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput [WIDTH-1:0] data_in,\n\
+         \toutput [WIDTH-1:0] data_out,\n\
+         \toutput valid\n\
+         );\n\
+         {wires}\
+         {instances}\
+         \tassign data_out = stage{last}_out;\n\
+         \tassign valid = |stage{last}_out;\n\
+         endmodule\n",
+        last = sub_count - 1
+    )
+}

@@ -1,0 +1,254 @@
+//! Generators for clocked datapath and storage blocks.
+
+use rand::Rng;
+
+/// Up/down or up-only counter with synchronous reset and enable.
+pub(crate) fn counter<R: Rng>(name: &str, width: u32, rng: &mut R) -> String {
+    if rng.gen_bool(0.5) {
+        format!(
+            "module {name} #(parameter WIDTH = {width}) (\n\
+             \tinput clk,\n\
+             \tinput rst,\n\
+             \tinput en,\n\
+             \toutput reg [WIDTH-1:0] count\n\
+             );\n\
+             \talways @(posedge clk) begin\n\
+             \t\tif (rst)\n\
+             \t\t\tcount <= 0;\n\
+             \t\telse if (en)\n\
+             \t\t\tcount <= count + 1;\n\
+             \tend\n\
+             endmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} #(parameter WIDTH = {width}) (\n\
+             \tinput clk,\n\
+             \tinput rst,\n\
+             \tinput up,\n\
+             \tinput down,\n\
+             \toutput reg [WIDTH-1:0] count,\n\
+             \toutput wrap\n\
+             );\n\
+             \tassign wrap = (count == {{WIDTH{{1'b1}}}});\n\
+             \talways @(posedge clk) begin\n\
+             \t\tif (rst)\n\
+             \t\t\tcount <= 0;\n\
+             \t\telse if (up && !down)\n\
+             \t\t\tcount <= count + 1;\n\
+             \t\telse if (down && !up)\n\
+             \t\t\tcount <= count - 1;\n\
+             \tend\n\
+             endmodule\n"
+        )
+    }
+}
+
+/// Serial-in parallel-out or parallel-load shift register.
+pub(crate) fn shift_register<R: Rng>(name: &str, width: u32, rng: &mut R) -> String {
+    if rng.gen_bool(0.5) {
+        format!(
+            "module {name} #(parameter WIDTH = {width}) (\n\
+             \tinput clk,\n\
+             \tinput rst,\n\
+             \tinput din,\n\
+             \toutput reg [WIDTH-1:0] q\n\
+             );\n\
+             \talways @(posedge clk) begin\n\
+             \t\tif (rst)\n\
+             \t\t\tq <= 0;\n\
+             \t\telse\n\
+             \t\t\tq <= {{q[WIDTH-2:0], din}};\n\
+             \tend\n\
+             endmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} #(parameter WIDTH = {width}) (\n\
+             \tinput clk,\n\
+             \tinput load,\n\
+             \tinput [WIDTH-1:0] d,\n\
+             \tinput shift_en,\n\
+             \toutput reg [WIDTH-1:0] q,\n\
+             \toutput serial_out\n\
+             );\n\
+             \tassign serial_out = q[WIDTH-1];\n\
+             \talways @(posedge clk) begin\n\
+             \t\tif (load)\n\
+             \t\t\tq <= d;\n\
+             \t\telse if (shift_en)\n\
+             \t\t\tq <= {{q[WIDTH-2:0], 1'b0}};\n\
+             \tend\n\
+             endmodule\n"
+        )
+    }
+}
+
+/// Rising/falling edge detector.
+pub(crate) fn edge_detector(name: &str) -> String {
+    format!(
+        "module {name} (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput sig,\n\
+         \toutput rise,\n\
+         \toutput fall\n\
+         );\n\
+         \treg sig_d;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst)\n\
+         \t\t\tsig_d <= 1'b0;\n\
+         \t\telse\n\
+         \t\t\tsig_d <= sig;\n\
+         \tend\n\
+         \tassign rise = sig & ~sig_d;\n\
+         \tassign fall = ~sig & sig_d;\n\
+         endmodule\n"
+    )
+}
+
+/// Push-button debouncer with a counter threshold.
+pub(crate) fn debouncer<R: Rng>(name: &str, rng: &mut R) -> String {
+    let bits = rng.gen_range(8..=20);
+    format!(
+        "module {name} #(parameter CNT_BITS = {bits}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput noisy,\n\
+         \toutput reg clean\n\
+         );\n\
+         \treg [CNT_BITS-1:0] counter;\n\
+         \treg sync_0, sync_1;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tsync_0 <= noisy;\n\
+         \t\tsync_1 <= sync_0;\n\
+         \tend\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tcounter <= 0;\n\
+         \t\t\tclean <= 1'b0;\n\
+         \t\tend else if (sync_1 == clean) begin\n\
+         \t\t\tcounter <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\tcounter <= counter + 1;\n\
+         \t\t\tif (counter == {{CNT_BITS{{1'b1}}}})\n\
+         \t\t\t\tclean <= sync_1;\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// PWM generator with a programmable duty cycle.
+pub(crate) fn pwm(name: &str, width: u32) -> String {
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput [WIDTH-1:0] duty,\n\
+         \toutput reg pwm_out\n\
+         );\n\
+         \treg [WIDTH-1:0] counter;\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\tcounter <= 0;\n\
+         \t\t\tpwm_out <= 1'b0;\n\
+         \t\tend else begin\n\
+         \t\t\tcounter <= counter + 1;\n\
+         \t\t\tpwm_out <= (counter < duty);\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// Synchronous FIFO with full/empty flags.
+pub(crate) fn fifo(name: &str, width: u32, depth: u32) -> String {
+    let depth = depth.max(4);
+    let addr_bits = 32 - (depth - 1).leading_zeros();
+    format!(
+        "module {name} #(parameter WIDTH = {width}, parameter DEPTH = {depth}, parameter ADDR = {addr_bits}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput wr_en,\n\
+         \tinput rd_en,\n\
+         \tinput [WIDTH-1:0] din,\n\
+         \toutput [WIDTH-1:0] dout,\n\
+         \toutput full,\n\
+         \toutput empty\n\
+         );\n\
+         \treg [WIDTH-1:0] mem [0:DEPTH-1];\n\
+         \treg [ADDR:0] wr_ptr;\n\
+         \treg [ADDR:0] rd_ptr;\n\
+         \twire [ADDR-1:0] wr_addr;\n\
+         \twire [ADDR-1:0] rd_addr;\n\
+         \tassign wr_addr = wr_ptr[ADDR-1:0];\n\
+         \tassign rd_addr = rd_ptr[ADDR-1:0];\n\
+         \tassign empty = (wr_ptr == rd_ptr);\n\
+         \tassign full = (wr_ptr[ADDR-1:0] == rd_ptr[ADDR-1:0]) && (wr_ptr[ADDR] != rd_ptr[ADDR]);\n\
+         \tassign dout = mem[rd_addr];\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst) begin\n\
+         \t\t\twr_ptr <= 0;\n\
+         \t\t\trd_ptr <= 0;\n\
+         \t\tend else begin\n\
+         \t\t\tif (wr_en && !full) begin\n\
+         \t\t\t\tmem[wr_addr] <= din;\n\
+         \t\t\t\twr_ptr <= wr_ptr + 1;\n\
+         \t\t\tend\n\
+         \t\t\tif (rd_en && !empty) begin\n\
+         \t\t\t\trd_ptr <= rd_ptr + 1;\n\
+         \t\t\tend\n\
+         \t\tend\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// Dual-read-port register file with write enable.
+pub(crate) fn register_file(name: &str, width: u32, depth: u32) -> String {
+    let depth = depth.max(4);
+    let addr_bits = 32 - (depth - 1).leading_zeros();
+    format!(
+        "module {name} #(parameter WIDTH = {width}, parameter DEPTH = {depth}, parameter ADDR = {addr_bits}) (\n\
+         \tinput clk,\n\
+         \tinput we,\n\
+         \tinput [ADDR-1:0] waddr,\n\
+         \tinput [WIDTH-1:0] wdata,\n\
+         \tinput [ADDR-1:0] raddr_a,\n\
+         \tinput [ADDR-1:0] raddr_b,\n\
+         \toutput [WIDTH-1:0] rdata_a,\n\
+         \toutput [WIDTH-1:0] rdata_b\n\
+         );\n\
+         \treg [WIDTH-1:0] regs [0:DEPTH-1];\n\
+         \tassign rdata_a = regs[raddr_a];\n\
+         \tassign rdata_b = regs[raddr_b];\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (we)\n\
+         \t\t\tregs[waddr] <= wdata;\n\
+         \tend\n\
+         endmodule\n"
+    )
+}
+
+/// Fibonacci LFSR pseudo-random generator.
+pub(crate) fn lfsr(name: &str, width: u32) -> String {
+    let width = width.clamp(4, 32);
+    format!(
+        "module {name} #(parameter WIDTH = {width}) (\n\
+         \tinput clk,\n\
+         \tinput rst,\n\
+         \tinput en,\n\
+         \toutput reg [WIDTH-1:0] lfsr_out\n\
+         );\n\
+         \twire feedback;\n\
+         \tassign feedback = lfsr_out[WIDTH-1] ^ lfsr_out[WIDTH-2];\n\
+         \talways @(posedge clk) begin\n\
+         \t\tif (rst)\n\
+         \t\t\tlfsr_out <= {{{{WIDTH-1{{1'b0}}}}, 1'b1}};\n\
+         \t\telse if (en)\n\
+         \t\t\tlfsr_out <= {{lfsr_out[WIDTH-2:0], feedback}};\n\
+         \tend\n\
+         endmodule\n"
+    )
+}

@@ -1,0 +1,331 @@
+//! Backoff n-gram statistics and the base [`NgramModel`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Distribution, LanguageModel, TrainConfig};
+use crate::tokenizer::{HdlTokenizer, TokenId};
+
+/// Counts for one observed context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+struct ContextEntry {
+    total: u64,
+    next: HashMap<TokenId, u64>,
+}
+
+/// n-gram count tables for context lengths `0..order`.
+///
+/// Prediction uses *stupid backoff*: the longest context with observations
+/// supplies the distribution; shorter contexts are consulted (with a fixed
+/// discount) only when longer ones are silent. This is the behaviour that
+/// makes duplicated training spans get reproduced verbatim — the property the
+/// copyright benchmark measures.
+///
+/// Contexts are stored by 64-bit fingerprint rather than by token sequence,
+/// which keeps high-order tables (the orders that give the model its
+/// long-range coherence) compact; fingerprint collisions are negligible at
+/// the corpus sizes involved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NgramCounts {
+    order: usize,
+    tables: Vec<HashMap<u64, ContextEntry>>,
+    backoff: f64,
+    trained_tokens: u64,
+}
+
+/// FNV-1a fingerprint of a context window.
+fn context_fingerprint(context: &[TokenId]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for token in context {
+        for byte in token.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+impl NgramCounts {
+    /// Creates empty count tables of the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero.
+    pub fn new(order: usize) -> Self {
+        assert!(order > 0, "n-gram order must be positive");
+        Self {
+            order,
+            tables: vec![HashMap::new(); order],
+            backoff: 0.4,
+            trained_tokens: 0,
+        }
+    }
+
+    /// The n-gram order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Total number of training tokens observed.
+    pub fn trained_tokens(&self) -> u64 {
+        self.trained_tokens
+    }
+
+    /// Number of distinct contexts stored across all orders.
+    pub fn context_count(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+
+    /// Accumulates counts from one token sequence.
+    pub fn observe_sequence(&mut self, ids: &[TokenId]) {
+        for (pos, &token) in ids.iter().enumerate() {
+            self.trained_tokens += 1;
+            for ctx_len in 0..self.order {
+                if pos < ctx_len {
+                    continue;
+                }
+                let fingerprint = context_fingerprint(&ids[pos - ctx_len..pos]);
+                let entry = self.tables[ctx_len].entry(fingerprint).or_default();
+                entry.total += 1;
+                *entry.next.entry(token).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Predictive distribution for `context` from the longest matching
+    /// context, backing off to shorter ones when nothing was observed.
+    pub fn distribution(&self, context: &[TokenId]) -> Distribution {
+        let max_ctx = self.order - 1;
+        for ctx_len in (0..=max_ctx.min(context.len())).rev() {
+            let key = context_fingerprint(&context[context.len() - ctx_len..]);
+            if let Some(entry) = self.tables[ctx_len].get(&key) {
+                let weights = entry
+                    .next
+                    .iter()
+                    .map(|(t, c)| (*t, *c as f64))
+                    .collect::<Vec<_>>();
+                return Distribution::from_weights(weights);
+            }
+        }
+        Distribution::default()
+    }
+
+    /// Stupid-backoff score of `token` following `context` (a probability-like
+    /// quantity in `(0, 1]`, not normalised across backoff levels).
+    pub fn score(&self, context: &[TokenId], token: TokenId) -> f64 {
+        let max_ctx = self.order - 1;
+        let mut discount = 1.0;
+        for ctx_len in (0..=max_ctx.min(context.len())).rev() {
+            let key = context_fingerprint(&context[context.len() - ctx_len..]);
+            if let Some(entry) = self.tables[ctx_len].get(&key) {
+                if let Some(count) = entry.next.get(&token) {
+                    return discount * (*count as f64) / (entry.total as f64);
+                }
+            }
+            discount *= self.backoff;
+        }
+        1e-9
+    }
+}
+
+/// A base n-gram language model: a tokenizer plus count tables.
+///
+/// # Example
+///
+/// ```
+/// use hwlm::{LanguageModel, NgramModel, SamplerConfig, TrainConfig};
+/// use rand::SeedableRng;
+///
+/// let corpus = vec!["module t(input a, output y); assign y = a; endmodule".to_string()];
+/// let model = NgramModel::train(&corpus, &TrainConfig::default());
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let out = model.generate_text("module t(input a, output y);", 24, &SamplerConfig::greedy(), &mut rng);
+/// assert!(out.contains("endmodule"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NgramModel {
+    name: String,
+    tokenizer: HdlTokenizer,
+    counts: NgramCounts,
+}
+
+impl NgramModel {
+    /// Trains a model on a corpus of documents.
+    pub fn train<S: AsRef<str>>(corpus: &[S], config: &TrainConfig) -> Self {
+        Self::train_named("ngram-base", corpus, config)
+    }
+
+    /// Trains a model with an explicit report name.
+    pub fn train_named<S: AsRef<str>>(
+        name: impl Into<String>,
+        corpus: &[S],
+        config: &TrainConfig,
+    ) -> Self {
+        let tokenizer = HdlTokenizer::fit(corpus, config.min_token_count);
+        let mut counts = NgramCounts::new(config.order);
+        for doc in corpus {
+            let mut ids = tokenizer.encode_document(doc.as_ref());
+            ids.truncate(config.max_seq_len.max(2));
+            counts.observe_sequence(&ids);
+        }
+        Self {
+            name: name.into(),
+            tokenizer,
+            counts,
+        }
+    }
+
+    /// Builds a model from pre-existing parts (used by the adapter machinery).
+    pub fn from_parts(name: impl Into<String>, tokenizer: HdlTokenizer, counts: NgramCounts) -> Self {
+        Self {
+            name: name.into(),
+            tokenizer,
+            counts,
+        }
+    }
+
+    /// The underlying count tables.
+    pub fn counts(&self) -> &NgramCounts {
+        &self.counts
+    }
+}
+
+impl LanguageModel for NgramModel {
+    fn tokenizer(&self) -> &HdlTokenizer {
+        &self.tokenizer
+    }
+
+    fn distribution(&self, context: &[TokenId]) -> Distribution {
+        self.counts.distribution(context)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn log_prob(&self, context: &[TokenId], token: TokenId) -> f64 {
+        self.counts.score(context, token).max(1e-10).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::SamplerConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "module and2(input a, input b, output y);\nassign y = a & b;\nendmodule".to_string(),
+            "module or2(input a, input b, output y);\nassign y = a | b;\nendmodule".to_string(),
+            "module xor2(input a, input b, output y);\nassign y = a ^ b;\nendmodule".to_string(),
+        ]
+    }
+
+    #[test]
+    fn counts_accumulate_and_report_sizes() {
+        let mut counts = NgramCounts::new(3);
+        counts.observe_sequence(&[1, 2, 3, 4]);
+        assert_eq!(counts.order(), 3);
+        assert_eq!(counts.trained_tokens(), 4);
+        assert!(counts.context_count() > 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_is_rejected() {
+        let _ = NgramCounts::new(0);
+    }
+
+    #[test]
+    fn longest_context_dominates_prediction() {
+        let mut counts = NgramCounts::new(3);
+        // After [5, 6] the next token is always 7; after just [6] it is
+        // usually 8.
+        counts.observe_sequence(&[5, 6, 7]);
+        counts.observe_sequence(&[9, 6, 8]);
+        counts.observe_sequence(&[10, 6, 8]);
+        let with_long_context = counts.distribution(&[5, 6]);
+        assert_eq!(with_long_context.argmax(), Some(7));
+        let with_short_context = counts.distribution(&[6]);
+        assert_eq!(with_short_context.argmax(), Some(8));
+    }
+
+    #[test]
+    fn unseen_context_backs_off_to_unigram() {
+        let mut counts = NgramCounts::new(3);
+        counts.observe_sequence(&[1, 2, 3]);
+        let d = counts.distribution(&[42, 43]);
+        assert!(!d.is_empty(), "unigram backoff should still offer tokens");
+    }
+
+    #[test]
+    fn score_prefers_observed_continuations() {
+        let mut counts = NgramCounts::new(3);
+        counts.observe_sequence(&[1, 2, 3, 1, 2, 3]);
+        assert!(counts.score(&[1, 2], 3) > counts.score(&[1, 2], 9));
+        assert!(counts.score(&[1, 2], 3) > 0.9);
+    }
+
+    #[test]
+    fn model_memorises_training_text_greedily() {
+        let model = NgramModel::train(&corpus(), &TrainConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = model.generate_text(
+            "module and2(input a, input b, output y);",
+            40,
+            &SamplerConfig::greedy(),
+            &mut rng,
+        );
+        assert!(out.contains("assign y = a & b"), "got: {out}");
+        assert!(out.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn generation_stops_at_endmodule() {
+        let model = NgramModel::train(&corpus(), &TrainConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = model.generate_text("module or2(input a, input b, output y);", 200,
+            &SamplerConfig::with_temperature(0.2), &mut rng);
+        assert_eq!(out.matches("endmodule").count(), 1);
+    }
+
+    #[test]
+    fn model_name_and_counts_are_accessible() {
+        let model = NgramModel::train_named("freev-test", &corpus(), &TrainConfig::default());
+        assert_eq!(LanguageModel::name(&model), "freev-test");
+        assert!(model.counts().trained_tokens() > 0);
+    }
+
+    #[test]
+    fn log_prob_is_higher_for_training_continuations() {
+        let model = NgramModel::train(&corpus(), &TrainConfig::default());
+        let ids = model.tokenizer().encode("assign y = a & b ;");
+        let context = &ids[..3];
+        let seen = ids[3];
+        let unseen = model.tokenizer().vocab().id("xor2");
+        assert!(model.log_prob(context, seen) > model.log_prob(context, unseen));
+    }
+
+    #[test]
+    fn max_seq_len_truncates_training_documents() {
+        let long_doc = vec!["a b c d e f g h i j k l m n o p".to_string()];
+        let full = NgramModel::train(
+            &long_doc,
+            &TrainConfig {
+                max_seq_len: 2048,
+                ..Default::default()
+            },
+        );
+        let truncated = NgramModel::train(
+            &long_doc,
+            &TrainConfig {
+                max_seq_len: 4,
+                ..Default::default()
+            },
+        );
+        assert!(truncated.counts().trained_tokens() < full.counts().trained_tokens());
+    }
+}

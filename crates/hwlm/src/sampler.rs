@@ -1,0 +1,86 @@
+//! Sampling configuration (temperature and top-k shaping).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Distribution;
+
+/// Controls how a predictive distribution is shaped before sampling.
+///
+/// The paper evaluates its models at temperatures 0.2 and 0.8 and keeps the
+/// best result, with generation capped at 2 048 tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Softmax temperature (0 = greedy).
+    pub temperature: f64,
+    /// Keep only the `top_k` most probable tokens (0 = no truncation).
+    pub top_k: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            temperature: 0.8,
+            top_k: 0,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Greedy decoding.
+    pub fn greedy() -> Self {
+        Self {
+            temperature: 0.0,
+            top_k: 1,
+        }
+    }
+
+    /// Sampling at the given temperature with no top-k truncation.
+    pub fn with_temperature(temperature: f64) -> Self {
+        Self {
+            temperature,
+            top_k: 0,
+        }
+    }
+
+    /// Applies top-k truncation and temperature to a distribution.
+    pub fn shape(&self, distribution: &Distribution) -> Distribution {
+        let truncated = if self.top_k > 0 {
+            distribution.top_k(self.top_k)
+        } else {
+            distribution.clone()
+        };
+        truncated.with_temperature(self.temperature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_shape_keeps_only_argmax() {
+        let d = Distribution::from_weights(vec![(1, 0.5), (2, 0.3), (3, 0.2)]);
+        let shaped = SamplerConfig::greedy().shape(&d);
+        assert_eq!(shaped.entries().len(), 1);
+        assert_eq!(shaped.argmax(), Some(1));
+    }
+
+    #[test]
+    fn default_is_temperature_point_eight() {
+        let s = SamplerConfig::default();
+        assert!((s.temperature - 0.8).abs() < 1e-12);
+        assert_eq!(s.top_k, 0);
+    }
+
+    #[test]
+    fn shaping_composes_top_k_then_temperature() {
+        let d = Distribution::from_weights(vec![(1, 0.5), (2, 0.3), (3, 0.2)]);
+        let s = SamplerConfig {
+            temperature: 1.0,
+            top_k: 2,
+        };
+        let shaped = s.shape(&d);
+        assert_eq!(shaped.entries().len(), 2);
+        assert_eq!(shaped.probability(3), 0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Code tokenisation and vocabulary management.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A token id in the model vocabulary.
+pub type TokenId = u32;
+
+/// Reserved id for the unknown token.
+pub const UNK: TokenId = 0;
+/// Reserved id for beginning-of-sequence.
+pub const BOS: TokenId = 1;
+/// Reserved id for end-of-sequence.
+pub const EOS: TokenId = 2;
+
+/// A fixed vocabulary mapping token strings to ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, TokenId>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates a vocabulary containing only the reserved tokens.
+    pub fn new() -> Self {
+        let mut v = Self::default();
+        for special in ["<unk>", "<bos>", "<eos>"] {
+            v.intern(special);
+        }
+        v
+    }
+
+    fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as TokenId;
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        id
+    }
+
+    /// Number of tokens in the vocabulary (including the reserved ones).
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Whether only the reserved tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= 3
+    }
+
+    /// Looks up the id of a token, returning [`UNK`] when absent.
+    pub fn id(&self, token: &str) -> TokenId {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Looks up the string of a token id.
+    pub fn token(&self, id: TokenId) -> &str {
+        self.id_to_token
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<unk>")
+    }
+}
+
+/// Multi-character operators kept as single tokens so decoded code parses.
+const MULTI_CHAR_OPERATORS: &[&str] = &[
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "<<", ">>", "&&", "||", "~^", "^~", "~&",
+    "~|", "**", "+:", "-:",
+];
+
+/// Tokeniser for hardware-description source code.
+///
+/// Splitting follows code structure: identifiers, numeric literals (including
+/// Verilog based literals), operators and punctuation each become one token,
+/// and a dedicated `<nl>` token preserves line structure so generated code
+/// keeps a plausible layout. A vocabulary is built with [`HdlTokenizer::fit`]
+/// from the training corpus; unseen tokens encode to `<unk>`.
+///
+/// # Example
+///
+/// ```
+/// use hwlm::HdlTokenizer;
+///
+/// let corpus = vec!["assign y = a & b;".to_string()];
+/// let tok = HdlTokenizer::fit(&corpus, 1);
+/// let ids = tok.encode("assign y = a & b;");
+/// let text = tok.decode(&ids);
+/// assert!(text.contains("assign y = a & b"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HdlTokenizer {
+    vocab: Vocabulary,
+}
+
+impl HdlTokenizer {
+    /// Splits raw text into surface token strings (no vocabulary involved).
+    pub fn split(text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                out.push("<nl>".to_string());
+                i += 1;
+            } else if c.is_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' || c == '$' || c == '`' {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                out.push(chars[start..i].iter().collect());
+            } else if c.is_ascii_digit()
+                || (c == '\'' && i + 1 < chars.len() && chars[i + 1].is_ascii_alphanumeric())
+            {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || chars[i] == '\''
+                        || chars[i] == '_'
+                        || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                out.push(chars[start..i].iter().collect());
+            } else {
+                let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                if let Some(op) = MULTI_CHAR_OPERATORS
+                    .iter()
+                    .find(|op| rest.starts_with(*op))
+                {
+                    out.push((*op).to_string());
+                    i += op.len();
+                } else {
+                    out.push(c.to_string());
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a tokeniser whose vocabulary contains every token that occurs
+    /// at least `min_count` times in `corpus`.
+    pub fn fit<S: AsRef<str>>(corpus: &[S], min_count: usize) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            for token in Self::split(doc.as_ref()) {
+                *counts.entry(token).or_insert(0) += 1;
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        let mut tokens: Vec<(String, usize)> = counts.into_iter().collect();
+        // Deterministic vocabulary order: by descending count, then
+        // lexicographically.
+        tokens.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (token, count) in tokens {
+            if count >= min_count.max(1) {
+                vocab.intern(&token);
+            }
+        }
+        Self { vocab }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Returns a tokeniser whose vocabulary is this one extended with every
+    /// token that occurs at least `min_count` times in `corpus`.
+    ///
+    /// Existing token ids are preserved, so count tables built against the
+    /// original vocabulary remain valid. This mirrors the practical situation
+    /// of fine-tuning a subword model: the tokenizer is fixed, but it has no
+    /// out-of-vocabulary problem on the new domain. A word-level vocabulary
+    /// achieves the same property by absorbing the fine-tuning corpus's
+    /// tokens.
+    pub fn extended_with<S: AsRef<str>>(&self, corpus: &[S], min_count: usize) -> HdlTokenizer {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            for token in Self::split(doc.as_ref()) {
+                *counts.entry(token).or_insert(0) += 1;
+            }
+        }
+        let mut vocab = self.vocab.clone();
+        let mut tokens: Vec<(String, usize)> = counts.into_iter().collect();
+        tokens.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (token, count) in tokens {
+            if count >= min_count.max(1) {
+                vocab.intern(&token);
+            }
+        }
+        HdlTokenizer { vocab }
+    }
+
+    /// Encodes text into token ids (without BOS/EOS markers).
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        Self::split(text)
+            .iter()
+            .map(|t| self.vocab.id(t))
+            .collect()
+    }
+
+    /// Encodes a document wrapped in BOS/EOS markers, as used for training.
+    pub fn encode_document(&self, text: &str) -> Vec<TokenId> {
+        let mut ids = Vec::with_capacity(text.len() / 4 + 2);
+        ids.push(BOS);
+        ids.extend(self.encode(text));
+        ids.push(EOS);
+        ids
+    }
+
+    /// Decodes token ids back into readable source text, applying simple
+    /// spacing rules so the output resembles hand-written Verilog.
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        let mut out = String::new();
+        let mut at_line_start = true;
+        for &id in ids {
+            if id == BOS || id == EOS {
+                continue;
+            }
+            let token = self.vocab.token(id);
+            if token == "<nl>" {
+                out.push('\n');
+                at_line_start = true;
+                continue;
+            }
+            let no_space_before = matches!(
+                token,
+                ";" | "," | ")" | "]" | ":" | "." | "(" | "[" | "'"
+            );
+            let last = out.chars().last();
+            let no_space_after_last = matches!(
+                last,
+                Some('(') | Some('[') | Some('.') | Some('$') | Some('~') | Some('!')
+            );
+            if !at_line_start && !no_space_before && !no_space_after_last && !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(token);
+            at_line_start = false;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_separates_code_tokens() {
+        let tokens = HdlTokenizer::split("assign y = a + 4'b1010;\n");
+        assert_eq!(
+            tokens,
+            vec!["assign", "y", "=", "a", "+", "4'b1010", ";", "<nl>"]
+        );
+    }
+
+    #[test]
+    fn vocabulary_has_reserved_tokens() {
+        let v = Vocabulary::new();
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.id("<bos>"), BOS);
+        assert_eq!(v.id("<eos>"), EOS);
+        assert_eq!(v.len(), 3);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unknown_tokens_map_to_unk() {
+        let tok = HdlTokenizer::fit(&["module m ; endmodule".to_string()], 1);
+        let ids = tok.encode("module zebra_signal ;");
+        assert_eq!(ids[1], UNK);
+        assert_ne!(ids[0], UNK);
+    }
+
+    #[test]
+    fn min_count_prunes_rare_tokens() {
+        let corpus = vec!["a a a b".to_string()];
+        let tok = HdlTokenizer::fit(&corpus, 2);
+        assert_ne!(tok.vocab().id("a"), UNK);
+        assert_eq!(tok.vocab().id("b"), UNK);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_code_meaning() {
+        let corpus = vec!["module m(input a, output y);\nassign y = ~a;\nendmodule\n".to_string()];
+        let tok = HdlTokenizer::fit(&corpus, 1);
+        let ids = tok.encode(&corpus[0]);
+        let text = tok.decode(&ids);
+        assert!(text.contains("module m(input a, output y);"));
+        assert!(text.contains("assign y = ~a;"));
+        assert!(text.contains("endmodule"));
+    }
+
+    #[test]
+    fn document_encoding_adds_bos_eos() {
+        let tok = HdlTokenizer::fit(&["wire x;".to_string()], 1);
+        let ids = tok.encode_document("wire x;");
+        assert_eq!(ids.first(), Some(&BOS));
+        assert_eq!(ids.last(), Some(&EOS));
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let corpus = vec!["module a; endmodule".to_string(), "module b; endmodule".to_string()];
+        let t1 = HdlTokenizer::fit(&corpus, 1);
+        let t2 = HdlTokenizer::fit(&corpus, 1);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn extended_tokenizer_preserves_existing_ids_and_learns_new_tokens() {
+        let base = HdlTokenizer::fit(&["int main ( ) { return 0 ; }".to_string()], 1);
+        assert_eq!(base.vocab().id("posedge"), UNK);
+        let module_id = base.vocab().id("return");
+        let extended = base.extended_with(&["always @(posedge clk) q <= d;".to_string()], 1);
+        assert_eq!(extended.vocab().id("return"), module_id);
+        assert_ne!(extended.vocab().id("posedge"), UNK);
+        assert!(extended.vocab().len() > base.vocab().len());
+        // The original tokenizer is untouched.
+        assert_eq!(base.vocab().id("posedge"), UNK);
+    }
+
+    #[test]
+    fn decode_handles_newlines_and_unknown_ids() {
+        let tok = HdlTokenizer::fit(&["a\nb".to_string()], 1);
+        let decoded = tok.decode(&[tok.vocab().id("a"), tok.vocab().id("<nl>"), 9999]);
+        assert_eq!(decoded, "a\n<unk>");
+    }
+}

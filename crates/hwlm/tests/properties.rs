@@ -1,0 +1,110 @@
+//! Property-based tests for the language-model substrate.
+
+use proptest::prelude::*;
+
+use hwlm::{Distribution, HdlTokenizer, LanguageModel, NgramModel, SamplerConfig, TrainConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn verilog_ish_doc() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        Just("assign y = a & b;".to_string()),
+        Just("assign y = a | b;".to_string()),
+        Just("always @(posedge clk) q <= d;".to_string()),
+        Just("wire [7:0] bus;".to_string()),
+        Just("if (rst) q <= 0;".to_string()),
+        "[a-z]{2,6} = [a-z]{2,6} \\+ [0-9]{1,2};",
+    ];
+    proptest::collection::vec(stmt, 1..12).prop_map(|stmts| {
+        format!(
+            "module gen(input clk, input a, input b, output y);\n{}\nendmodule",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn distributions_are_normalised(weights in proptest::collection::vec((0u32..500, 0.0f64..10.0), 1..30)) {
+        let d = Distribution::from_weights(weights.into_iter().map(|(t, w)| (t, w)).collect());
+        if !d.is_empty() {
+            let sum: f64 = d.entries().iter().map(|(_, p)| p).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            for (_, p) in d.entries() {
+                prop_assert!(*p > 0.0 && *p <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_and_top_k_preserve_normalisation(
+        weights in proptest::collection::vec((0u32..100, 0.01f64..10.0), 2..20),
+        temperature in 0.0f64..4.0,
+        k in 1usize..10,
+    ) {
+        let d = Distribution::from_weights(weights);
+        let shaped = SamplerConfig { temperature, top_k: k }.shape(&d);
+        let sum: f64 = shaped.entries().iter().map(|(_, p)| p).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(shaped.entries().len() <= k.max(1));
+    }
+
+    #[test]
+    fn sampling_stays_inside_the_support(
+        weights in proptest::collection::vec((0u32..50, 0.01f64..5.0), 1..15),
+        seed in any::<u64>(),
+    ) {
+        let d = Distribution::from_weights(weights);
+        let support: std::collections::HashSet<u32> = d.entries().iter().map(|(t, _)| *t).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..20 {
+            if let Some(token) = d.sample(&mut rng) {
+                prop_assert!(support.contains(&token));
+            }
+        }
+    }
+
+    #[test]
+    fn tokenizer_split_and_fit_are_stable(doc in verilog_ish_doc()) {
+        let a = HdlTokenizer::split(&doc);
+        let b = HdlTokenizer::split(&doc);
+        prop_assert_eq!(&a, &b);
+        let tok = HdlTokenizer::fit(&[doc.clone()], 1);
+        // Every token of the fitting document is in vocabulary.
+        for t in &a {
+            prop_assert_ne!(tok.vocab().id(t), 0, "token {} missing", t);
+        }
+    }
+
+    #[test]
+    fn generation_respects_token_budget_and_stops_at_endmodule(
+        docs in proptest::collection::vec(verilog_ish_doc(), 2..6),
+        budget in 1usize..120,
+        seed in any::<u64>(),
+    ) {
+        let model = NgramModel::train(&docs, &TrainConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let prompt = "module gen(input clk, input a, input b, output y);";
+        let prompt_len = model.tokenizer().encode(prompt).len();
+        let mut ids = vec![1u32]; // BOS
+        ids.extend(model.tokenizer().encode(prompt));
+        let generated = model.generate_ids(
+            &ids,
+            budget,
+            &SamplerConfig::with_temperature(0.8),
+            &mut rng,
+            Some(model.tokenizer().vocab().id("endmodule")),
+        );
+        prop_assert!(generated.len() <= budget);
+        let text = model.tokenizer().decode(&generated);
+        prop_assert!(text.matches("endmodule").count() <= 1);
+        prop_assert!(prompt_len > 0);
+    }
+
+    #[test]
+    fn training_is_deterministic(docs in proptest::collection::vec(verilog_ish_doc(), 1..5)) {
+        let a = NgramModel::train(&docs, &TrainConfig::default());
+        let b = NgramModel::train(&docs, &TrainConfig::default());
+        prop_assert_eq!(a, b);
+    }
+}

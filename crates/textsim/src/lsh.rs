@@ -1,0 +1,279 @@
+//! Locality-Sensitive Hashing (banding) over MinHash signatures.
+//!
+//! The curation framework needs to ask, for every incoming file, "have we
+//! already kept something at least 0.85-similar?" without comparing against
+//! every kept file. Banding LSH answers that: signatures are split into `b`
+//! bands of `r` rows; documents colliding in *any* band become candidates and
+//! only candidates are verified with the full signature estimate (and, in the
+//! pipeline, exact Jaccard).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::minhash::Signature;
+
+/// Banding parameters for an [`LshIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LshParams {
+    /// Number of bands the signature is split into.
+    pub bands: usize,
+    /// Number of rows (signature positions) per band.
+    pub rows_per_band: usize,
+}
+
+impl LshParams {
+    /// Creates banding parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    pub fn new(bands: usize, rows_per_band: usize) -> Self {
+        assert!(bands > 0, "bands must be positive");
+        assert!(rows_per_band > 0, "rows_per_band must be positive");
+        Self { bands, rows_per_band }
+    }
+
+    /// Chooses `bands`/`rows` for a signature of `signature_len` positions so
+    /// that the S-curve threshold `(1/b)^(1/r)` lands as close as possible to
+    /// `target_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signature_len == 0` or the threshold is outside `(0, 1)`.
+    pub fn for_threshold(signature_len: usize, target_threshold: f64) -> Self {
+        assert!(signature_len > 0, "signature length must be positive");
+        assert!(
+            target_threshold > 0.0 && target_threshold < 1.0,
+            "threshold must lie strictly between 0 and 1"
+        );
+        let mut best = Self::new(1, signature_len);
+        let mut best_err = f64::INFINITY;
+        for rows in 1..=signature_len {
+            let bands = signature_len / rows;
+            if bands == 0 {
+                continue;
+            }
+            let threshold = (1.0 / bands as f64).powf(1.0 / rows as f64);
+            let err = (threshold - target_threshold).abs();
+            if err < best_err {
+                best_err = err;
+                best = Self::new(bands, rows);
+            }
+        }
+        best
+    }
+
+    /// The approximate Jaccard threshold at which the probability of becoming
+    /// a candidate crosses 1/2, `(1/b)^(1/r)`.
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows_per_band as f64)
+    }
+
+    /// Minimum signature length these parameters require.
+    pub fn required_signature_len(&self) -> usize {
+        self.bands * self.rows_per_band
+    }
+}
+
+/// An LSH index mapping banded signature fragments to document ids.
+///
+/// Documents are identified by a caller-supplied `u64` id (the curation
+/// pipeline uses its own stable file ids).
+///
+/// # Example
+///
+/// ```
+/// use textsim::{char_shingles, LshIndex, LshParams, MinHasher};
+///
+/// let hasher = MinHasher::new(128, 7);
+/// let params = LshParams::for_threshold(128, 0.85);
+/// let mut index = LshIndex::new(params);
+///
+/// let a = hasher.signature(&char_shingles("module m(input a); assign y = a; endmodule", 5));
+/// index.insert(1, &a);
+/// let dup = hasher.signature(&char_shingles("module m(input a); assign y = a; endmodule", 5));
+/// assert!(index.candidates(&dup).contains(&1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LshIndex {
+    params: Option<LshParams>,
+    buckets: Vec<HashMap<u64, Vec<u64>>>,
+    len: usize,
+}
+
+impl LshIndex {
+    /// Creates an empty index with the given banding parameters.
+    pub fn new(params: LshParams) -> Self {
+        Self {
+            buckets: vec![HashMap::new(); params.bands],
+            params: Some(params),
+            len: 0,
+        }
+    }
+
+    /// The banding parameters, if the index was constructed with `new`.
+    pub fn params(&self) -> Option<LshParams> {
+        self.params
+    }
+
+    /// Number of inserted documents.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no documents have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn band_key(signature: &Signature, band: usize, rows: usize) -> u64 {
+        // FNV-1a over the band's signature values.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET ^ (band as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let start = band * rows;
+        for value in &signature.values()[start..start + rows] {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        hash
+    }
+
+    fn check_signature(&self, signature: &Signature) -> LshParams {
+        let params = self
+            .params
+            .expect("LshIndex must be constructed with LshIndex::new");
+        assert!(
+            signature.len() >= params.required_signature_len(),
+            "signature has {} positions but the index requires at least {}",
+            signature.len(),
+            params.required_signature_len()
+        );
+        params
+    }
+
+    /// Inserts a document id with its signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn insert(&mut self, id: u64, signature: &Signature) {
+        let params = self.check_signature(signature);
+        for band in 0..params.bands {
+            let key = Self::band_key(signature, band, params.rows_per_band);
+            match self.buckets[band].entry(key) {
+                Entry::Occupied(mut e) => e.get_mut().push(id),
+                Entry::Vacant(e) => {
+                    e.insert(vec![id]);
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Returns the ids of all documents sharing at least one band with
+    /// `signature`, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn candidates(&self, signature: &Signature) -> Vec<u64> {
+        let params = self.check_signature(signature);
+        let mut out: HashSet<u64> = HashSet::new();
+        for band in 0..params.bands {
+            let key = Self::band_key(signature, band, params.rows_per_band);
+            if let Some(ids) = self.buckets[band].get(&key) {
+                out.extend(ids.iter().copied());
+            }
+        }
+        let mut v: Vec<u64> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+    use crate::shingle::char_shingles;
+
+    fn sig(hasher: &MinHasher, text: &str) -> Signature {
+        hasher.signature(&char_shingles(text, 5))
+    }
+
+    #[test]
+    fn params_for_threshold_lands_near_target() {
+        let p = LshParams::for_threshold(128, 0.85);
+        assert!((p.threshold() - 0.85).abs() < 0.1);
+        assert!(p.required_signature_len() <= 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "bands must be positive")]
+    fn zero_bands_rejected() {
+        let _ = LshParams::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie strictly between 0 and 1")]
+    fn threshold_out_of_range_rejected() {
+        let _ = LshParams::for_threshold(64, 1.5);
+    }
+
+    #[test]
+    fn near_duplicates_become_candidates() {
+        let hasher = MinHasher::new(128, 21);
+        let params = LshParams::for_threshold(128, 0.85);
+        let mut index = LshIndex::new(params);
+        let base = "module counter(input clk, input rst, output reg [7:0] q); \
+                    always @(posedge clk) begin if (rst) q <= 8'd0; else q <= q + 8'd1; end endmodule";
+        index.insert(10, &sig(&hasher, base));
+        // Exact duplicate: must be retrieved.
+        let cands = index.candidates(&sig(&hasher, base));
+        assert!(cands.contains(&10));
+        assert_eq!(index.len(), 1);
+        assert!(!index.is_empty());
+    }
+
+    #[test]
+    fn dissimilar_documents_are_usually_not_candidates() {
+        let hasher = MinHasher::new(128, 22);
+        let params = LshParams::for_threshold(128, 0.85);
+        let mut index = LshIndex::new(params);
+        index.insert(
+            1,
+            &sig(&hasher, "module alu(input [3:0] a, b, output [3:0] y); assign y = a + b; endmodule"),
+        );
+        let unrelated = sig(
+            &hasher,
+            "this text is entirely unrelated prose about gardens, rainfall and mountain trails",
+        );
+        assert!(index.candidates(&unrelated).is_empty());
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_unique() {
+        let hasher = MinHasher::new(64, 5);
+        let params = LshParams::for_threshold(64, 0.5);
+        let mut index = LshIndex::new(params);
+        let text = "module m; wire a; endmodule";
+        index.insert(7, &sig(&hasher, text));
+        index.insert(3, &sig(&hasher, text));
+        let c = index.candidates(&sig(&hasher, text));
+        assert_eq!(c, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature has")]
+    fn short_signature_rejected() {
+        let params = LshParams::new(16, 8); // requires 128 positions
+        let mut index = LshIndex::new(params);
+        let hasher = MinHasher::new(32, 1);
+        index.insert(1, &sig(&hasher, "module m; endmodule"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Sparse term vectors and an IDF model for TF-IDF weighting.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tokenize::Tokenizer;
+
+/// A sparse bag-of-terms vector with `f64` weights.
+///
+/// Terms are kept in a [`BTreeMap`] so iteration order is deterministic,
+/// which keeps every downstream similarity score reproducible.
+///
+/// # Example
+///
+/// ```
+/// use textsim::{CodeTokenizer, TermVector};
+///
+/// let tok = CodeTokenizer::default();
+/// let v = TermVector::from_text(&tok, "assign y = a & a;");
+/// assert_eq!(v.weight("a"), 2.0);
+/// assert_eq!(v.weight("xor"), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TermVector {
+    weights: BTreeMap<String, f64>,
+}
+
+impl TermVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a raw term-frequency vector from `text` using `tokenizer`.
+    pub fn from_text<T: Tokenizer>(tokenizer: &T, text: &str) -> Self {
+        let mut weights = BTreeMap::new();
+        for token in tokenizer.tokenize(text) {
+            *weights.entry(token).or_insert(0.0) += 1.0;
+        }
+        Self { weights }
+    }
+
+    /// Builds a term-frequency vector directly from pre-tokenised input.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut weights = BTreeMap::new();
+        for token in tokens {
+            *weights.entry(token.into()).or_insert(0.0) += 1.0;
+        }
+        Self { weights }
+    }
+
+    /// Adds `delta` to the weight of `term`.
+    pub fn add(&mut self, term: impl Into<String>, delta: f64) {
+        *self.weights.entry(term.into()).or_insert(0.0) += delta;
+    }
+
+    /// Returns the weight of `term` (0.0 when absent).
+    pub fn weight(&self, term: &str) -> f64 {
+        self.weights.get(term).copied().unwrap_or(0.0)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the vector has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates over `(term, weight)` pairs in lexicographic term order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.weights.iter().map(|(t, w)| (t.as_str(), *w))
+    }
+
+    /// Euclidean (L2) norm of the vector.
+    pub fn norm(&self) -> f64 {
+        self.weights.values().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// Iterates over the smaller of the two vectors, so it is cheap when one
+    /// side (e.g. a 64-word prompt completion) is much shorter than the other
+    /// (a full copyrighted file).
+    pub fn dot(&self, other: &TermVector) -> f64 {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .weights
+            .iter()
+            .map(|(term, w)| w * large.weight(term))
+            .sum()
+    }
+
+    /// Reweights every term by the supplied IDF model, returning a TF-IDF
+    /// vector. Terms unknown to the model keep the model's default IDF.
+    pub fn to_tf_idf(&self, idf: &IdfModel) -> TermVector {
+        let weights = self
+            .weights
+            .iter()
+            .map(|(term, tf)| (term.clone(), tf * idf.idf(term)))
+            .collect();
+        TermVector { weights }
+    }
+}
+
+impl FromIterator<(String, f64)> for TermVector {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        let mut v = TermVector::new();
+        for (term, w) in iter {
+            v.add(term, w);
+        }
+        v
+    }
+}
+
+impl Extend<(String, f64)> for TermVector {
+    fn extend<I: IntoIterator<Item = (String, f64)>>(&mut self, iter: I) {
+        for (term, w) in iter {
+            self.add(term, w);
+        }
+    }
+}
+
+/// Inverse-document-frequency statistics learned from a corpus.
+///
+/// `idf(t) = ln((1 + N) / (1 + df(t))) + 1`, the smoothed formulation, so no
+/// term ever receives a zero or negative weight.
+///
+/// # Example
+///
+/// ```
+/// use textsim::{CodeTokenizer, IdfModel};
+///
+/// let tok = CodeTokenizer::default();
+/// let docs = ["module a; endmodule", "module b; endmodule", "assign y = q;"];
+/// let idf = IdfModel::fit(&tok, docs.iter().copied());
+/// // "module" appears in 2 of 3 documents, "assign" in only 1, so the rarer
+/// // term carries more weight.
+/// assert!(idf.idf("assign") > idf.idf("module"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IdfModel {
+    doc_count: usize,
+    doc_freq: BTreeMap<String, usize>,
+}
+
+impl IdfModel {
+    /// Creates an empty model (every term gets the default IDF of 1.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fits a model over an iterator of documents.
+    pub fn fit<'a, T, I>(tokenizer: &T, documents: I) -> Self
+    where
+        T: Tokenizer,
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut model = Self::new();
+        for doc in documents {
+            model.add_document(tokenizer, doc);
+        }
+        model
+    }
+
+    /// Adds one document's term set to the statistics.
+    pub fn add_document<T: Tokenizer>(&mut self, tokenizer: &T, document: &str) {
+        self.doc_count += 1;
+        let mut seen = std::collections::BTreeSet::new();
+        for token in tokenizer.tokenize(document) {
+            seen.insert(token);
+        }
+        for token in seen {
+            *self.doc_freq.entry(token).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn document_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Smoothed inverse document frequency for `term`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        (((1 + self.doc_count) as f64) / ((1 + df) as f64)).ln() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::CodeTokenizer;
+
+    #[test]
+    fn term_vector_counts_terms() {
+        let tok = CodeTokenizer::default();
+        let v = TermVector::from_text(&tok, "a b a c a");
+        assert_eq!(v.weight("a"), 3.0);
+        assert_eq!(v.weight("b"), 1.0);
+        assert_eq!(v.weight("missing"), 0.0);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn empty_vector_has_zero_norm() {
+        let v = TermVector::new();
+        assert!(v.is_empty());
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    fn dot_product_is_symmetric() {
+        let tok = CodeTokenizer::default();
+        let a = TermVector::from_text(&tok, "x y z x");
+        let b = TermVector::from_text(&tok, "x z w");
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.dot(&b), 2.0 * 1.0 + 1.0 * 1.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend_accumulate() {
+        let mut v: TermVector = vec![("a".to_string(), 1.0), ("a".to_string(), 2.0)]
+            .into_iter()
+            .collect();
+        v.extend(vec![("b".to_string(), 0.5)]);
+        assert_eq!(v.weight("a"), 3.0);
+        assert_eq!(v.weight("b"), 0.5);
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        let tok = CodeTokenizer::default();
+        let docs = vec!["common rare1", "common", "common other"];
+        let idf = IdfModel::fit(&tok, docs.iter().map(|s| *s));
+        assert!(idf.idf("rare1") > idf.idf("common"));
+        assert_eq!(idf.document_count(), 3);
+    }
+
+    #[test]
+    fn idf_of_unknown_term_is_maximal() {
+        let tok = CodeTokenizer::default();
+        let idf = IdfModel::fit(&tok, ["a b", "a"].into_iter());
+        assert!(idf.idf("never_seen") >= idf.idf("b"));
+        assert!(idf.idf("b") >= idf.idf("a"));
+    }
+
+    #[test]
+    fn tf_idf_reweighting_preserves_terms() {
+        let tok = CodeTokenizer::default();
+        let idf = IdfModel::fit(&tok, ["a b", "a c"].into_iter());
+        let v = TermVector::from_text(&tok, "a b b");
+        let w = v.to_tf_idf(&idf);
+        assert_eq!(w.len(), v.len());
+        assert!(w.weight("b") > w.weight("a"));
+    }
+}

@@ -1,0 +1,569 @@
+//! Abstract syntax tree for the supported Verilog subset.
+//!
+//! The subset is the synthesisable core that the paper's datasets and
+//! benchmark problems are written in: module declarations with ANSI or
+//! non-ANSI port lists, parameter/localparam declarations, `wire`/`reg`
+//! declarations (with packed ranges and simple memories), continuous
+//! assignments, `always` blocks (combinational and edge-triggered),
+//! `initial` blocks, module instantiations and the usual expression
+//! operators.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+/// A packed range `[msb:lsb]`. Both bounds are expressions so parameterised
+/// widths (`[WIDTH-1:0]`) survive parsing; they are evaluated at elaboration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Most significant bound.
+    pub msb: Expr,
+    /// Least significant bound.
+    pub lsb: Expr,
+}
+
+/// A port of a module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub direction: PortDirection,
+    /// Packed range, if the port is a vector.
+    pub range: Option<Range>,
+    /// Whether the port was declared `reg`.
+    pub is_reg: bool,
+    /// Whether the port was declared `signed`.
+    pub signed: bool,
+}
+
+/// Kinds of net/variable declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+    /// `integer`
+    Integer,
+    /// `genvar`
+    Genvar,
+}
+
+/// One declared net or variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Name of the net.
+    pub name: String,
+    /// Declaration kind.
+    pub kind: NetKind,
+    /// Packed range, if any.
+    pub range: Option<Range>,
+    /// Unpacked (memory) range, if any — `reg [7:0] mem [0:15]`.
+    pub array: Option<Range>,
+    /// Whether declared `signed`.
+    pub signed: bool,
+    /// Optional initialiser (e.g. `wire x = a & b;`).
+    pub init: Option<Expr>,
+}
+
+/// A declaration statement, possibly declaring several nets and possibly
+/// doubling as a non-ANSI port direction declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Declaration {
+    /// Port direction if this is (also) a port declaration.
+    pub direction: Option<PortDirection>,
+    /// The declared nets.
+    pub nets: Vec<Net>,
+}
+
+/// Edge qualifier inside a sensitivity list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// `posedge sig`
+    Posedge,
+    /// `negedge sig`
+    Negedge,
+    /// Level sensitivity (plain signal name).
+    Level,
+}
+
+/// The sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SensitivityList {
+    /// `(edge, signal)` entries.
+    pub entries: Vec<(EdgeKind, String)>,
+    /// Whether the list was `@*` or `@(*)`.
+    pub star: bool,
+}
+
+impl SensitivityList {
+    /// Whether any entry is edge-triggered, i.e. this is sequential logic.
+    pub fn is_edge_triggered(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|(edge, _)| matches!(edge, EdgeKind::Posedge | EdgeKind::Negedge))
+    }
+}
+
+/// Case statement flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseKind {
+    /// `case`
+    Case,
+    /// `casez`
+    Casez,
+    /// `casex`
+    Casex,
+}
+
+/// One arm of a case statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseArm {
+    /// Match labels (empty for the `default` arm).
+    pub labels: Vec<Expr>,
+    /// Body executed when a label matches.
+    pub body: Statement,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `begin ... end`
+    Block(Vec<Statement>),
+    /// Blocking assignment `lhs = rhs;`
+    Blocking {
+        /// Assignment target (identifier, bit/part select or concatenation).
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Non-blocking assignment `lhs <= rhs;`
+    NonBlocking {
+        /// Assignment target.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (c) s [else s]`
+    If {
+        /// Condition expression.
+        condition: Expr,
+        /// Taken branch.
+        then_branch: Box<Statement>,
+        /// Optional else branch.
+        else_branch: Option<Box<Statement>>,
+    },
+    /// `case (subject) ... endcase`
+    Case {
+        /// Case flavour (`case`, `casez`, `casex`).
+        kind: CaseKind,
+        /// Subject expression.
+        subject: Expr,
+        /// Arms, including a possible default arm (empty labels).
+        arms: Vec<CaseArm>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Initialisation assignment.
+        init: Box<Statement>,
+        /// Loop condition.
+        condition: Expr,
+        /// Step assignment.
+        step: Box<Statement>,
+        /// Loop body.
+        body: Box<Statement>,
+    },
+    /// A system task call such as `$display(...)`; ignored by the interpreter.
+    SystemCall {
+        /// Task name including the `$`.
+        name: String,
+        /// Arguments (kept for fidelity, unused).
+        args: Vec<Expr>,
+    },
+    /// An empty statement (`;`).
+    Empty,
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlwaysBlock {
+    /// Sensitivity list.
+    pub sensitivity: SensitivityList,
+    /// Body statement (usually a block).
+    pub body: Statement,
+}
+
+/// A named parameter with its default value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression.
+    pub value: Expr,
+    /// Whether declared `localparam`.
+    pub local: bool,
+}
+
+/// A module instantiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Named connections `.port(expr)`; `None` for unconnected `.port()`.
+    pub named_connections: Vec<(String, Option<Expr>)>,
+    /// Ordered (positional) connections, if the named form was not used.
+    pub ordered_connections: Vec<Expr>,
+    /// Parameter overrides `#(.P(v))`.
+    pub parameter_overrides: Vec<(String, Expr)>,
+}
+
+/// A top-level item inside a module body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModuleItem {
+    /// Net/variable (and non-ANSI port) declaration.
+    Declaration(Declaration),
+    /// `parameter` / `localparam`.
+    Parameter(Parameter),
+    /// `assign lhs = rhs;`
+    ContinuousAssign {
+        /// Assignment target.
+        target: Expr,
+        /// Driven value.
+        value: Expr,
+    },
+    /// `always @(...) ...`
+    Always(AlwaysBlock),
+    /// `initial ...`
+    Initial(Statement),
+    /// Module instantiation.
+    Instance(Instance),
+    /// A generate region; contents are kept but not elaborated.
+    Generate(Vec<ModuleItem>),
+}
+
+/// A Verilog module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<ModuleItem>,
+}
+
+impl Module {
+    /// Returns the port with the given name, if present.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Names of all input ports, in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Input)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Names of all output ports, in declaration order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Output)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Iterates over all instantiations in the module (including inside
+    /// generate regions).
+    pub fn instances(&self) -> Vec<&Instance> {
+        fn walk<'a>(items: &'a [ModuleItem], out: &mut Vec<&'a Instance>) {
+            for item in items {
+                match item {
+                    ModuleItem::Instance(inst) => out.push(inst),
+                    ModuleItem::Generate(inner) => walk(inner, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.items, &mut out);
+        out
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Not,        // !
+    BitNot,     // ~
+    Negate,     // -
+    Plus,       // +
+    ReduceAnd,  // &
+    ReduceOr,   // |
+    ReduceXor,  // ^
+    ReduceNand, // ~&
+    ReduceNor,  // ~|
+    ReduceXnor, // ~^ or ^~
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    LogicalAnd,
+    LogicalOr,
+    Eq,
+    Neq,
+    CaseEq,
+    CaseNeq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    AShl,
+    AShr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A numeric literal with an optional declared width. `x`/`z` bits are
+    /// represented as zero (the interpreter is two-state).
+    Number {
+        /// Literal value.
+        value: u64,
+        /// Declared width in bits, if the literal was sized.
+        width: Option<u32>,
+    },
+    /// An identifier reference.
+    Ident(String),
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// The ternary conditional `c ? a : b`.
+    Ternary {
+        /// Condition.
+        condition: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+    /// Bit-select or memory index `base[index]`.
+    Index {
+        /// Selected base expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Constant part-select `base[msb:lsb]`.
+    Slice {
+        /// Selected base expression.
+        base: Box<Expr>,
+        /// Most significant bound.
+        msb: Box<Expr>,
+        /// Least significant bound.
+        lsb: Box<Expr>,
+    },
+    /// Concatenation `{a, b, c}`.
+    Concat(Vec<Expr>),
+    /// Replication `{n{expr}}`.
+    Repeat {
+        /// Replication count.
+        count: Box<Expr>,
+        /// Replicated expression.
+        value: Box<Expr>,
+    },
+    /// A function or system-function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A string literal (only meaningful to system tasks).
+    StringLit(String),
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized number.
+    pub fn number(value: u64) -> Self {
+        Expr::Number { value, width: None }
+    }
+
+    /// Convenience constructor for an identifier.
+    pub fn ident(name: impl Into<String>) -> Self {
+        Expr::Ident(name.into())
+    }
+
+    /// Collects the names of all identifiers referenced by this expression.
+    pub fn referenced_idents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ident(name) => out.push(name.clone()),
+            Expr::Number { .. } | Expr::StringLit(_) => {}
+            Expr::Unary { operand, .. } => operand.collect_idents(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_idents(out);
+                rhs.collect_idents(out);
+            }
+            Expr::Ternary {
+                condition,
+                then_expr,
+                else_expr,
+            } => {
+                condition.collect_idents(out);
+                then_expr.collect_idents(out);
+                else_expr.collect_idents(out);
+            }
+            Expr::Index { base, index } => {
+                base.collect_idents(out);
+                index.collect_idents(out);
+            }
+            Expr::Slice { base, msb, lsb } => {
+                base.collect_idents(out);
+                msb.collect_idents(out);
+                lsb.collect_idents(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_idents(out);
+                }
+            }
+            Expr::Repeat { count, value } => {
+                count.collect_idents(out);
+                value.collect_idents(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_idents(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_port_lookup_and_direction_lists() {
+        let module = Module {
+            name: "m".into(),
+            ports: vec![
+                Port {
+                    name: "a".into(),
+                    direction: PortDirection::Input,
+                    range: None,
+                    is_reg: false,
+                    signed: false,
+                },
+                Port {
+                    name: "y".into(),
+                    direction: PortDirection::Output,
+                    range: None,
+                    is_reg: true,
+                    signed: false,
+                },
+            ],
+            items: vec![],
+        };
+        assert!(module.port("a").is_some());
+        assert!(module.port("zzz").is_none());
+        assert_eq!(module.input_names(), vec!["a"]);
+        assert_eq!(module.output_names(), vec!["y"]);
+    }
+
+    #[test]
+    fn sensitivity_list_edge_detection() {
+        let comb = SensitivityList {
+            entries: vec![(EdgeKind::Level, "a".into())],
+            star: false,
+        };
+        assert!(!comb.is_edge_triggered());
+        let seq = SensitivityList {
+            entries: vec![(EdgeKind::Posedge, "clk".into())],
+            star: false,
+        };
+        assert!(seq.is_edge_triggered());
+    }
+
+    #[test]
+    fn expr_collects_referenced_identifiers() {
+        let e = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::ident("a")),
+            rhs: Box::new(Expr::Ternary {
+                condition: Box::new(Expr::ident("sel")),
+                then_expr: Box::new(Expr::ident("b")),
+                else_expr: Box::new(Expr::number(1)),
+            }),
+        };
+        let ids = e.referenced_idents();
+        assert_eq!(ids, vec!["a", "sel", "b"]);
+    }
+
+    #[test]
+    fn instances_are_found_inside_generate_blocks() {
+        let inst = Instance {
+            module: "sub".into(),
+            name: "u0".into(),
+            named_connections: vec![],
+            ordered_connections: vec![],
+            parameter_overrides: vec![],
+        };
+        let module = Module {
+            name: "top".into(),
+            ports: vec![],
+            items: vec![ModuleItem::Generate(vec![ModuleItem::Instance(inst)])],
+        };
+        assert_eq!(module.instances().len(), 1);
+    }
+}

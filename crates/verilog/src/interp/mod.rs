@@ -1,0 +1,17 @@
+//! Behavioural interpreter for the synthesisable Verilog subset.
+//!
+//! The interpreter elaborates a single parsed [`crate::ast::Module`] into a
+//! [`CompiledModule`]: parameters are resolved to constants, port and net
+//! widths are computed, and the body is split into continuous assignments,
+//! combinational processes and edge-triggered processes. A [`eval::EvalState`]
+//! then holds the value of every signal and can be settled (combinational
+//! convergence) or stepped on a clock edge.
+//!
+//! The interpreter is two-state (no `x`/`z`) and supports vectors up to 64
+//! bits, which covers the full problem suite and the synthetic corpus.
+
+pub mod eval;
+pub mod value;
+
+pub use eval::{CompiledModule, EvalError, EvalState};
+pub use value::Value;

@@ -1,0 +1,487 @@
+//! A hand-written Verilog lexer.
+//!
+//! The lexer recognises identifiers (plain, escaped and system), numeric
+//! literals (decimal, based and real), string literals, the operator set of
+//! the synthesisable subset, and skips whitespace, comments, attribute
+//! instances `(* ... *)` and compiler directives (`` `define``, `` `include``
+//! and friends are consumed to end of line; `` `timescale`` likewise).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::token::{Keyword, Token, TokenKind};
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LexError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// 1-based line where the error occurred.
+    pub line: usize,
+    /// 1-based column where the error occurred.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming Verilog lexer.
+///
+/// # Example
+///
+/// ```
+/// use verilog::{Lexer, TokenKind, Keyword};
+///
+/// let tokens = Lexer::new("module m; endmodule").tokenize()?;
+/// assert!(matches!(tokens[0].kind, TokenKind::Keyword(Keyword::Module)));
+/// # Ok::<(), verilog::LexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+const MULTI_CHAR_SYMBOLS: &[&str] = &[
+    "<<<", ">>>", "===", "!==", "**", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~^", "^~",
+    "~&", "~|", "->", "+:", "-:",
+];
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let (line, column) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line,
+                            column,
+                        });
+                    }
+                }
+                Some(b'(') if self.peek_at(1) == Some(b'*') && self.peek_at(2) != Some(b')') => {
+                    // Attribute instance (* keep = "true" *): skip to the
+                    // matching *).
+                    let (line, column) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b')') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LexError {
+                            message: "unterminated attribute instance".into(),
+                            line,
+                            column,
+                        });
+                    }
+                }
+                Some(b'`') => {
+                    // Compiler directive: consume to end of line. `define
+                    // bodies with line continuations are followed.
+                    loop {
+                        match self.peek() {
+                            Some(b'\\') if self.peek_at(1) == Some(b'\n') => {
+                                self.bump();
+                                self.bump();
+                            }
+                            Some(b'\n') | None => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident_or_keyword(&mut self) -> Token {
+        let (line, column) = (self.line, self.column);
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        let kind = match Keyword::from_str(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        };
+        Token::new(kind, line, column)
+    }
+
+    fn lex_escaped_ident(&mut self) -> Token {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // consume backslash
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                break;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        Token::new(TokenKind::Ident(text), line, column)
+    }
+
+    fn lex_number(&mut self) -> Token {
+        let (line, column) = (self.line, self.column);
+        let start = self.pos;
+        // Digits, then optionally 'base digits (possibly with x/z/?), or a
+        // real-number suffix.
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some(b'\'') {
+            self.bump();
+            // Optional signed marker and base letter.
+            if matches!(self.peek(), Some(b's') | Some(b'S')) {
+                self.bump();
+            }
+            if matches!(
+                self.peek(),
+                Some(b'b') | Some(b'B') | Some(b'o') | Some(b'O') | Some(b'd') | Some(b'D')
+                    | Some(b'h') | Some(b'H')
+            ) {
+                self.bump();
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' || c == b'?' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == b'e' || c == b'E' || c == b'-' || c == b'+' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        Token::new(TokenKind::Number(text), line, column)
+    }
+
+    fn lex_sized_based_number(&mut self) -> Token {
+        // A based literal with no size prefix, e.g. 'b1010 or 'd42.
+        let (line, column) = (self.line, self.column);
+        let start = self.pos;
+        self.bump(); // consume '
+        if matches!(self.peek(), Some(b's') | Some(b'S')) {
+            self.bump();
+        }
+        if matches!(
+            self.peek(),
+            Some(b'b') | Some(b'B') | Some(b'o') | Some(b'O') | Some(b'd') | Some(b'D')
+                | Some(b'h') | Some(b'H')
+        ) {
+            self.bump();
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'?' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        Token::new(TokenKind::Number(text), line, column)
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    if let Some(c) = self.bump() {
+                        out.push(c as char);
+                    }
+                }
+                Some(b'\n') | None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                        column,
+                    });
+                }
+                Some(c) => out.push(c as char),
+            }
+        }
+        Ok(Token::new(TokenKind::StringLit(out), line, column))
+    }
+
+    fn lex_symbol(&mut self) -> Result<Token, LexError> {
+        let (line, column) = (self.line, self.column);
+        let rest = &self.src[self.pos..];
+        for sym in MULTI_CHAR_SYMBOLS {
+            if rest.starts_with(sym.as_bytes()) {
+                for _ in 0..sym.len() {
+                    self.bump();
+                }
+                return Ok(Token::new(TokenKind::Symbol((*sym).to_string()), line, column));
+            }
+        }
+        let c = self.bump().expect("caller checked non-empty");
+        let single = c as char;
+        if single.is_ascii_graphic() {
+            Ok(Token::new(TokenKind::Symbol(single.to_string()), line, column))
+        } else {
+            Err(LexError {
+                message: format!("unexpected byte 0x{c:02x}"),
+                line,
+                column,
+            })
+        }
+    }
+
+    /// Lexes the next token, or `Eof` at the end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on unterminated comments/strings or bytes that
+    /// cannot start any token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        match self.peek() {
+            None => Ok(Token::new(TokenKind::Eof, self.line, self.column)),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                Ok(self.lex_ident_or_keyword())
+            }
+            Some(b'\\') => Ok(self.lex_escaped_ident()),
+            Some(c) if c.is_ascii_digit() => Ok(self.lex_number()),
+            Some(b'\'') if self.peek_at(1).is_some_and(|c| c.is_ascii_alphanumeric()) => {
+                Ok(self.lex_sized_based_number())
+            }
+            Some(b'"') => self.lex_string(),
+            Some(_) => self.lex_symbol(),
+        }
+    }
+
+    /// Lexes the whole input into a vector of tokens (excluding the trailing
+    /// `Eof`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LexError`] encountered.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            if matches!(tok.kind, TokenKind::Eof) {
+                return Ok(out);
+            }
+            if self.pos > self.src.len() {
+                return Err(self.error("lexer ran past end of input"));
+            }
+            out.push(tok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lex")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        let k = kinds("module foo; endmodule");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Module),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Symbol(";".into()),
+                TokenKind::Keyword(Keyword::Endmodule),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_based_literals() {
+        let k = kinds("4'b1010 8'hFF 'd42 16'd1_000");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Number("4'b1010".into()),
+                TokenKind::Number("8'hFF".into()),
+                TokenKind::Number("'d42".into()),
+                TokenKind::Number("16'd1_000".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_multichar_operators_greedily() {
+        let k = kinds("a <= b == c <<< 2");
+        assert!(k.contains(&TokenKind::Symbol("<=".into())));
+        assert!(k.contains(&TokenKind::Symbol("==".into())));
+        assert!(k.contains(&TokenKind::Symbol("<<<".into())));
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let k = kinds("// Copyright Intel\nmodule /* hidden */ m;");
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Module));
+    }
+
+    #[test]
+    fn skips_compiler_directives_and_attributes() {
+        let k = kinds("`timescale 1ns/1ps\n(* keep = \"true\" *) wire w;");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Wire));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let err = Lexer::new("module m; /* oops").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+        assert!(format!("{err}").contains("lex error"));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = Lexer::new("initial $display(\"hi").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn escaped_identifiers_are_supported() {
+        let k = kinds("wire \\bus[0] ;");
+        assert_eq!(k[1], TokenKind::Ident("bus[0]".into()));
+    }
+
+    #[test]
+    fn system_identifiers_keep_dollar_prefix() {
+        let k = kinds("$display(\"x\");");
+        assert_eq!(k[0], TokenKind::Ident("$display".into()));
+        assert!(matches!(k[2], TokenKind::StringLit(ref s) if s == "x"));
+    }
+
+    #[test]
+    fn real_numbers_lex_as_single_token() {
+        let k = kinds("parameter real T = 1.5;");
+        assert!(k.contains(&TokenKind::Number("1.5".into())));
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = Lexer::new("module m;\n  assign y = 1;").tokenize().unwrap();
+        let assign = toks.iter().find(|t| t.is_keyword(Keyword::Assign)).unwrap();
+        assert_eq!(assign.line, 2);
+        assert_eq!(assign.column, 3);
+    }
+
+    #[test]
+    fn non_ascii_bytes_are_rejected() {
+        let err = Lexer::new("module m; \u{00e9}").tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected byte"));
+    }
+}

@@ -1,0 +1,1362 @@
+//! Recursive-descent parser for the supported Verilog subset.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// An error produced while parsing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            column: e.column,
+        }
+    }
+}
+
+/// Parses Verilog source into [`Module`] definitions.
+///
+/// # Example
+///
+/// ```
+/// use verilog::Parser;
+///
+/// let src = "module inv(input a, output y); assign y = ~a; endmodule";
+/// let modules = Parser::parse_source(src)?;
+/// assert_eq!(modules[0].name, "inv");
+/// assert_eq!(modules[0].ports.len(), 2);
+/// # Ok::<(), verilog::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over pre-lexed tokens.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    /// Lexes and parses a full source file into its modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexing or parsing error encountered.
+    pub fn parse_source(src: &str) -> Result<Vec<Module>, ParseError> {
+        let tokens = Lexer::new(src).tokenize()?;
+        Parser::new(tokens).parse_modules()
+    }
+
+    fn peek(&self) -> &TokenKind {
+        self.tokens
+            .get(self.pos)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn location(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.column))
+            .unwrap_or((0, 0))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.location();
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Symbol(s) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{sym}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Parses every module in the token stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on the first malformed construct.
+    pub fn parse_modules(&mut self) -> Result<Vec<Module>, ParseError> {
+        let mut modules = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(modules),
+                TokenKind::Keyword(Keyword::Module) => modules.push(self.parse_module()?),
+                other => {
+                    return Err(self.error(format!("expected `module`, found {other}")));
+                }
+            }
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        self.expect_keyword(Keyword::Module)?;
+        let name = self.expect_ident()?;
+        let mut module = Module {
+            name,
+            ports: Vec::new(),
+            items: Vec::new(),
+        };
+
+        // Optional parameter port list: #(parameter WIDTH = 8, ...)
+        if self.eat_symbol("#") {
+            self.expect_symbol("(")?;
+            loop {
+                if self.eat_symbol(")") {
+                    break;
+                }
+                // `parameter` keyword is optional after the first entry.
+                let _ = self.eat_keyword(Keyword::Parameter);
+                // optional type-ish tokens (integer/signed/range)
+                let _ = self.eat_keyword(Keyword::Integer);
+                let _ = self.eat_keyword(Keyword::Signed);
+                let _ = self.try_parse_range()?;
+                let pname = self.expect_ident()?;
+                self.expect_symbol("=")?;
+                let value = self.parse_expr()?;
+                module.items.push(ModuleItem::Parameter(Parameter {
+                    name: pname,
+                    value,
+                    local: false,
+                }));
+                if !self.eat_symbol(",") {
+                    self.expect_symbol(")")?;
+                    break;
+                }
+            }
+        }
+
+        // Port list (ANSI or non-ANSI), optional.
+        if self.eat_symbol("(") {
+            self.parse_port_list(&mut module)?;
+        }
+        self.expect_symbol(";")?;
+
+        // Body.
+        loop {
+            if self.eat_keyword(Keyword::Endmodule) {
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.error("unexpected end of input inside module body"));
+            }
+            let items = self.parse_module_item()?;
+            module.items.extend(items);
+        }
+
+        // Promote non-ANSI port declarations to ports, preserving header order.
+        promote_non_ansi_ports(&mut module);
+        Ok(module)
+    }
+
+    fn parse_port_list(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        if self.eat_symbol(")") {
+            return Ok(());
+        }
+        // Distinguish ANSI (starts with a direction keyword) from non-ANSI
+        // (bare identifiers).
+        let mut current_direction: Option<PortDirection> = None;
+        let mut current_range: Option<Range> = None;
+        let mut current_is_reg = false;
+        let mut current_signed = false;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Keyword(kw @ (Keyword::Input | Keyword::Output | Keyword::Inout)) => {
+                    self.pos += 1;
+                    current_direction = Some(match kw {
+                        Keyword::Input => PortDirection::Input,
+                        Keyword::Output => PortDirection::Output,
+                        _ => PortDirection::Inout,
+                    });
+                    current_is_reg = self.eat_keyword(Keyword::Reg)
+                        || self.eat_keyword(Keyword::Wire) && false;
+                    // `output wire` is also legal; swallow a wire keyword.
+                    if !current_is_reg {
+                        let _ = self.eat_keyword(Keyword::Wire);
+                    }
+                    current_signed = self.eat_keyword(Keyword::Signed);
+                    current_range = self.try_parse_range()?;
+                    let name = self.expect_ident()?;
+                    module.ports.push(Port {
+                        name,
+                        direction: current_direction.unwrap(),
+                        range: current_range.clone(),
+                        is_reg: current_is_reg,
+                        signed: current_signed,
+                    });
+                }
+                TokenKind::Ident(name) => {
+                    self.pos += 1;
+                    if let Some(direction) = current_direction {
+                        // Continuation of an ANSI group: `input a, b, c`.
+                        module.ports.push(Port {
+                            name,
+                            direction,
+                            range: current_range.clone(),
+                            is_reg: current_is_reg,
+                            signed: current_signed,
+                        });
+                    } else {
+                        // Non-ANSI header: record the name; the direction
+                        // arrives later in the body.
+                        module.ports.push(Port {
+                            name,
+                            direction: PortDirection::Input,
+                            range: None,
+                            is_reg: false,
+                            signed: false,
+                        });
+                    }
+                }
+                other => {
+                    return Err(self.error(format!("expected port declaration, found {other}")))
+                }
+            }
+            if self.eat_symbol(",") {
+                continue;
+            }
+            self.expect_symbol(")")?;
+            return Ok(());
+        }
+    }
+
+    fn try_parse_range(&mut self) -> Result<Option<Range>, ParseError> {
+        if !self.eat_symbol("[") {
+            return Ok(None);
+        }
+        let msb = self.parse_expr()?;
+        self.expect_symbol(":")?;
+        let lsb = self.parse_expr()?;
+        self.expect_symbol("]")?;
+        Ok(Some(Range { msb, lsb }))
+    }
+
+    fn parse_module_item(&mut self) -> Result<Vec<ModuleItem>, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                let local = matches!(self.peek(), TokenKind::Keyword(Keyword::Localparam));
+                self.pos += 1;
+                let _ = self.eat_keyword(Keyword::Integer);
+                let _ = self.eat_keyword(Keyword::Signed);
+                let _ = self.try_parse_range()?;
+                let mut out = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect_symbol("=")?;
+                    let value = self.parse_expr()?;
+                    out.push(ModuleItem::Parameter(Parameter { name, value, local }));
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(out)
+            }
+            TokenKind::Keyword(
+                kw @ (Keyword::Input | Keyword::Output | Keyword::Inout | Keyword::Wire
+                | Keyword::Reg | Keyword::Integer | Keyword::Genvar),
+            ) => {
+                self.pos += 1;
+                let direction = match kw {
+                    Keyword::Input => Some(PortDirection::Input),
+                    Keyword::Output => Some(PortDirection::Output),
+                    Keyword::Inout => Some(PortDirection::Inout),
+                    _ => None,
+                };
+                let mut kind = match kw {
+                    Keyword::Reg => NetKind::Reg,
+                    Keyword::Integer => NetKind::Integer,
+                    Keyword::Genvar => NetKind::Genvar,
+                    _ => NetKind::Wire,
+                };
+                if direction.is_some() {
+                    if self.eat_keyword(Keyword::Reg) {
+                        kind = NetKind::Reg;
+                    } else if self.eat_keyword(Keyword::Wire) {
+                        kind = NetKind::Wire;
+                    }
+                }
+                let signed = self.eat_keyword(Keyword::Signed);
+                let range = self.try_parse_range()?;
+                let mut nets = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    let array = self.try_parse_range()?;
+                    let init = if self.eat_symbol("=") {
+                        Some(self.parse_expr()?)
+                    } else {
+                        None
+                    };
+                    nets.push(Net {
+                        name,
+                        kind,
+                        range: range.clone(),
+                        array,
+                        signed,
+                        init,
+                    });
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(vec![ModuleItem::Declaration(Declaration { direction, nets })])
+            }
+            TokenKind::Keyword(Keyword::Assign) => {
+                self.pos += 1;
+                let mut out = Vec::new();
+                loop {
+                    let target = self.parse_expr()?;
+                    self.expect_symbol("=")?;
+                    let value = self.parse_expr()?;
+                    out.push(ModuleItem::ContinuousAssign { target, value });
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(out)
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                self.pos += 1;
+                let sensitivity = self.parse_sensitivity()?;
+                let body = self.parse_statement()?;
+                Ok(vec![ModuleItem::Always(AlwaysBlock { sensitivity, body })])
+            }
+            TokenKind::Keyword(Keyword::Initial) => {
+                self.pos += 1;
+                let body = self.parse_statement()?;
+                Ok(vec![ModuleItem::Initial(body)])
+            }
+            TokenKind::Keyword(Keyword::Generate) => {
+                self.pos += 1;
+                let mut inner = Vec::new();
+                while !self.eat_keyword(Keyword::Endgenerate) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside generate region"));
+                    }
+                    inner.extend(self.parse_module_item()?);
+                }
+                Ok(vec![ModuleItem::Generate(inner)])
+            }
+            TokenKind::Keyword(Keyword::Function) | TokenKind::Keyword(Keyword::Task) => {
+                // Functions/tasks are tolerated but skipped: consume tokens
+                // until the matching end keyword.
+                let is_function = matches!(self.peek(), TokenKind::Keyword(Keyword::Function));
+                self.pos += 1;
+                let end_kw = if is_function {
+                    Keyword::Endfunction
+                } else {
+                    Keyword::Endtask
+                };
+                while !self.eat_keyword(end_kw) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside function/task"));
+                    }
+                    self.pos += 1;
+                }
+                Ok(vec![])
+            }
+            TokenKind::Ident(_) => {
+                // Module instantiation: `name [#(...)] inst_name ( ... );`
+                let inst = self.parse_instance()?;
+                Ok(vec![ModuleItem::Instance(inst)])
+            }
+            other => Err(self.error(format!("unexpected {other} in module body"))),
+        }
+    }
+
+    fn parse_instance(&mut self) -> Result<Instance, ParseError> {
+        let module = self.expect_ident()?;
+        let mut parameter_overrides = Vec::new();
+        if self.eat_symbol("#") {
+            self.expect_symbol("(")?;
+            if !self.eat_symbol(")") {
+                loop {
+                    if self.eat_symbol(".") {
+                        let pname = self.expect_ident()?;
+                        self.expect_symbol("(")?;
+                        let value = self.parse_expr()?;
+                        self.expect_symbol(")")?;
+                        parameter_overrides.push((pname, value));
+                    } else {
+                        let value = self.parse_expr()?;
+                        parameter_overrides.push((String::new(), value));
+                    }
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(")")?;
+            }
+        }
+        let name = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut named_connections = Vec::new();
+        let mut ordered_connections = Vec::new();
+        if !self.eat_symbol(")") {
+            loop {
+                if self.eat_symbol(".") {
+                    let port = self.expect_ident()?;
+                    self.expect_symbol("(")?;
+                    if self.eat_symbol(")") {
+                        named_connections.push((port, None));
+                    } else {
+                        let value = self.parse_expr()?;
+                        self.expect_symbol(")")?;
+                        named_connections.push((port, Some(value)));
+                    }
+                } else {
+                    ordered_connections.push(self.parse_expr()?);
+                }
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_symbol(";")?;
+        Ok(Instance {
+            module,
+            name,
+            named_connections,
+            ordered_connections,
+            parameter_overrides,
+        })
+    }
+
+    fn parse_sensitivity(&mut self) -> Result<SensitivityList, ParseError> {
+        let mut list = SensitivityList::default();
+        if !self.eat_symbol("@") {
+            // `always` with no event control (e.g. `always begin ... end`) is
+            // treated as combinational.
+            list.star = true;
+            return Ok(list);
+        }
+        if self.eat_symbol("*") {
+            list.star = true;
+            return Ok(list);
+        }
+        self.expect_symbol("(")?;
+        if self.eat_symbol("*") {
+            list.star = true;
+            self.expect_symbol(")")?;
+            return Ok(list);
+        }
+        loop {
+            let edge = if self.eat_keyword(Keyword::Posedge) {
+                EdgeKind::Posedge
+            } else if self.eat_keyword(Keyword::Negedge) {
+                EdgeKind::Negedge
+            } else {
+                EdgeKind::Level
+            };
+            let name = self.expect_ident()?;
+            list.entries.push((edge, name));
+            if self.eat_symbol(",") || self.eat_keyword(Keyword::Or) {
+                continue;
+            }
+            self.expect_symbol(")")?;
+            return Ok(list);
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.pos += 1;
+                // Optional block label `begin : name`.
+                if self.eat_symbol(":") {
+                    let _ = self.expect_ident()?;
+                }
+                let mut body = Vec::new();
+                while !self.eat_keyword(Keyword::End) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside begin/end block"));
+                    }
+                    body.push(self.parse_statement()?);
+                }
+                Ok(Statement::Block(body))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let condition = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                let then_branch = Box::new(self.parse_statement()?);
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.parse_statement()?))
+                } else {
+                    None
+                };
+                Ok(Statement::If {
+                    condition,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+                self.pos += 1;
+                let kind = match kw {
+                    Keyword::Casez => CaseKind::Casez,
+                    Keyword::Casex => CaseKind::Casex,
+                    _ => CaseKind::Case,
+                };
+                self.expect_symbol("(")?;
+                let subject = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                let mut arms = Vec::new();
+                while !self.eat_keyword(Keyword::Endcase) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside case statement"));
+                    }
+                    if self.eat_keyword(Keyword::Default) {
+                        let _ = self.eat_symbol(":");
+                        let body = self.parse_statement()?;
+                        arms.push(CaseArm {
+                            labels: vec![],
+                            body,
+                        });
+                        continue;
+                    }
+                    let mut labels = vec![self.parse_expr()?];
+                    while self.eat_symbol(",") {
+                        labels.push(self.parse_expr()?);
+                    }
+                    self.expect_symbol(":")?;
+                    let body = self.parse_statement()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Statement::Case {
+                    kind,
+                    subject,
+                    arms,
+                })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let init = Box::new(self.parse_assignment_no_semi()?);
+                self.expect_symbol(";")?;
+                let condition = self.parse_expr()?;
+                self.expect_symbol(";")?;
+                let step = Box::new(self.parse_assignment_no_semi()?);
+                self.expect_symbol(")")?;
+                let body = Box::new(self.parse_statement()?);
+                Ok(Statement::For {
+                    init,
+                    condition,
+                    step,
+                    body,
+                })
+            }
+            TokenKind::Symbol(ref s) if s == ";" => {
+                self.pos += 1;
+                Ok(Statement::Empty)
+            }
+            TokenKind::Symbol(ref s) if s == "#" => {
+                // Delay control `#10 statement` — skip the delay and parse the
+                // controlled statement (testbench style code).
+                self.pos += 1;
+                let _ = self.parse_primary()?;
+                self.parse_statement()
+            }
+            TokenKind::Symbol(ref s) if s == "@" => {
+                // Event control inside a statement, e.g. `@(posedge clk) q = d;`
+                let _ = self.parse_sensitivity()?;
+                self.parse_statement()
+            }
+            TokenKind::Ident(name) if name.starts_with('$') => {
+                self.pos += 1;
+                let mut args = Vec::new();
+                if self.eat_symbol("(") {
+                    if !self.eat_symbol(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_symbol(",") {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(")")?;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(Statement::SystemCall { name, args })
+            }
+            _ => {
+                let stmt = self.parse_assignment_no_semi()?;
+                self.expect_symbol(";")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn parse_assignment_no_semi(&mut self) -> Result<Statement, ParseError> {
+        let target = self.parse_expr_no_comparison_shortcut()?;
+        if self.eat_symbol("<=") {
+            let value = self.parse_expr()?;
+            Ok(Statement::NonBlocking { target, value })
+        } else if self.eat_symbol("=") {
+            let value = self.parse_expr()?;
+            Ok(Statement::Blocking { target, value })
+        } else {
+            Err(self.error(format!("expected `=` or `<=`, found {}", self.peek())))
+        }
+    }
+
+    /// Parses an assignment *target* expression: stops before `<=`/`=` so the
+    /// statement parser can decide blocking vs non-blocking. Targets are
+    /// primaries with optional selects or concatenations, so full precedence
+    /// parsing is unnecessary (and would swallow `<=`).
+    fn parse_expr_no_comparison_shortcut(&mut self) -> Result<Expr, ParseError> {
+        self.parse_postfix()
+    }
+
+    // ----- expression parsing (precedence climbing) -----
+
+    /// Parses a full expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the token stream is not an expression.
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        let condition = self.parse_logical_or()?;
+        if self.eat_symbol("?") {
+            let then_expr = self.parse_ternary()?;
+            self.expect_symbol(":")?;
+            let else_expr = self.parse_ternary()?;
+            Ok(Expr::Ternary {
+                condition: Box::new(condition),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(condition)
+        }
+    }
+
+    fn parse_logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_logical_and()?;
+        while self.eat_symbol("||") {
+            let rhs = self.parse_logical_and()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::LogicalOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_or()?;
+        while self.eat_symbol("&&") {
+            let rhs = self.parse_bit_or()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::LogicalAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_xor()?;
+        while matches!(self.peek(), TokenKind::Symbol(s) if s == "|") {
+            self.pos += 1;
+            let rhs = self.parse_bit_xor()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_and()?;
+        loop {
+            let op = if self.eat_symbol("^") {
+                BinaryOp::Xor
+            } else if self.eat_symbol("~^") || self.eat_symbol("^~") {
+                BinaryOp::Xnor
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_bit_and()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_equality()?;
+        while matches!(self.peek(), TokenKind::Symbol(s) if s == "&") {
+            self.pos += 1;
+            let rhs = self.parse_equality()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = if self.eat_symbol("==") {
+                BinaryOp::Eq
+            } else if self.eat_symbol("!=") {
+                BinaryOp::Neq
+            } else if self.eat_symbol("===") {
+                BinaryOp::CaseEq
+            } else if self.eat_symbol("!==") {
+                BinaryOp::CaseNeq
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_relational()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_shift()?;
+        loop {
+            let op = if self.eat_symbol("<=") {
+                BinaryOp::Le
+            } else if self.eat_symbol(">=") {
+                BinaryOp::Ge
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "<") {
+                self.pos += 1;
+                BinaryOp::Lt
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == ">") {
+                self.pos += 1;
+                BinaryOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_shift()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = if self.eat_symbol("<<<") {
+                BinaryOp::AShl
+            } else if self.eat_symbol(">>>") {
+                BinaryOp::AShr
+            } else if self.eat_symbol("<<") {
+                BinaryOp::Shl
+            } else if self.eat_symbol(">>") {
+                BinaryOp::Shr
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = if matches!(self.peek(), TokenKind::Symbol(s) if s == "+") {
+                self.pos += 1;
+                BinaryOp::Add
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "-") {
+                self.pos += 1;
+                BinaryOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            let op = if matches!(self.peek(), TokenKind::Symbol(s) if s == "*") {
+                self.pos += 1;
+                BinaryOp::Mul
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "/") {
+                self.pos += 1;
+                BinaryOp::Div
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "%") {
+                self.pos += 1;
+                BinaryOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_power()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_unary()?;
+        if self.eat_symbol("**") {
+            let rhs = self.parse_power()?;
+            Ok(Expr::Binary {
+                op: BinaryOp::Pow,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = if self.eat_symbol("!") {
+            Some(UnaryOp::Not)
+        } else if self.eat_symbol("~&") {
+            Some(UnaryOp::ReduceNand)
+        } else if self.eat_symbol("~|") {
+            Some(UnaryOp::ReduceNor)
+        } else if self.eat_symbol("~^") || self.eat_symbol("^~") {
+            Some(UnaryOp::ReduceXnor)
+        } else if self.eat_symbol("~") {
+            Some(UnaryOp::BitNot)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "-") {
+            self.pos += 1;
+            Some(UnaryOp::Negate)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "+") {
+            self.pos += 1;
+            Some(UnaryOp::Plus)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "&") {
+            self.pos += 1;
+            Some(UnaryOp::ReduceAnd)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "|") {
+            self.pos += 1;
+            Some(UnaryOp::ReduceOr)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "^") {
+            self.pos += 1;
+            Some(UnaryOp::ReduceXor)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let operand = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op,
+                    operand: Box::new(operand),
+                })
+            }
+            None => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.eat_symbol("[") {
+                let first = self.parse_expr()?;
+                if self.eat_symbol(":") {
+                    let lsb = self.parse_expr()?;
+                    self.expect_symbol("]")?;
+                    expr = Expr::Slice {
+                        base: Box::new(expr),
+                        msb: Box::new(first),
+                        lsb: Box::new(lsb),
+                    };
+                } else if self.eat_symbol("+:") || self.eat_symbol("-:") {
+                    // Indexed part selects are approximated as a slice with
+                    // the same base/width information.
+                    let width = self.parse_expr()?;
+                    self.expect_symbol("]")?;
+                    expr = Expr::Slice {
+                        base: Box::new(expr),
+                        msb: Box::new(first),
+                        lsb: Box::new(width),
+                    };
+                } else {
+                    self.expect_symbol("]")?;
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(first),
+                    };
+                }
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(text) => {
+                self.pos += 1;
+                let (value, width) = parse_number_literal(&text)
+                    .ok_or_else(|| self.error(format!("invalid number literal `{text}`")))?;
+                Ok(Expr::Number { value, width })
+            }
+            TokenKind::StringLit(s) => {
+                self.pos += 1;
+                Ok(Expr::StringLit(s))
+            }
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                if self.eat_symbol("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_symbol(",") {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(")")?;
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::Symbol(ref s) if s == "(" => {
+                self.pos += 1;
+                let expr = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(expr)
+            }
+            TokenKind::Symbol(ref s) if s == "{" => {
+                self.pos += 1;
+                let first = self.parse_expr()?;
+                if self.eat_symbol("{") {
+                    // Replication {N{expr}}
+                    let value = self.parse_expr()?;
+                    self.expect_symbol("}")?;
+                    self.expect_symbol("}")?;
+                    return Ok(Expr::Repeat {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_symbol(",") {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect_symbol("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Converts non-ANSI style modules (bare names in the header, directions
+/// declared in the body) into fully-populated port lists.
+fn promote_non_ansi_ports(module: &mut Module) {
+    use std::collections::HashMap;
+    let mut decls: HashMap<String, (PortDirection, Option<Range>, bool, bool)> = HashMap::new();
+    for item in &module.items {
+        if let ModuleItem::Declaration(decl) = item {
+            if let Some(direction) = decl.direction {
+                for net in &decl.nets {
+                    decls.insert(
+                        net.name.clone(),
+                        (
+                            direction,
+                            net.range.clone(),
+                            net.kind == NetKind::Reg,
+                            net.signed,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    for port in &mut module.ports {
+        if let Some((direction, range, is_reg, signed)) = decls.get(&port.name) {
+            port.direction = *direction;
+            if port.range.is_none() {
+                port.range = range.clone();
+            }
+            port.is_reg |= *is_reg;
+            port.signed |= *signed;
+        }
+    }
+}
+
+/// Parses a Verilog number literal spelling into `(value, declared_width)`.
+///
+/// `x`, `z` and `?` digits are mapped to zero (two-state semantics).
+pub fn parse_number_literal(text: &str) -> Option<(u64, Option<u32>)> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    if let Some(pos) = cleaned.find('\'') {
+        let width = if pos == 0 {
+            None
+        } else {
+            cleaned[..pos].parse::<u32>().ok()
+        };
+        let mut rest = &cleaned[pos + 1..];
+        if rest.starts_with('s') || rest.starts_with('S') {
+            rest = &rest[1..];
+        }
+        if rest.is_empty() {
+            return None;
+        }
+        let (radix, digits) = match rest.as_bytes()[0].to_ascii_lowercase() {
+            b'b' => (2, &rest[1..]),
+            b'o' => (8, &rest[1..]),
+            b'd' => (10, &rest[1..]),
+            b'h' => (16, &rest[1..]),
+            _ => (10, rest),
+        };
+        let normalized: String = digits
+            .chars()
+            .map(|c| match c {
+                'x' | 'X' | 'z' | 'Z' | '?' => '0',
+                other => other,
+            })
+            .collect();
+        if normalized.is_empty() {
+            return None;
+        }
+        let value = u64::from_str_radix(&normalized, radix).ok()?;
+        let value = match width {
+            Some(w) if w < 64 => value & ((1u64 << w) - 1),
+            _ => value,
+        };
+        Some((value, width))
+    } else if cleaned.contains('.') {
+        // Real literal: truncate toward zero, no width.
+        let value = cleaned.parse::<f64>().ok()?;
+        Some((value as u64, None))
+    } else {
+        let value = cleaned.parse::<u64>().ok()?;
+        Some((value, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Module {
+        let mut modules = Parser::parse_source(src).expect("parse");
+        assert_eq!(modules.len(), 1);
+        modules.remove(0)
+    }
+
+    #[test]
+    fn parses_ansi_module_with_vector_ports() {
+        let m = parse_one(
+            "module adder(input [3:0] a, input [3:0] b, output [4:0] sum);\n\
+             assign sum = a + b;\nendmodule",
+        );
+        assert_eq!(m.name, "adder");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.input_names(), vec!["a", "b"]);
+        assert_eq!(m.output_names(), vec!["sum"]);
+        assert!(matches!(m.items[0], ModuleItem::ContinuousAssign { .. }));
+    }
+
+    #[test]
+    fn parses_ansi_group_continuation() {
+        let m = parse_one("module m(input a, b, c, output y); assign y = a & b & c; endmodule");
+        assert_eq!(m.input_names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parses_non_ansi_ports() {
+        let m = parse_one(
+            "module dff(clk, d, q);\ninput clk, d;\noutput reg q;\n\
+             always @(posedge clk) q <= d;\nendmodule",
+        );
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.output_names(), vec!["q"]);
+        assert!(m.port("q").unwrap().is_reg);
+    }
+
+    #[test]
+    fn parses_parameters_in_header_and_body() {
+        let m = parse_one(
+            "module fifo #(parameter WIDTH = 8, parameter DEPTH = 16)(input clk);\n\
+             localparam ADDR = 4;\nendmodule",
+        );
+        let params: Vec<&Parameter> = m
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                ModuleItem::Parameter(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(params.len(), 3);
+        assert!(params.iter().any(|p| p.name == "ADDR" && p.local));
+    }
+
+    #[test]
+    fn parses_always_ff_with_if_else() {
+        let m = parse_one(
+            "module counter(input clk, input rst, output reg [7:0] q);\n\
+             always @(posedge clk) begin\n  if (rst) q <= 8'd0; else q <= q + 1;\nend\nendmodule",
+        );
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                ModuleItem::Always(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        assert!(always.sensitivity.is_edge_triggered());
+        assert!(matches!(always.body, Statement::Block(_)));
+    }
+
+    #[test]
+    fn parses_case_statement_with_default() {
+        let m = parse_one(
+            "module mux(input [1:0] sel, input [3:0] a, output reg y);\n\
+             always @* begin\n case (sel)\n  2'd0: y = a[0];\n  2'd1: y = a[1];\n  \
+             2'd2, 2'd3: y = a[2];\n  default: y = 1'b0;\n endcase\nend\nendmodule",
+        );
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                ModuleItem::Always(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        assert!(always.sensitivity.star);
+        if let Statement::Block(stmts) = &always.body {
+            if let Statement::Case { arms, .. } = &stmts[0] {
+                assert_eq!(arms.len(), 4);
+                assert!(arms.last().unwrap().labels.is_empty());
+                assert_eq!(arms[2].labels.len(), 2);
+                return;
+            }
+        }
+        panic!("expected case inside block");
+    }
+
+    #[test]
+    fn parses_instances_named_and_positional() {
+        let src = "module top(input a, output y);\nwire w;\n\
+                   inv u1 (.a(a), .y(w));\n inv u2 (w, y);\n\
+                   sub #(.WIDTH(8)) u3 (.x(a));\nendmodule";
+        let m = parse_one(src);
+        let instances = m.instances();
+        assert_eq!(instances.len(), 3);
+        assert_eq!(instances[0].named_connections.len(), 2);
+        assert_eq!(instances[1].ordered_connections.len(), 2);
+        assert_eq!(instances[2].parameter_overrides.len(), 1);
+    }
+
+    #[test]
+    fn parses_concat_replication_and_slices() {
+        let m = parse_one(
+            "module m(input [7:0] a, output [15:0] y);\n\
+             assign y = {a[7:4], {2{a[1:0]}}, 4'b0000};\nendmodule",
+        );
+        if let ModuleItem::ContinuousAssign { value, .. } = &m.items[0] {
+            assert!(matches!(value, Expr::Concat(parts) if parts.len() == 3));
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn parses_ternary_and_reduction() {
+        let m = parse_one(
+            "module m(input [3:0] a, input sel, output y);\n\
+             assign y = sel ? &a : |a;\nendmodule",
+        );
+        if let ModuleItem::ContinuousAssign { value, .. } = &m.items[0] {
+            assert!(matches!(value, Expr::Ternary { .. }));
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        let err = Parser::parse_source("module m(input a, output y) assign y = a; endmodule")
+            .unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn missing_endmodule_is_an_error() {
+        let err = Parser::parse_source("module m(input a, output y); assign y = a;").unwrap_err();
+        assert!(err.message.contains("unexpected end of input"), "{err}");
+    }
+
+    #[test]
+    fn garbage_port_list_is_an_error() {
+        assert!(Parser::parse_source("module m(input a output y); endmodule").is_err());
+    }
+
+    #[test]
+    fn multiple_modules_in_one_file() {
+        let modules = Parser::parse_source(
+            "module a(input x, output y); assign y = x; endmodule\n\
+             module b(input x, output y); assign y = ~x; endmodule",
+        )
+        .unwrap();
+        assert_eq!(modules.len(), 2);
+        assert_eq!(modules[1].name, "b");
+    }
+
+    #[test]
+    fn number_literal_parsing_cases() {
+        assert_eq!(parse_number_literal("42"), Some((42, None)));
+        assert_eq!(parse_number_literal("4'b1010"), Some((10, Some(4))));
+        assert_eq!(parse_number_literal("8'hFF"), Some((255, Some(8))));
+        assert_eq!(parse_number_literal("'d7"), Some((7, None)));
+        assert_eq!(parse_number_literal("16'd1_000"), Some((1000, Some(16))));
+        assert_eq!(parse_number_literal("4'bxx10"), Some((2, Some(4))));
+        assert_eq!(parse_number_literal("2'd7"), Some((3, Some(2))), "truncated to width");
+        assert_eq!(parse_number_literal("bogus"), None);
+    }
+
+    #[test]
+    fn functions_are_skipped_without_error() {
+        let m = parse_one(
+            "module m(input [3:0] a, output [3:0] y);\n\
+             function [3:0] twice; input [3:0] v; begin twice = v << 1; end endfunction\n\
+             assign y = a;\nendmodule",
+        );
+        assert_eq!(m.items.len(), 1);
+    }
+
+    #[test]
+    fn initial_blocks_and_system_tasks_parse() {
+        let m = parse_one(
+            "module tb;\nreg clk;\ninitial begin\n clk = 0;\n $display(\"hello\");\n #10 clk = 1;\nend\nendmodule",
+        );
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, ModuleItem::Initial(_))));
+    }
+
+    #[test]
+    fn generate_regions_parse() {
+        let m = parse_one(
+            "module m(input [3:0] a, output [3:0] y);\ngenvar i;\ngenerate\n\
+             assign y = a;\nendgenerate\nendmodule",
+        );
+        assert!(m.items.iter().any(|i| matches!(i, ModuleItem::Generate(_))));
+    }
+
+    #[test]
+    fn for_loop_statement_parses() {
+        let m = parse_one(
+            "module m(input [7:0] a, output reg [3:0] count);\ninteger i;\n\
+             always @* begin\n count = 0;\n for (i = 0; i < 8; i = i + 1) begin\n \
+             count = count + a[i];\n end\nend\nendmodule",
+        );
+        assert!(m.items.iter().any(|i| matches!(i, ModuleItem::Always(_))));
+    }
+}

@@ -1,0 +1,195 @@
+//! Syntax checking — the Icarus Verilog stand-in used by dataset curation.
+//!
+//! The paper runs `iverilog` over every candidate file and removes files
+//! with *syntax-specific* errors, explicitly tolerating unresolved references
+//! to modules defined in other files (§III-D2). [`SyntaxChecker`] reproduces
+//! that judgement with the in-crate lexer and parser.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::Module;
+use crate::parser::{ParseError, Parser};
+
+/// Why a file failed the syntax check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyntaxError {
+    /// The file could not be lexed or parsed.
+    Parse(ParseError),
+    /// The file parsed but contains no module definition at all (the paper's
+    /// corpus keeps only Verilog *design* files).
+    NoModules,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntaxError::Parse(e) => write!(f, "{e}"),
+            SyntaxError::NoModules => write!(f, "file contains no module definitions"),
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Summary of a successful syntax check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntaxReport {
+    /// Names of the modules defined in the file.
+    pub module_names: Vec<String>,
+    /// Names of modules that are instantiated but not defined in the file —
+    /// tolerated, exactly as the paper tolerates missing dependencies.
+    pub unresolved_instances: Vec<String>,
+}
+
+impl SyntaxReport {
+    /// Whether every instantiated module is defined in the same file.
+    pub fn is_self_contained(&self) -> bool {
+        self.unresolved_instances.is_empty()
+    }
+}
+
+/// Checks Verilog files for syntax correctness.
+///
+/// # Example
+///
+/// ```
+/// use verilog::SyntaxChecker;
+///
+/// let checker = SyntaxChecker::new();
+/// let report = checker.check("module top(input a, output y); sub u0(.a(a), .y(y)); endmodule")?;
+/// assert_eq!(report.module_names, vec!["top"]);
+/// assert_eq!(report.unresolved_instances, vec!["sub"]); // tolerated
+/// # Ok::<(), verilog::SyntaxError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyntaxChecker {
+    require_modules: bool,
+}
+
+impl SyntaxChecker {
+    /// Creates a checker with the paper's policy: files must parse and must
+    /// contain at least one module; unresolved instances are tolerated.
+    pub fn new() -> Self {
+        Self {
+            require_modules: true,
+        }
+    }
+
+    /// Creates a checker that accepts module-free files (useful for checking
+    /// snippets or include fragments).
+    pub fn allow_module_free_files() -> Self {
+        Self {
+            require_modules: false,
+        }
+    }
+
+    /// Checks `src`, returning a [`SyntaxReport`] on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyntaxError::Parse`] when the file cannot be lexed/parsed and
+    /// [`SyntaxError::NoModules`] when it parses but defines no module (and
+    /// the checker requires one).
+    pub fn check(&self, src: &str) -> Result<SyntaxReport, SyntaxError> {
+        let modules = Parser::parse_source(src).map_err(SyntaxError::Parse)?;
+        if modules.is_empty() && self.require_modules {
+            return Err(SyntaxError::NoModules);
+        }
+        Ok(Self::report(&modules))
+    }
+
+    /// Convenience predicate: does the file pass the syntax filter?
+    pub fn is_valid(&self, src: &str) -> bool {
+        self.check(src).is_ok()
+    }
+
+    fn report(modules: &[Module]) -> SyntaxReport {
+        let module_names: Vec<String> = modules.iter().map(|m| m.name.clone()).collect();
+        let mut unresolved = Vec::new();
+        for module in modules {
+            for inst in module.instances() {
+                if !module_names.iter().any(|n| *n == inst.module)
+                    && !unresolved.contains(&inst.module)
+                {
+                    unresolved.push(inst.module.clone());
+                }
+            }
+        }
+        SyntaxReport {
+            module_names,
+            unresolved_instances: unresolved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "module inv(input a, output y); assign y = ~a; endmodule";
+
+    #[test]
+    fn accepts_valid_module() {
+        let checker = SyntaxChecker::new();
+        let report = checker.check(GOOD).unwrap();
+        assert_eq!(report.module_names, vec!["inv"]);
+        assert!(report.is_self_contained());
+        assert!(checker.is_valid(GOOD));
+    }
+
+    #[test]
+    fn rejects_missing_port_comma() {
+        let checker = SyntaxChecker::new();
+        let err = checker
+            .check("module inv(input a output y); assign y = ~a; endmodule")
+            .unwrap_err();
+        assert!(matches!(err, SyntaxError::Parse(_)));
+        assert!(format!("{err}").contains("parse error"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let checker = SyntaxChecker::new();
+        assert!(!checker.is_valid("module inv(input a, output y); assign y = ~a;"));
+    }
+
+    #[test]
+    fn tolerates_unresolved_submodules() {
+        let checker = SyntaxChecker::new();
+        let report = checker
+            .check("module top(input a, output y); helper u (.a(a), .y(y)); endmodule")
+            .unwrap();
+        assert_eq!(report.unresolved_instances, vec!["helper"]);
+        assert!(!report.is_self_contained());
+    }
+
+    #[test]
+    fn resolved_submodules_are_not_reported() {
+        let checker = SyntaxChecker::new();
+        let src = "module helper(input a, output y); assign y = a; endmodule\n\
+                   module top(input a, output y); helper u (.a(a), .y(y)); endmodule";
+        let report = checker.check(src).unwrap();
+        assert!(report.is_self_contained());
+        assert_eq!(report.module_names.len(), 2);
+    }
+
+    #[test]
+    fn empty_file_fails_by_default_but_can_be_allowed() {
+        assert!(matches!(
+            SyntaxChecker::new().check("// just a comment\n"),
+            Err(SyntaxError::NoModules)
+        ));
+        assert!(SyntaxChecker::allow_module_free_files()
+            .check("// just a comment\n")
+            .is_ok());
+    }
+
+    #[test]
+    fn non_verilog_text_is_rejected() {
+        let checker = SyntaxChecker::new();
+        assert!(!checker.is_valid("This is a README, not Verilog."));
+        assert!(!checker.is_valid("{ \"json\": true }"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Token definitions shared by the lexer and parser.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Verilog keywords recognised by the front-end.
+///
+/// Only the keywords that occur in the synthesisable subset handled by the
+/// parser are distinguished; all other keywords are lexed as identifiers and
+/// rejected (or tolerated) by the parser where relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Integer,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    Posedge,
+    Negedge,
+    Or,
+    Signed,
+    Generate,
+    Endgenerate,
+    For,
+    Genvar,
+    Function,
+    Endfunction,
+    Task,
+    Endtask,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "integer" => Keyword::Integer,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "initial" => Keyword::Initial,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "casex" => Keyword::Casex,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "signed" => Keyword::Signed,
+            "generate" => Keyword::Generate,
+            "endgenerate" => Keyword::Endgenerate,
+            "for" => Keyword::For,
+            "genvar" => Keyword::Genvar,
+            "function" => Keyword::Function,
+            "endfunction" => Keyword::Endfunction,
+            "task" => Keyword::Task,
+            "endtask" => Keyword::Endtask,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Integer => "integer",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Initial => "initial",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Casex => "casex",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Signed => "signed",
+            Keyword::Generate => "generate",
+            Keyword::Endgenerate => "endgenerate",
+            Keyword::For => "for",
+            Keyword::Genvar => "genvar",
+            Keyword::Function => "function",
+            Keyword::Endfunction => "endfunction",
+            Keyword::Task => "task",
+            Keyword::Endtask => "endtask",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A recognised keyword.
+    Keyword(Keyword),
+    /// An identifier (including escaped identifiers with the leading `\`
+    /// removed and system identifiers such as `$display`).
+    Ident(String),
+    /// A numeric literal kept in its source spelling (`42`, `4'b1010`,
+    /// `8'hFF`, `1_000`).
+    Number(String),
+    /// A string literal (contents without the quotes).
+    StringLit(String),
+    /// An operator or punctuation symbol, e.g. `+`, `<=`, `&&`, `(`.
+    Symbol(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::StringLit(_) => write!(f, "string literal"),
+            TokenKind::Symbol(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, line: usize, column: usize) -> Self {
+        Self { kind, line, column }
+    }
+
+    /// Whether the token is the given symbol.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(&self.kind, TokenKind::Symbol(s) if s == sym)
+    }
+
+    /// Whether the token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(k) if *k == kw)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.kind, self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trips() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Endmodule,
+            Keyword::Assign,
+            Keyword::Always,
+            Keyword::Posedge,
+            Keyword::Casez,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_is_none() {
+        assert_eq!(Keyword::from_str("nonsense"), None);
+        assert_eq!(Keyword::from_str("Module"), None, "keywords are case sensitive");
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokenKind::Symbol("<=".into()), 3, 7);
+        assert!(t.is_symbol("<="));
+        assert!(!t.is_symbol("="));
+        assert!(!t.is_keyword(Keyword::Module));
+        let k = Token::new(TokenKind::Keyword(Keyword::Module), 1, 1);
+        assert!(k.is_keyword(Keyword::Module));
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let t = Token::new(TokenKind::Ident("foo".into()), 2, 5);
+        let s = format!("{t}");
+        assert!(s.contains("foo") && s.contains("2:5"));
+        assert!(format!("{}", TokenKind::Eof).contains("end of input"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the Verilog front-end and interpreter.
+
+use proptest::prelude::*;
+use verilog::interp::Value;
+use verilog::{extract_modules, strip_comments, Lexer, Parser, SyntaxChecker};
+
+/// A strategy producing random (mostly valid) simple combinational modules.
+fn simple_module_strategy() -> impl Strategy<Value = String> {
+    let ops = prop_oneof![
+        Just("&"),
+        Just("|"),
+        Just("^"),
+        Just("+"),
+        Just("-"),
+    ];
+    (1u32..=16, ops, any::<bool>()).prop_map(|(width, op, invert)| {
+        let inv = if invert { "~" } else { "" };
+        format!(
+            "module gen(input [{msb}:0] a, input [{msb}:0] b, output [{msb}:0] y);\n\
+             assign y = {inv}(a {op} b);\nendmodule\n",
+            msb = width - 1
+        )
+    })
+}
+
+/// Arbitrary printable-ASCII soup (to check nothing panics on garbage).
+fn ascii_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..300)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_ascii(text in ascii_soup()) {
+        // Lexing may fail, but it must fail with an error, not a panic.
+        let _ = Lexer::new(&text).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(text in ascii_soup()) {
+        let _ = Parser::parse_source(&text);
+    }
+
+    #[test]
+    fn strip_comments_is_idempotent(text in ascii_soup()) {
+        let once = strip_comments(&text);
+        let twice = strip_comments(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn generated_simple_modules_parse_and_pass_the_syntax_check(src in simple_module_strategy()) {
+        prop_assert!(SyntaxChecker::new().is_valid(&src), "rejected:\n{}", src);
+        let modules = Parser::parse_source(&src).unwrap();
+        prop_assert_eq!(modules.len(), 1);
+        prop_assert_eq!(modules[0].input_names().len(), 2);
+        prop_assert_eq!(modules[0].output_names(), vec!["y"]);
+    }
+
+    #[test]
+    fn module_extraction_finds_each_concatenated_module(count in 1usize..6) {
+        let src: String = (0..count)
+            .map(|i| format!("// header {i}\nmodule m{i}(input a, output y); assign y = a; endmodule\n"))
+            .collect();
+        let found = extract_modules(&src);
+        prop_assert_eq!(found.len(), count);
+        for m in found {
+            prop_assert!(m.starts_with("module"));
+            prop_assert!(m.ends_with("endmodule"));
+        }
+    }
+
+    #[test]
+    fn value_resize_roundtrip_preserves_low_bits(bits in any::<u64>(), width in 1u32..=64, wider in 0u32..=32) {
+        let v = Value::new(bits, width);
+        let grown = v.resize((width + wider).min(64));
+        prop_assert_eq!(grown.resize(width), v);
+    }
+
+    #[test]
+    fn value_concat_then_select_recovers_parts(hi_bits in any::<u64>(), lo_bits in any::<u64>(), hi_w in 1u32..=32, lo_w in 1u32..=32) {
+        let hi = Value::new(hi_bits, hi_w);
+        let lo = Value::new(lo_bits, lo_w);
+        let joined = hi.concat(lo);
+        prop_assert_eq!(joined.select_range(hi_w + lo_w - 1, lo_w), hi);
+        prop_assert_eq!(joined.select_range(lo_w - 1, 0), lo);
+    }
+
+    #[test]
+    fn value_sign_extension_preserves_signed_interpretation(bits in any::<u64>(), width in 1u32..=32, extra in 0u32..=31) {
+        let v = Value::new(bits, width);
+        let extended = v.sign_extend(width + extra);
+        prop_assert_eq!(v.as_signed(), extended.as_signed());
+    }
+}

@@ -1,0 +1,116 @@
+//! The unbiased pass@k estimator (Eq. 1 of the paper).
+
+/// Unbiased pass@k for one problem: the probability that at least one of `k`
+/// samples drawn (without replacement) from `n` generations is among the `c`
+/// correct ones.
+///
+/// `pass@k = 1 - C(n-c, k) / C(n, k)`, computed in the numerically stable
+/// product form. Follows the convention of the Codex paper that the estimate
+/// is clamped to 1 when `n - c < k`.
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k == 0` or `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use verilogeval::pass_at_k;
+///
+/// assert_eq!(pass_at_k(10, 0, 1), 0.0);
+/// assert_eq!(pass_at_k(10, 10, 1), 1.0);
+/// assert!((pass_at_k(10, 1, 1) - 0.1).abs() < 1e-12);
+/// assert!(pass_at_k(10, 3, 5) > pass_at_k(10, 3, 1));
+/// ```
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "correct count {c} cannot exceed sample count {n}");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= n, "k ({k}) cannot exceed the number of samples ({n})");
+    if n == c {
+        return 1.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // prod_{i=0}^{k-1} (n - c - i) / (n - i)
+    let mut fail_all = 1.0f64;
+    for i in 0..k {
+        fail_all *= (n - c - i) as f64 / (n - i) as f64;
+    }
+    1.0 - fail_all
+}
+
+/// Averages pass@k over a set of problems given `(n, c)` per problem.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`pass_at_k`] for any entry.
+pub fn mean_pass_at_k(results: &[(usize, usize)], k: usize) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results
+        .iter()
+        .map(|(n, c)| pass_at_k(*n, *c, k))
+        .sum::<f64>()
+        / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(pass_at_k(1, 0, 1), 0.0);
+        assert_eq!(pass_at_k(1, 1, 1), 1.0);
+        assert_eq!(pass_at_k(20, 20, 10), 1.0);
+        assert_eq!(pass_at_k(20, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn matches_closed_form_for_small_cases() {
+        // n=4, c=2, k=2: 1 - C(2,2)/C(4,2) = 1 - 1/6
+        assert!((pass_at_k(4, 2, 2) - (1.0 - 1.0 / 6.0)).abs() < 1e-12);
+        // n=5, c=1, k=3: 1 - C(4,3)/C(5,3) = 1 - 4/10
+        assert!((pass_at_k(5, 1, 3) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_k_and_c() {
+        for c in 0..=10 {
+            for k in 1..10 {
+                assert!(pass_at_k(10, c, k + 1) >= pass_at_k(10, c, k) - 1e-12);
+            }
+        }
+        for k in 1..=10 {
+            for c in 0..10 {
+                assert!(pass_at_k(10, c + 1, k) >= pass_at_k(10, c, k) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_to_one_when_failures_fewer_than_k() {
+        assert_eq!(pass_at_k(10, 8, 5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn too_many_correct_panics() {
+        let _ = pass_at_k(5, 6, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let _ = pass_at_k(5, 2, 0);
+    }
+
+    #[test]
+    fn mean_is_averaged_over_problems() {
+        let results = vec![(10, 10), (10, 0)];
+        assert!((mean_pass_at_k(&results, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_pass_at_k(&[], 1), 0.0);
+    }
+}

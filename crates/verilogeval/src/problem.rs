@@ -1,0 +1,160 @@
+//! A single benchmark problem.
+
+use serde::{Deserialize, Serialize};
+use verilog::interp::EvalError;
+use verilog::{Parser, Testbench};
+
+/// The design family of a problem, used for reporting per-family accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ProblemFamily {
+    Gate,
+    Mux,
+    Arithmetic,
+    Comparison,
+    Encoding,
+    Sequential,
+    Fsm,
+}
+
+/// One VerilogEval-style problem: a natural-language specification, the
+/// module interface the model must complete, a golden solution and a
+/// functional testbench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// Stable identifier (e.g. `"and2"`).
+    pub id: String,
+    /// Design family.
+    pub family: ProblemFamily,
+    /// Human-written description of the desired behaviour.
+    pub description: String,
+    /// The module header the model must continue (up to and including the
+    /// port list and `;`).
+    pub module_header: String,
+    /// A reference implementation that passes the testbench.
+    pub golden_solution: String,
+    /// Functional testbench applied to candidate solutions.
+    pub testbench: Testbench,
+}
+
+impl Problem {
+    /// The prompt presented to a model: the description as a comment block,
+    /// then the module header on the next line (the paper's prompt format).
+    pub fn prompt(&self) -> String {
+        let mut out = String::new();
+        for line in self.description.lines() {
+            out.push_str("// ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&self.module_header);
+        out.push('\n');
+        out
+    }
+
+    /// Assembles a full candidate module from a model completion (the text
+    /// generated after the prompt, expected to end with `endmodule`).
+    pub fn assemble(&self, completion: &str) -> String {
+        format!("{}\n{}\n", self.module_header, completion)
+    }
+
+    /// Functionally checks a full module source against the testbench.
+    ///
+    /// Returns `false` for any parse, elaboration or simulation failure —
+    /// a candidate that cannot be simulated is simply wrong, matching how
+    /// the real benchmark treats un-compilable completions.
+    pub fn check_source(&self, source: &str) -> bool {
+        let Ok(modules) = Parser::parse_source(source) else {
+            return false;
+        };
+        let Some(module) = modules.first() else {
+            return false;
+        };
+        matches!(self.testbench.passes(module), Ok(true))
+    }
+
+    /// Checks a model completion (text after the prompt).
+    pub fn check_completion(&self, completion: &str) -> bool {
+        self.check_source(&self.assemble(completion))
+    }
+
+    /// Verifies that the golden solution passes its own testbench.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying simulation error if the golden solution cannot
+    /// be parsed or simulated (a bug in the suite, caught by tests).
+    pub fn golden_passes(&self) -> Result<bool, EvalError> {
+        let modules = Parser::parse_source(&self.golden_solution)
+            .map_err(|e| EvalError::Elaboration(format!("golden solution parse error: {e}")))?;
+        let module = modules
+            .first()
+            .ok_or_else(|| EvalError::Elaboration("golden solution has no module".into()))?;
+        self.testbench.passes(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verilog::TestVector;
+
+    fn and_problem() -> Problem {
+        Problem {
+            id: "and2".into(),
+            family: ProblemFamily::Gate,
+            description: "Implement a 2-input AND gate.".into(),
+            module_header: "module top_module(input a, input b, output y);".into(),
+            golden_solution:
+                "module top_module(input a, input b, output y);\nassign y = a & b;\nendmodule\n"
+                    .into(),
+            testbench: Testbench::combinational(vec![
+                TestVector::combinational(
+                    vec![("a".into(), 0), ("b".into(), 1)],
+                    vec![("y".into(), 0)],
+                ),
+                TestVector::combinational(
+                    vec![("a".into(), 1), ("b".into(), 1)],
+                    vec![("y".into(), 1)],
+                ),
+            ]),
+        }
+    }
+
+    #[test]
+    fn prompt_contains_description_and_header() {
+        let p = and_problem();
+        let prompt = p.prompt();
+        assert!(prompt.starts_with("// Implement a 2-input AND gate."));
+        assert!(prompt.trim_end().ends_with("output y);"));
+    }
+
+    #[test]
+    fn golden_solution_passes() {
+        assert!(and_problem().golden_passes().unwrap());
+    }
+
+    #[test]
+    fn correct_completion_is_accepted() {
+        let p = and_problem();
+        assert!(p.check_completion("assign y = a & b;\nendmodule"));
+        assert!(p.check_completion("assign y = b & a; endmodule"));
+    }
+
+    #[test]
+    fn wrong_or_broken_completions_are_rejected() {
+        let p = and_problem();
+        assert!(!p.check_completion("assign y = a | b;\nendmodule"));
+        assert!(!p.check_completion("assign y = a & b;")); // missing endmodule
+        assert!(!p.check_completion("garbage <unk> tokens"));
+        assert!(!p.check_completion(""));
+    }
+
+    #[test]
+    fn assemble_prepends_the_header() {
+        let p = and_problem();
+        let full = p.assemble("assign y = a & b;\nendmodule");
+        assert!(full.starts_with("module top_module"));
+        assert!(full.contains("endmodule"));
+    }
+}

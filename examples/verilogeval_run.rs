@@ -1,0 +1,42 @@
+//! The VerilogEval-style functional evaluation (§III-E, Table II).
+//!
+//! ```text
+//! cargo run --release --example verilogeval_run [--full]
+//! ```
+//!
+//! Trains the base model and FreeV, evaluates both (4-bit quantised) on the
+//! built-in problem suite with the paper's protocol (temperatures 0.2/0.8,
+//! best-of, stop at `endmodule`), and prints Table II with the paper's
+//! reported rows alongside the measured ones.
+
+use free_fair_hw::freeset::config::ExperimentScale;
+use free_fair_hw::freeset::experiments::table2::Table2Experiment;
+use free_fair_hw::verilogeval::{EvalConfig, ProblemSuite};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::paper_default()
+    } else {
+        ExperimentScale::small()
+    };
+    let suite = ProblemSuite::verilog_eval_human();
+    println!(
+        "evaluating {} problems, 10 samples each, at temperatures 0.2 and 0.8 ({} repositories)…\n",
+        suite.len(),
+        scale.repo_count
+    );
+    let result = Table2Experiment::run_with(&scale, suite, EvalConfig::default());
+    println!("{}", result.render_markdown());
+
+    if let Some((base, freev)) = result.measured_pair() {
+        println!();
+        println!(
+            "measured improvement over the base model: pass@1 {:+.1}, pass@5 {:+.1}, pass@10 {:+.1} points",
+            freev.pass_at.0 - base.pass_at.0,
+            freev.pass_at.1 - base.pass_at.1,
+            freev.pass_at.2 - base.pass_at.2,
+        );
+        println!("paper-reported improvement:               pass@1 +0.7, pass@5 +7.9, pass@10 +10.1 points");
+    }
+}
