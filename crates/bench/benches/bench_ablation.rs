@@ -47,7 +47,11 @@ fn sweep_similarity_threshold(scraped: &ScrapedCorpus) -> String {
         ]);
     }
     markdown_table(
-        &["similarity threshold", "violation % (unfiltered fine-tune)", "mean max similarity"],
+        &[
+            "similarity threshold",
+            "violation % (unfiltered fine-tune)",
+            "mean max similarity",
+        ],
         &rows,
     )
 }
@@ -137,8 +141,8 @@ fn bench_one_point(c: &mut Criterion, scraped: &ScrapedCorpus) {
     group.sample_size(10);
     group.bench_function("dedup_threshold_085_pipeline", |b| {
         b.iter(|| {
-            let dataset =
-                CurationPipeline::new(CurationConfig::freeset()).run(black_box(scraped.files.clone()));
+            let dataset = CurationPipeline::new(CurationConfig::freeset())
+                .run(black_box(scraped.files.clone()));
             black_box(dataset.len())
         })
     });

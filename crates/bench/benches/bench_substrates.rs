@@ -8,12 +8,14 @@ use hwlm::{LanguageModel, NgramModel, SamplerConfig, TrainConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use textsim::{char_shingles, cosine_similarity, CodeTokenizer, LshIndex, LshParams, MinHasher};
-use verilog::{Parser, SyntaxChecker, Testbench, TestVector};
+use verilog::{Parser, SyntaxChecker, TestVector, Testbench};
 
 fn sample_sources(count: usize) -> Vec<String> {
     let synth = Synthesizer::new(SynthConfig::default());
     let mut rng = ChaCha8Rng::seed_from_u64(17);
-    (0..count).map(|_| synth.generate_random(&mut rng).source).collect()
+    (0..count)
+        .map(|_| synth.generate_random(&mut rng).source)
+        .collect()
 }
 
 fn bench_verilog(c: &mut Criterion, sources: &[String]) {
@@ -41,7 +43,10 @@ fn bench_verilog(c: &mut Criterion, sources: &[String]) {
     });
     group.bench_function("syntax_check_100_generated_files", |b| {
         b.iter(|| {
-            let ok = sources.iter().filter(|s| checker.is_valid(black_box(s))).count();
+            let ok = sources
+                .iter()
+                .filter(|s| checker.is_valid(black_box(s)))
+                .count();
             black_box(ok)
         })
     });
@@ -80,14 +85,26 @@ fn bench_textsim(c: &mut Criterion, sources: &[String]) {
 }
 
 fn bench_hwlm(c: &mut Criterion, sources: &[String]) {
-    let model = NgramModel::train(sources, &TrainConfig { order: 8, ..Default::default() });
+    let model = NgramModel::train(
+        sources,
+        &TrainConfig {
+            order: 8,
+            ..Default::default()
+        },
+    );
     let sampler = SamplerConfig::with_temperature(0.2);
 
     let mut group = c.benchmark_group("hwlm");
     group.sample_size(20);
     group.bench_function("train_ngram_on_100_files", |b| {
         b.iter(|| {
-            let m = NgramModel::train(black_box(sources), &TrainConfig { order: 8, ..Default::default() });
+            let m = NgramModel::train(
+                black_box(sources),
+                &TrainConfig {
+                    order: 8,
+                    ..Default::default()
+                },
+            );
             black_box(m.counts().trained_tokens())
         })
     });

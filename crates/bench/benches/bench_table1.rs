@@ -10,7 +10,10 @@ use freeset::modelzoo::ZooEntry;
 
 fn regenerate() {
     let result = Table1Experiment::run(&report_scale());
-    print_artifact("Table I — dataset comparison: paper vs measured", &result.render_markdown());
+    print_artifact(
+        "Table I — dataset comparison: paper vs measured",
+        &result.render_markdown(),
+    );
 }
 
 fn bench_policies(c: &mut Criterion) {

@@ -46,8 +46,10 @@ fn bench_eval(c: &mut Criterion) {
     });
     group.bench_function("freev_continual_pretraining", |b| {
         b.iter(|| {
-            let model = FreeVBuilder::default()
-                .build(black_box(&build.scraped), black_box(&build.training_corpus()));
+            let model = FreeVBuilder::default().build(
+                black_box(&build.scraped),
+                black_box(&build.training_corpus()),
+            );
             black_box(model.quantization_bits())
         })
     });

@@ -101,8 +101,7 @@ impl InfringementReport {
         if self.outcomes.is_empty() {
             0.0
         } else {
-            self.outcomes.iter().map(|o| o.max_similarity).sum::<f64>()
-                / self.outcomes.len() as f64
+            self.outcomes.iter().map(|o| o.max_similarity).sum::<f64>() / self.outcomes.len() as f64
         }
     }
 }
@@ -227,7 +226,14 @@ mod tests {
         let bench = benchmark(8);
         let mut corpus = open_corpus();
         corpus.extend((0..8).map(protected_file));
-        let leaky = NgramModel::train_named("leaky", &corpus, &TrainConfig { order: 8, ..Default::default() });
+        let leaky = NgramModel::train_named(
+            "leaky",
+            &corpus,
+            &TrainConfig {
+                order: 8,
+                ..Default::default()
+            },
+        );
         let report = bench.evaluate(&leaky);
         assert_eq!(report.prompts, 8);
         assert!(
@@ -257,7 +263,14 @@ mod tests {
         let bench = benchmark(10);
         let mut leaky_corpus = open_corpus();
         leaky_corpus.extend((0..10).map(protected_file));
-        let leaky = NgramModel::train_named("leaky", &leaky_corpus, &TrainConfig { order: 8, ..Default::default() });
+        let leaky = NgramModel::train_named(
+            "leaky",
+            &leaky_corpus,
+            &TrainConfig {
+                order: 8,
+                ..Default::default()
+            },
+        );
         let clean = NgramModel::train_named("clean", &open_corpus(), &TrainConfig::default());
         let leaky_rate = bench.evaluate(&leaky).violation_rate();
         let clean_rate = bench.evaluate(&clean).violation_rate();

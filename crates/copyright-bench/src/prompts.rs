@@ -102,7 +102,9 @@ mod tests {
              module vendor_block_{tag}(input clk, input rst, input [7:0] din, output reg [7:0] dout);\n"
         );
         for i in 0..40 {
-            body.push_str(&format!("wire [7:0] stage_{i};\nassign stage_{i} = din + {i};\n"));
+            body.push_str(&format!(
+                "wire [7:0] stage_{i};\nassign stage_{i} = din + {i};\n"
+            ));
         }
         body.push_str("always @(posedge clk) dout <= stage_9;\nendmodule\n");
         body
@@ -161,13 +163,7 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(build_prompts(&r, &c), build_prompts(&r, &c));
-        let other = build_prompts(
-            &r,
-            &PromptConfig {
-                seed: 999,
-                ..c
-            },
-        );
+        let other = build_prompts(&r, &PromptConfig { seed: 999, ..c });
         assert_ne!(build_prompts(&r, &c), other);
     }
 
@@ -182,8 +178,6 @@ mod tests {
             },
         );
         let long = build_prompts(&r, &PromptConfig::default());
-        assert!(
-            short[0].text.split_whitespace().count() < long[0].text.split_whitespace().count()
-        );
+        assert!(short[0].text.split_whitespace().count() < long[0].text.split_whitespace().count());
     }
 }

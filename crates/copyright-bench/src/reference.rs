@@ -21,7 +21,11 @@ pub struct ReferenceFile {
 
 impl ReferenceFile {
     /// Creates a reference file from raw contents.
-    pub fn new(identity: impl Into<String>, holder: Option<String>, raw: impl Into<String>) -> Self {
+    pub fn new(
+        identity: impl Into<String>,
+        holder: Option<String>,
+        raw: impl Into<String>,
+    ) -> Self {
         let raw = raw.into();
         let code = strip_comments(&raw).trim().to_string();
         Self {

@@ -99,9 +99,8 @@ mod tests {
     #[test]
     fn unrelated_code_scores_low() {
         let scorer = SimilarityScorer::new(&reference());
-        let (score, _) = scorer.max_similarity(
-            "module blink(input osc, output led); assign led = osc; endmodule",
-        );
+        let (score, _) = scorer
+            .max_similarity("module blink(input osc, output led); assign led = osc; endmodule");
         assert!(score < 0.8, "unrelated code scored {score}");
     }
 

@@ -106,9 +106,7 @@ impl CopyrightDetector {
         // that case.
         let has_open_spdx = header.contains("spdx-license-identifier")
             && !header.contains("licenseref-proprietary");
-        let strongly_matched = matched
-            .iter()
-            .any(|k| self.strong_keywords.contains(k));
+        let strongly_matched = matched.iter().any(|k| self.strong_keywords.contains(k));
         if matched.is_empty() || (has_open_spdx && !strongly_matched) {
             return None;
         }
@@ -181,7 +179,10 @@ mod tests {
     fn permissive_headers_are_not_flagged() {
         let d = CopyrightDetector::new();
         assert!(!d.is_protected(MIT_FILE));
-        assert!(!d.is_protected(BSD_FILE), "BSD boilerplate must not be flagged");
+        assert!(
+            !d.is_protected(BSD_FILE),
+            "BSD boilerplate must not be flagged"
+        );
     }
 
     #[test]
@@ -211,7 +212,10 @@ mod tests {
         let d = CopyrightDetector::with_keywords(vec!["Top Secret".into()], vec![]);
         let src = "// TOP SECRET hardware block\nmodule m; endmodule";
         assert!(d.is_protected(src));
-        assert!(!d.is_protected(PROPRIETARY), "default keywords are replaced");
+        assert!(
+            !d.is_protected(PROPRIETARY),
+            "default keywords are replaced"
+        );
         assert_eq!(d.strong_keywords(), &["top secret".to_string()]);
     }
 

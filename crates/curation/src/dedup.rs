@@ -9,7 +9,9 @@
 
 use gh_sim::ExtractedFile;
 use serde::{Deserialize, Serialize};
-use textsim::{char_shingles, jaccard_similarity, LshIndex, LshParams, MinHasher};
+use textsim::{char_shingles, jaccard_similarity, LshIndex, LshParams, MinHasher, ShingleSet};
+
+use crate::stage::ExecutionMode;
 
 /// Configuration of the de-duplicator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,21 +104,65 @@ impl Deduplicator {
         self.config
     }
 
+    /// Shingles one comment-stripped text: real-world copies typically
+    /// differ only in banner comments or header boilerplate, and the
+    /// similarity judgement should be about the code itself.
+    fn shingle_text(&self, text: &str) -> ShingleSet {
+        let code = verilog::strip_comments(text);
+        char_shingles(&code, self.config.shingle_size)
+    }
+
     /// De-duplicates a slice of raw texts, keeping the first occurrence of
-    /// each near-duplicate group.
-    pub fn dedup_texts<S: AsRef<str>>(&self, texts: &[S]) -> DedupOutcome {
+    /// each near-duplicate group. Runs single-threaded; see
+    /// [`Self::dedup_texts_with_mode`] for the parallel variant.
+    pub fn dedup_texts<S: AsRef<str> + Sync>(&self, texts: &[S]) -> DedupOutcome {
+        self.dedup_texts_with_mode(texts, ExecutionMode::Serial)
+    }
+
+    /// De-duplicates a slice of raw texts with the given execution mode.
+    ///
+    /// The keep/drop loop is inherently sequential (a file is compared
+    /// against previously *kept* files), but shingling and signature
+    /// construction — the dominant cost — are embarrassingly parallel:
+    /// parallel mode computes them for the whole batch up front (order
+    /// stable), while serial mode streams them per file so its peak memory
+    /// stays proportional to the *kept* set. The outcome is identical in
+    /// both modes.
+    pub fn dedup_texts_with_mode<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        mode: ExecutionMode,
+    ) -> DedupOutcome {
+        match mode {
+            ExecutionMode::Serial => self.dedup_prepared(texts.iter().map(|t| {
+                let shingles = self.shingle_text(t.as_ref());
+                let signature = self.hasher.signature(&shingles);
+                (shingles, signature)
+            })),
+            ExecutionMode::Parallel => {
+                use rayon::prelude::*;
+                let shingles: Vec<ShingleSet> = texts
+                    .par_iter()
+                    .map(|t| self.shingle_text(t.as_ref()))
+                    .collect();
+                let signatures = self.hasher.par_signatures(&shingles);
+                self.dedup_prepared(shingles.into_iter().zip(signatures))
+            }
+        }
+    }
+
+    /// The sequential first-occurrence-wins loop over prepared
+    /// (shingles, signature) pairs in input order.
+    fn dedup_prepared(
+        &self,
+        prepared: impl Iterator<Item = (ShingleSet, textsim::Signature)>,
+    ) -> DedupOutcome {
         let mut outcome = DedupOutcome::default();
         let mut index = LshIndex::new(self.lsh_params);
         // Shingle sets of kept documents, addressed by their input index.
-        let mut kept_shingles: Vec<(usize, textsim::ShingleSet)> = Vec::new();
+        let mut kept_shingles: Vec<(usize, ShingleSet)> = Vec::new();
 
-        for (i, text) in texts.iter().enumerate() {
-            // Shingle the comment-stripped text: real-world copies typically
-            // differ only in banner comments or header boilerplate, and the
-            // similarity judgement should be about the code itself.
-            let code = verilog::strip_comments(text.as_ref());
-            let shingles = char_shingles(&code, self.config.shingle_size);
-            let signature = self.hasher.signature(&shingles);
+        for (i, (shingles, signature)) in prepared.enumerate() {
             let mut duplicate_of: Option<(usize, f64)> = None;
             for candidate in index.candidates(&signature) {
                 let (kept_input_index, kept_set) = &kept_shingles[candidate as usize];
@@ -144,11 +190,12 @@ impl Deduplicator {
     /// De-duplicates extracted files by their content, returning the kept
     /// files (first occurrence wins) and the outcome.
     pub fn dedup_files(&self, files: Vec<ExtractedFile>) -> (Vec<ExtractedFile>, DedupOutcome) {
-        let outcome = self.dedup_texts(
+        let outcome = self.dedup_texts_with_mode(
             &files
                 .iter()
                 .map(|f| f.content.as_str())
                 .collect::<Vec<&str>>(),
+            ExecutionMode::Serial,
         );
         let keep: std::collections::HashSet<usize> = outcome.kept.iter().copied().collect();
         let kept_files = files
@@ -157,6 +204,39 @@ impl Deduplicator {
             .filter_map(|(i, f)| keep.contains(&i).then_some(f))
             .collect();
         (kept_files, outcome)
+    }
+
+    /// De-duplicates extracted files, splitting them into kept files and
+    /// `(removed_file, kept_input_index, similarity)` rows — the provenance
+    /// the stage engine records. Both lists preserve input order.
+    pub fn partition_files(
+        &self,
+        files: Vec<ExtractedFile>,
+        mode: ExecutionMode,
+    ) -> (Vec<ExtractedFile>, Vec<(ExtractedFile, usize, f64)>) {
+        let outcome = self.dedup_texts_with_mode(
+            &files
+                .iter()
+                .map(|f| f.content.as_str())
+                .collect::<Vec<&str>>(),
+            mode,
+        );
+        let removed_info: std::collections::HashMap<usize, (usize, f64)> = outcome
+            .removed
+            .iter()
+            .map(|&(dropped, kept, similarity)| (dropped, (kept, similarity)))
+            .collect();
+        let mut kept_files = Vec::with_capacity(outcome.kept.len());
+        let mut removed_files = Vec::with_capacity(outcome.removed.len());
+        for (i, file) in files.into_iter().enumerate() {
+            match removed_info.get(&i) {
+                None => kept_files.push(file),
+                Some(&(kept_index, similarity)) => {
+                    removed_files.push((file, kept_index, similarity));
+                }
+            }
+        }
+        (kept_files, removed_files)
     }
 }
 
@@ -189,16 +269,24 @@ mod tests {
         assert_eq!(outcome.removed.len(), 2);
         assert!((outcome.removal_rate() - 0.4).abs() < 1e-9);
         // The duplicates point back at the originals.
-        assert!(outcome.removed.iter().any(|(d, k, s)| *d == 3 && *k == 0 && *s >= 0.85));
+        assert!(outcome
+            .removed
+            .iter()
+            .any(|(d, k, s)| *d == 3 && *k == 0 && *s >= 0.85));
     }
 
     #[test]
     fn near_duplicates_with_banner_comments_are_removed() {
         let dedup = Deduplicator::new(DedupConfig::default());
         let base = distinct_docs()[0].clone();
-        let variant = format!("// imported from a vendor reference design\n{base}\n// end of file\n");
+        let variant =
+            format!("// imported from a vendor reference design\n{base}\n// end of file\n");
         let outcome = dedup.dedup_texts(&[base, variant]);
-        assert_eq!(outcome.kept.len(), 1, "banner-comment variant should be deduplicated");
+        assert_eq!(
+            outcome.kept.len(),
+            1,
+            "banner-comment variant should be deduplicated"
+        );
     }
 
     #[test]
@@ -261,6 +349,25 @@ mod tests {
         assert_eq!(kept.len(), 3);
         assert_eq!(outcome.removed.len(), 1);
         assert_eq!(kept[0].repo_full_name, "owner/repo0");
+    }
+
+    #[test]
+    fn parallel_mode_is_identical_to_serial() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = distinct_docs();
+        let many: Vec<String> = (0..60)
+            .map(|i| {
+                let base = &docs[i % docs.len()];
+                if i % 5 == 0 {
+                    base.clone() // planted duplicates
+                } else {
+                    format!("// file {i}\n{base}\nmodule pad_{i}(input p{i}); endmodule")
+                }
+            })
+            .collect();
+        let serial = dedup.dedup_texts_with_mode(&many, ExecutionMode::Serial);
+        let parallel = dedup.dedup_texts_with_mode(&many, ExecutionMode::Parallel);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,26 +1,40 @@
 //! The FreeSet dataset-curation framework (§III-B/C/D of the paper).
 //!
 //! The framework turns a raw bank of scraped Verilog files into a curated,
-//! fair-use training corpus through four stages, in the paper's order:
+//! fair-use training corpus through a sequence of [`CurationStage`]s. The
+//! paper's FreeSet policy runs these stages, in pipeline order:
 //!
-//! 1. **License filtering** ([`LicenseFilter`]): only repositories carrying
-//!    one of the accepted open-source licenses are kept; unlicensed
-//!    repositories are a legal grey area and are dropped.
-//! 2. **De-duplication** ([`Deduplicator`]): MinHash signatures with
-//!    locality-sensitive hashing retrieve near-duplicate candidates, which
-//!    are verified with exact Jaccard similarity at a 0.85 threshold.
-//! 3. **Syntax filtering** ([`SyntaxFilter`]): files that do not lex/parse
-//!    are removed (unresolved cross-file module references are tolerated).
-//! 4. **Per-file copyright filtering** ([`CopyrightDetector`]): header
-//!    comments are scanned for proprietary-copyright keyword combinations so
-//!    that protected files hidden inside "open-source" repositories are
-//!    removed.
+//! 1. **License filtering** ([`LicenseStage`] over [`LicenseFilter`]): only
+//!    repositories carrying one of the accepted open-source licenses are
+//!    kept; unlicensed repositories are a legal grey area and are dropped.
+//! 2. **Length capping** ([`LengthCapStage`]) — *optional*: prior-work
+//!    policies such as CodeV truncate their corpus at a maximum file length;
+//!    FreeSet itself applies no cap. The stage only runs when
+//!    [`CurationConfig::max_file_chars`] is set.
+//! 3. **De-duplication** ([`DedupStage`] over [`Deduplicator`]): MinHash
+//!    signatures with locality-sensitive hashing retrieve near-duplicate
+//!    candidates, which are verified with exact Jaccard similarity at a 0.85
+//!    threshold.
+//! 4. **Syntax filtering** ([`SyntaxStage`] over [`SyntaxFilter`]): files
+//!    that do not lex/parse are removed (unresolved cross-file module
+//!    references are tolerated).
+//! 5. **Per-file copyright filtering** ([`CopyrightStage`] over
+//!    [`CopyrightDetector`]): header comments are scanned for
+//!    proprietary-copyright keyword combinations so that protected files
+//!    hidden inside "open-source" repositories are removed.
 //!
-//! [`CurationPipeline`] chains the stages and records a [`FunnelStats`]
-//! describing how much each stage removed — the quantity reported in §IV-A
-//! of the paper. Stage toggles in [`CurationConfig`] also let the model zoo
-//! reproduce *prior works'* weaker policies (e.g. VeriGen's no-license-check
-//! curation) for the comparison experiments.
+//! [`CurationPipeline`] chains the stages and records a stage-keyed
+//! [`FunnelStats`] describing how much each stage removed — the quantity
+//! reported in §IV-A of the paper. Every removed file is retained in the
+//! dataset with provenance (a [`RejectedFile`] carrying its [`RejectReason`]
+//! and the rejecting stage's name). Stage toggles in [`CurationConfig`] let
+//! the model zoo reproduce *prior works'* weaker policies (e.g. VeriGen's
+//! no-license-check curation), and arbitrary custom [`CurationStage`]s can
+//! be appended with [`CurationPipeline::with_stage`].
+//!
+//! Per-file stages fan out across threads ([`ExecutionMode::Parallel`], the
+//! default) with order-stable merging, so parallel runs produce output
+//! identical to serial runs.
 //!
 //! # Example
 //!
@@ -33,7 +47,7 @@
 //! let scraped = Scraper::new(ScraperConfig::default()).run(&api)?;
 //! let dataset = CurationPipeline::new(CurationConfig::freeset()).run(scraped.files);
 //! assert!(dataset.len() > 0);
-//! assert!(dataset.funnel().initial >= dataset.len());
+//! assert!(dataset.funnel().initial() >= dataset.len());
 //! # Ok::<(), gh_sim::ApiError>(())
 //! ```
 
@@ -46,14 +60,20 @@ pub mod funnel;
 pub mod license_filter;
 pub mod pipeline;
 pub mod report;
+pub mod stage;
+pub mod stages;
 pub mod syntax_filter;
 
 pub use copyright::{CopyrightDetector, CopyrightFinding};
 pub use dedup::{DedupConfig, DedupOutcome, Deduplicator};
-pub use funnel::FunnelStats;
+pub use funnel::{FunnelStats, StageCount};
 pub use license_filter::LicenseFilter;
 pub use pipeline::{
     CuratedDataset, CuratedFile, CurationConfig, CurationPipeline, DatasetStructure,
 };
 pub use report::{DatasetSummary, LengthHistogram};
+pub use stage::{
+    stage_names, CurationStage, ExecutionMode, FileBatch, RejectReason, RejectedFile, StageOutcome,
+};
+pub use stages::{CopyrightStage, DedupStage, LengthCapStage, LicenseStage, SyntaxStage};
 pub use syntax_filter::SyntaxFilter;

@@ -1,13 +1,23 @@
-//! The end-to-end curation pipeline.
+//! The end-to-end curation pipeline: an executor over a [`CurationStage`]
+//! list.
+//!
+//! [`CurationPipeline::new`] assembles the stage list a [`CurationConfig`]'s
+//! toggles describe (the compatibility path every Table I policy uses);
+//! [`CurationPipeline::with_stage`] appends arbitrary custom stages, so
+//! experiments can curate with policies the paper never shipped. The
+//! pipeline runs each stage in order, records a stage-keyed [`FunnelStats`],
+//! and retains every rejection with provenance in the produced
+//! [`CuratedDataset`].
 
 use gh_sim::ExtractedFile;
 use serde::{Deserialize, Serialize};
 
 use crate::copyright::CopyrightDetector;
-use crate::dedup::{DedupConfig, Deduplicator};
+use crate::dedup::DedupConfig;
 use crate::funnel::FunnelStats;
 use crate::license_filter::LicenseFilter;
-use crate::syntax_filter::SyntaxFilter;
+use crate::stage::{CurationStage, ExecutionMode, FileBatch, RejectReason, RejectedFile};
+use crate::stages::{CopyrightStage, DedupStage, LengthCapStage, LicenseStage, SyntaxStage};
 
 /// How the curated dataset is meant to be consumed downstream — mirrored from
 /// Table I's "Dataset Structure" column.
@@ -20,7 +30,8 @@ pub enum DatasetStructure {
 }
 
 /// Configuration of a curation run. Stage toggles exist so that prior works'
-/// weaker policies can be reproduced for the comparison experiments.
+/// weaker policies can be reproduced for the comparison experiments; the
+/// pipeline turns them into the equivalent [`CurationStage`] list.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CurationConfig {
     /// Human-readable policy name (e.g. `"FreeSet"`, `"VeriGen"`).
@@ -105,7 +116,7 @@ pub struct CuratedDataset {
     augmented: bool,
     files: Vec<CuratedFile>,
     funnel: FunnelStats,
-    copyright_rejects: Vec<ExtractedFile>,
+    rejects: Vec<RejectedFile>,
 }
 
 impl CuratedDataset {
@@ -149,10 +160,23 @@ impl CuratedDataset {
         &self.funnel
     }
 
+    /// Every rejected file with full provenance (stage, reason, detail), in
+    /// rejection order.
+    pub fn rejects(&self) -> &[RejectedFile] {
+        &self.rejects
+    }
+
+    /// The rejected files removed for a specific reason.
+    pub fn rejects_for(&self, reason: RejectReason) -> impl Iterator<Item = &RejectedFile> {
+        self.rejects.iter().filter(move |r| r.reason == reason)
+    }
+
     /// Files the copyright filter rejected — the raw material for the
     /// copyrighted reference set of the infringement benchmark.
-    pub fn copyright_rejects(&self) -> &[ExtractedFile] {
-        &self.copyright_rejects
+    pub fn copyright_rejects(&self) -> Vec<&ExtractedFile> {
+        self.rejects_for(RejectReason::Copyright)
+            .map(|r| &r.file)
+            .collect()
     }
 
     /// Iterates over file contents (training corpus view).
@@ -161,7 +185,7 @@ impl CuratedDataset {
     }
 }
 
-/// Runs the staged curation pipeline.
+/// Runs a curation policy as a sequence of [`CurationStage`]s.
 ///
 /// # Example
 ///
@@ -170,23 +194,30 @@ impl CuratedDataset {
 ///
 /// let pipeline = CurationPipeline::new(CurationConfig::freeset());
 /// assert_eq!(pipeline.config().name, "FreeSet");
+/// assert_eq!(
+///     pipeline.stage_names(),
+///     vec!["license filter", "deduplication", "syntax filter", "copyright filter"],
+/// );
 /// ```
-#[derive(Debug, Clone)]
 pub struct CurationPipeline {
     config: CurationConfig,
     license_filter: LicenseFilter,
     copyright_detector: CopyrightDetector,
-    syntax_filter: SyntaxFilter,
+    custom_stages: Vec<Box<dyn CurationStage>>,
+    mode: ExecutionMode,
 }
 
 impl CurationPipeline {
-    /// Creates a pipeline from a policy configuration.
+    /// Creates a pipeline whose stage list mirrors the policy's toggles, in
+    /// the paper's order: license filter → (length filter) → de-duplication →
+    /// syntax check → per-file copyright check.
     pub fn new(config: CurationConfig) -> Self {
         Self {
             config,
             license_filter: LicenseFilter::paper_default(),
             copyright_detector: CopyrightDetector::new(),
-            syntax_filter: SyntaxFilter::new(),
+            custom_stages: Vec::new(),
+            mode: ExecutionMode::default(),
         }
     }
 
@@ -202,84 +233,100 @@ impl CurationPipeline {
         self
     }
 
+    /// Appends a custom stage, run after the policy's configured stages (in
+    /// registration order). This is how experiments express curation steps
+    /// the paper's toggle set cannot.
+    pub fn with_stage(mut self, stage: Box<dyn CurationStage>) -> Self {
+        self.custom_stages.push(stage);
+        self
+    }
+
+    /// Sets the execution mode (the default is [`ExecutionMode::Parallel`];
+    /// both modes produce identical output).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Convenience for `with_mode(ExecutionMode::Serial)`.
+    pub fn serial(self) -> Self {
+        self.with_mode(ExecutionMode::Serial)
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &CurationConfig {
         &self.config
     }
 
+    /// The execution mode in use.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Builds the stage list the configuration's toggles describe (without
+    /// the appended custom stages).
+    fn configured_stages(&self) -> Vec<Box<dyn CurationStage>> {
+        let mut stages: Vec<Box<dyn CurationStage>> = Vec::new();
+        if self.config.check_repository_license {
+            stages.push(Box::new(LicenseStage::new(self.license_filter.clone())));
+        }
+        if let Some(cap) = self.config.max_file_chars {
+            stages.push(Box::new(LengthCapStage::new(cap)));
+        }
+        if self.config.deduplicate {
+            stages.push(Box::new(DedupStage::new(self.config.dedup)));
+        }
+        if self.config.check_syntax {
+            stages.push(Box::new(SyntaxStage::new()));
+        }
+        if self.config.check_file_copyright {
+            stages.push(Box::new(CopyrightStage::new(
+                self.copyright_detector.clone(),
+            )));
+        }
+        stages
+    }
+
+    /// The names of the stages this pipeline will run, in order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.configured_stages()
+            .iter()
+            .map(|s| s.name().to_string())
+            .chain(self.custom_stages.iter().map(|s| s.name().to_string()))
+            .collect()
+    }
+
     /// Runs the pipeline over a bank of extracted files.
-    ///
-    /// Stage order follows the paper: license filter → (length filter) →
-    /// de-duplication → syntax check → per-file copyright check.
     pub fn run(&self, files: Vec<ExtractedFile>) -> CuratedDataset {
-        let mut funnel = FunnelStats {
-            initial: files.len(),
-            ..Default::default()
-        };
-
-        // Stage 1: repository license filter.
-        let files = if self.config.check_repository_license {
-            let (accepted, _) = self.license_filter.partition(files);
-            accepted
-        } else {
-            files
-        };
-        funnel.after_license_filter = files.len();
-
-        // Stage 1b: optional length cap (prior-work policies only).
-        let files: Vec<ExtractedFile> = match self.config.max_file_chars {
-            Some(cap) => files.into_iter().filter(|f| f.char_len() <= cap).collect(),
-            None => files,
-        };
-        funnel.after_length_filter = files.len();
-
-        // Stage 2: MinHash/LSH de-duplication.
-        let files = if self.config.deduplicate {
-            let dedup = Deduplicator::new(self.config.dedup);
-            let (kept, _) = dedup.dedup_files(files);
-            kept
-        } else {
-            files
-        };
-        funnel.after_dedup = files.len();
-
-        // Stage 3: syntax filter.
-        let files: Vec<ExtractedFile> = if self.config.check_syntax {
-            files
-                .into_iter()
-                .filter(|f| self.syntax_filter.passes(&f.content))
-                .collect()
-        } else {
-            files
-        };
-        funnel.after_syntax_filter = files.len();
-
-        // Stage 4: per-file copyright filter.
-        let mut copyright_rejects = Vec::new();
-        let files: Vec<ExtractedFile> = if self.config.check_file_copyright {
-            files
-                .into_iter()
-                .filter_map(|f| {
-                    if self.copyright_detector.is_protected(&f.content) {
-                        copyright_rejects.push(f);
-                        None
-                    } else {
-                        Some(f)
-                    }
-                })
-                .collect()
-        } else {
-            files
-        };
-        funnel.after_copyright_filter = files.len();
-
+        let mut funnel = FunnelStats::new(files.len());
+        let mut rejects: Vec<RejectedFile> = Vec::new();
+        let mut files = files;
+        let configured = self.configured_stages();
+        let stages = configured
+            .iter()
+            .map(Box::as_ref)
+            .chain(self.custom_stages.iter().map(Box::as_ref));
+        for stage in stages {
+            let mut outcome = stage.apply(FileBatch::new(files, self.mode));
+            funnel.record(stage.name(), outcome.kept.len());
+            // Stamp rejections with the stage's canonical name so provenance
+            // always keys the same way as the funnel, even when a stage's
+            // `apply` tagged them inconsistently.
+            for reject in &mut outcome.rejected {
+                if reject.stage != stage.name() {
+                    reject.stage = stage.name().to_string();
+                }
+            }
+            rejects.extend(outcome.rejected);
+            files = outcome.kept;
+        }
         CuratedDataset {
             name: self.config.name.clone(),
             structure: self.config.structure,
             augmented: self.config.augmented,
             files: files.into_iter().map(|file| CuratedFile { file }).collect(),
             funnel,
-            copyright_rejects,
+            rejects,
         }
     }
 }
@@ -287,6 +334,7 @@ impl CurationPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::StageOutcome;
     use gh_sim::{GithubApi, License, Scraper, ScraperConfig, Universe, UniverseConfig};
 
     fn scraped_corpus(repos: usize, seed: u64) -> Vec<ExtractedFile> {
@@ -307,10 +355,11 @@ mod tests {
         let files = scraped_corpus(120, 31);
         let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
         let funnel = dataset.funnel();
-        assert!(funnel.initial > funnel.after_license_filter);
-        assert!(funnel.after_length_filter >= funnel.after_dedup);
-        assert!(funnel.after_dedup >= funnel.after_syntax_filter);
-        assert!(funnel.after_syntax_filter >= funnel.after_copyright_filter);
+        assert!(funnel.initial() > funnel.after("license filter"));
+        assert!(funnel.after("license filter") >= funnel.after("deduplication"));
+        assert!(funnel.after("deduplication") >= funnel.after("syntax filter"));
+        assert!(funnel.after("syntax filter") >= funnel.after("copyright filter"));
+        assert!(funnel.is_monotone());
         assert_eq!(funnel.final_count(), dataset.len());
         assert!(!dataset.is_empty());
         assert!(dataset.total_chars() > 0);
@@ -340,6 +389,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_output_is_identical_to_serial() {
+        let files = scraped_corpus(100, 17);
+        let serial = CurationPipeline::new(CurationConfig::freeset())
+            .serial()
+            .run(files.clone());
+        let parallel = CurationPipeline::new(CurationConfig::freeset())
+            .with_mode(ExecutionMode::Parallel)
+            .run(files);
+        // Structural equality covers files, funnel and all rejections…
+        assert_eq!(serial, parallel);
+        // …and the Debug rendering pins byte-identical output.
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+
+    #[test]
+    fn rejects_carry_stage_provenance() {
+        let files = scraped_corpus(150, 77);
+        let count = files.len();
+        let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
+        // Conservation: every input file is either kept or rejected.
+        assert_eq!(dataset.len() + dataset.rejects().len(), count);
+        // Every enabled reason appears with its canonical stage name.
+        for (reason, stage) in [
+            (RejectReason::License, "license filter"),
+            (RejectReason::Duplicate, "deduplication"),
+            (RejectReason::Syntax, "syntax filter"),
+            (RejectReason::Copyright, "copyright filter"),
+        ] {
+            let rejected: Vec<_> = dataset.rejects_for(reason).collect();
+            assert!(!rejected.is_empty(), "no {reason:?} rejections");
+            assert!(rejected.iter().all(|r| r.stage == stage));
+        }
+        // Duplicates carry their similarity detail.
+        assert!(dataset.rejects_for(RejectReason::Duplicate).all(|r| r
+            .detail
+            .as_deref()
+            .unwrap_or("")
+            .contains("jaccard")));
+    }
+
+    #[test]
     fn copyright_rejects_are_reported_and_protected() {
         let files = scraped_corpus(200, 77);
         let dataset = CurationPipeline::new(CurationConfig::freeset()).run(files);
@@ -365,6 +455,7 @@ mod tests {
         let dataset = CurationPipeline::new(CurationConfig::unfiltered("Raw")).run(files);
         assert_eq!(dataset.len(), count);
         assert_eq!(dataset.funnel().overall_survival_rate(), 1.0);
+        assert!(dataset.rejects().is_empty());
     }
 
     #[test]
@@ -375,6 +466,10 @@ mod tests {
         let dataset = CurationPipeline::new(config).run(files.clone());
         assert!(dataset.len() < files.len());
         assert!(dataset.files().iter().all(|f| f.char_len() <= 600));
+        assert!(dataset
+            .rejects()
+            .iter()
+            .all(|r| r.reason == RejectReason::LengthCap && r.stage == "length filter"));
     }
 
     #[test]
@@ -384,7 +479,9 @@ mod tests {
         let permissive = CurationPipeline::new(CurationConfig::freeset())
             .with_license_filter(LicenseFilter::permissive_only())
             .run(files);
-        assert!(permissive.funnel().after_license_filter < default.funnel().after_license_filter);
+        assert!(
+            permissive.funnel().after("license filter") < default.funnel().after("license filter")
+        );
     }
 
     #[test]
@@ -404,5 +501,50 @@ mod tests {
         assert_eq!(dataset.structure(), DatasetStructure::ContinualPretraining);
         assert!(!dataset.augmented());
         assert!(dataset.is_empty());
+    }
+
+    /// A custom stage: drops files under a minimum length.
+    struct MinLengthStage {
+        min_chars: usize,
+    }
+
+    impl CurationStage for MinLengthStage {
+        fn name(&self) -> &str {
+            "min-length"
+        }
+
+        fn apply(&self, batch: FileBatch) -> StageOutcome {
+            batch.partition("min-length", RejectReason::LengthCap, |f| {
+                f.char_len() >= self.min_chars
+            })
+        }
+    }
+
+    #[test]
+    fn custom_stages_run_after_configured_stages() {
+        let files = scraped_corpus(80, 41);
+        let pipeline = CurationPipeline::new(CurationConfig::freeset())
+            .with_stage(Box::new(MinLengthStage { min_chars: 200 }));
+        assert_eq!(pipeline.stage_names().last().unwrap(), "min-length");
+        let dataset = pipeline.run(files.clone());
+        assert!(dataset.files().iter().all(|f| f.char_len() >= 200));
+        // The funnel records the custom stage under its own name.
+        assert!(dataset.funnel().stage("min-length").is_some());
+        assert!(dataset.funnel().is_monotone());
+        // And the reference run without the stage keeps shorter files.
+        let plain = CurationPipeline::new(CurationConfig::freeset()).run(files);
+        assert!(plain.files().iter().any(|f| f.char_len() < 200));
+    }
+
+    #[test]
+    fn stage_list_matches_toggles() {
+        let mut config = CurationConfig::unfiltered("Partial");
+        config.deduplicate = true;
+        config.max_file_chars = Some(1_000);
+        let pipeline = CurationPipeline::new(config);
+        assert_eq!(
+            pipeline.stage_names(),
+            vec!["length filter", "deduplication"]
+        );
     }
 }

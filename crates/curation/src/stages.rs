@@ -1,0 +1,304 @@
+//! [`CurationStage`] implementations for the paper's four filters plus the
+//! prior-work length cap.
+//!
+//! Each stage wraps one of the reusable filter components
+//! ([`LicenseFilter`], [`Deduplicator`], [`SyntaxFilter`],
+//! [`CopyrightDetector`]) and adapts it to the batch-in/outcome-out stage
+//! interface with provenance-tagged rejections.
+
+use crate::copyright::CopyrightDetector;
+use crate::dedup::{DedupConfig, Deduplicator};
+use crate::license_filter::LicenseFilter;
+use crate::stage::{stage_names, CurationStage, FileBatch, RejectReason, StageOutcome};
+use crate::syntax_filter::SyntaxFilter;
+
+/// Drops files from repositories without an accepted license
+/// ([`stage_names::LICENSE`]).
+#[derive(Debug, Clone, Default)]
+pub struct LicenseStage {
+    filter: LicenseFilter,
+}
+
+impl LicenseStage {
+    /// Stage over the paper's accepted-license set.
+    pub fn new(filter: LicenseFilter) -> Self {
+        Self { filter }
+    }
+
+    /// The wrapped filter.
+    pub fn filter(&self) -> &LicenseFilter {
+        &self.filter
+    }
+}
+
+impl CurationStage for LicenseStage {
+    fn name(&self) -> &str {
+        stage_names::LICENSE
+    }
+
+    fn apply(&self, batch: FileBatch) -> StageOutcome {
+        batch.partition(stage_names::LICENSE, RejectReason::License, |f| {
+            self.filter.accepts(f)
+        })
+    }
+}
+
+/// Drops files longer than a maximum character count
+/// ([`stage_names::LENGTH`]) — prior-work policies such as CodeV truncate
+/// their corpus this way.
+#[derive(Debug, Clone, Copy)]
+pub struct LengthCapStage {
+    max_chars: usize,
+}
+
+impl LengthCapStage {
+    /// Stage keeping only files of at most `max_chars` characters.
+    pub fn new(max_chars: usize) -> Self {
+        Self { max_chars }
+    }
+
+    /// The cap in characters.
+    pub fn max_chars(&self) -> usize {
+        self.max_chars
+    }
+}
+
+impl CurationStage for LengthCapStage {
+    fn name(&self) -> &str {
+        stage_names::LENGTH
+    }
+
+    fn apply(&self, batch: FileBatch) -> StageOutcome {
+        batch.partition(stage_names::LENGTH, RejectReason::LengthCap, |f| {
+            f.char_len() <= self.max_chars
+        })
+    }
+}
+
+/// Removes near-duplicates with MinHash/LSH ([`stage_names::DEDUP`]).
+///
+/// The keep/drop decision is order-dependent (first occurrence wins) and runs
+/// sequentially; the expensive per-file shingling and MinHash signature
+/// construction fans out across threads in parallel mode.
+#[derive(Debug, Clone)]
+pub struct DedupStage {
+    dedup: Deduplicator,
+}
+
+impl DedupStage {
+    /// Stage with the given de-duplication parameters.
+    pub fn new(config: DedupConfig) -> Self {
+        Self {
+            dedup: Deduplicator::new(config),
+        }
+    }
+
+    /// The wrapped de-duplicator.
+    pub fn deduplicator(&self) -> &Deduplicator {
+        &self.dedup
+    }
+}
+
+impl CurationStage for DedupStage {
+    fn name(&self) -> &str {
+        stage_names::DEDUP
+    }
+
+    fn apply(&self, batch: FileBatch) -> StageOutcome {
+        let mode = batch.mode();
+        let files = batch.into_files();
+        let (kept, removed) = self.dedup.partition_files(files, mode);
+        let mut outcome = StageOutcome::keep_all(kept);
+        for (file, kept_index, similarity) in removed {
+            outcome.reject(
+                file,
+                stage_names::DEDUP,
+                RejectReason::Duplicate,
+                Some(format!(
+                    "duplicate of kept file #{kept_index} (jaccard {similarity:.3})"
+                )),
+            );
+        }
+        outcome
+    }
+}
+
+/// Removes files that fail the syntax check ([`stage_names::SYNTAX`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntaxStage {
+    filter: SyntaxFilter,
+}
+
+impl SyntaxStage {
+    /// Stage over the standard syntax checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CurationStage for SyntaxStage {
+    fn name(&self) -> &str {
+        stage_names::SYNTAX
+    }
+
+    fn apply(&self, batch: FileBatch) -> StageOutcome {
+        batch.partition(stage_names::SYNTAX, RejectReason::Syntax, |f| {
+            self.filter.passes(&f.content)
+        })
+    }
+}
+
+/// Removes files whose headers carry proprietary-copyright language
+/// ([`stage_names::COPYRIGHT`]). Rejections record the matched keywords and
+/// parsed holder as detail.
+#[derive(Debug, Clone, Default)]
+pub struct CopyrightStage {
+    detector: CopyrightDetector,
+}
+
+impl CopyrightStage {
+    /// Stage over the given detector.
+    pub fn new(detector: CopyrightDetector) -> Self {
+        Self { detector }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &CopyrightDetector {
+        &self.detector
+    }
+}
+
+impl CurationStage for CopyrightStage {
+    fn name(&self) -> &str {
+        stage_names::COPYRIGHT
+    }
+
+    fn apply(&self, batch: FileBatch) -> StageOutcome {
+        // Scan in parallel (order-stable), partition serially so rejections
+        // keep their detail.
+        let findings = batch.map_files(|f| self.detector.scan(&f.content));
+        let mut outcome = StageOutcome::with_capacity(batch.len());
+        for (file, finding) in batch.into_files().into_iter().zip(findings) {
+            match finding {
+                None => outcome.kept.push(file),
+                Some(finding) => {
+                    let detail = match &finding.holder {
+                        Some(holder) => {
+                            format!("matched {:?}, holder {holder}", finding.matched_keywords)
+                        }
+                        None => format!("matched {:?}", finding.matched_keywords),
+                    };
+                    outcome.reject(
+                        file,
+                        stage_names::COPYRIGHT,
+                        RejectReason::Copyright,
+                        Some(detail),
+                    );
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::ExecutionMode;
+    use gh_sim::{ExtractedFile, License};
+
+    fn file(i: usize, license: License, content: &str) -> ExtractedFile {
+        ExtractedFile {
+            repo_id: i as u64,
+            repo_full_name: format!("o/r{i}"),
+            owner: "o".into(),
+            repo_license: license,
+            created_year: 2020,
+            path: format!("f{i}.v"),
+            content: content.into(),
+        }
+    }
+
+    fn batch(files: Vec<ExtractedFile>) -> FileBatch {
+        FileBatch::new(files, ExecutionMode::Parallel)
+    }
+
+    #[test]
+    fn license_stage_tags_rejections() {
+        let stage = LicenseStage::new(LicenseFilter::paper_default());
+        let outcome = stage.apply(batch(vec![
+            file(0, License::Mit, "module m; endmodule"),
+            file(1, License::None, "module m; endmodule"),
+            file(2, License::Proprietary, "module m; endmodule"),
+        ]));
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.rejected.len(), 2);
+        assert!(outcome
+            .rejected
+            .iter()
+            .all(|r| r.reason == RejectReason::License));
+        assert_eq!(stage.name(), "license filter");
+    }
+
+    #[test]
+    fn length_stage_caps() {
+        let stage = LengthCapStage::new(10);
+        let outcome = stage.apply(batch(vec![
+            file(0, License::Mit, "short"),
+            file(1, License::Mit, "much longer than ten characters"),
+        ]));
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.rejected[0].reason, RejectReason::LengthCap);
+        assert_eq!(stage.max_chars(), 10);
+    }
+
+    #[test]
+    fn dedup_stage_records_duplicate_provenance() {
+        let stage = DedupStage::new(DedupConfig::default());
+        let body =
+            "module alu(input [3:0] a, input [3:0] b, output [3:0] y); assign y = a + b; endmodule";
+        let outcome = stage.apply(batch(vec![
+            file(0, License::Mit, body),
+            file(1, License::Mit, body),
+        ]));
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.rejected.len(), 1);
+        let r = &outcome.rejected[0];
+        assert_eq!(r.reason, RejectReason::Duplicate);
+        assert!(r
+            .detail
+            .as_deref()
+            .unwrap()
+            .contains("duplicate of kept file #0"));
+    }
+
+    #[test]
+    fn syntax_stage_drops_broken_files() {
+        let stage = SyntaxStage::new();
+        let outcome = stage.apply(batch(vec![
+            file(
+                0,
+                License::Mit,
+                "module m(input a, output y); assign y = a; endmodule",
+            ),
+            file(1, License::Mit, "not verilog"),
+        ]));
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.rejected[0].reason, RejectReason::Syntax);
+    }
+
+    #[test]
+    fn copyright_stage_carries_match_detail() {
+        let stage = CopyrightStage::new(CopyrightDetector::new());
+        let outcome = stage.apply(batch(vec![
+            file(0, License::Mit, "// Copyright (C) 2019 Intel Corporation. All rights reserved.\n// PROPRIETARY and CONFIDENTIAL.\nmodule m; endmodule"),
+            file(1, License::Mit, "module m; endmodule"),
+        ]));
+        assert_eq!(outcome.kept.len(), 1);
+        let r = &outcome.rejected[0];
+        assert_eq!(r.reason, RejectReason::Copyright);
+        let detail = r.detail.as_deref().unwrap();
+        assert!(detail.contains("proprietary"), "detail: {detail}");
+        assert!(detail.contains("Intel"), "detail: {detail}");
+    }
+}

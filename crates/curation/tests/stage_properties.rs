@@ -1,0 +1,158 @@
+//! Property-based tests over the stage engine: for *any* subset of stages,
+//! any length cap and any universe seed, the funnel must narrow
+//! monotonically, every input file must be conserved as either a survivor or
+//! a provenance-tagged rejection, and parallel execution must be
+//! indistinguishable from serial execution.
+
+use curation::{
+    CurationConfig, CurationPipeline, CurationStage, ExecutionMode, FileBatch, RejectReason,
+    StageOutcome,
+};
+use gh_sim::{ExtractedFile, GithubApi, Scraper, ScraperConfig, Universe, UniverseConfig};
+use proptest::prelude::*;
+
+fn corpus(repos: usize, seed: u64) -> Vec<ExtractedFile> {
+    let universe = Universe::generate(&UniverseConfig {
+        repo_count: repos,
+        seed,
+        ..Default::default()
+    });
+    let api = GithubApi::new(&universe);
+    Scraper::new(ScraperConfig::default())
+        .run(&api)
+        .expect("scrape")
+        .files
+}
+
+/// An arbitrary stage-subset policy: every toggle combination plus an
+/// optional length cap.
+fn policy_strategy() -> impl Strategy<Value = CurationConfig> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(0usize), 200usize..2_000],
+    )
+        .prop_map(|(license, copyright, dedup, syntax, cap)| {
+            let mut config = CurationConfig::unfiltered("Arbitrary");
+            config.check_repository_license = license;
+            config.check_file_copyright = copyright;
+            config.deduplicate = dedup;
+            config.check_syntax = syntax;
+            config.max_file_chars = (cap > 0).then_some(cap);
+            config
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn funnel_is_monotone_for_any_stage_subset(
+        policy in policy_strategy(),
+        repos in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let files = corpus(repos, seed);
+        let initial = files.len();
+        let dataset = CurationPipeline::new(policy).run(files);
+        let funnel = dataset.funnel();
+        prop_assert_eq!(funnel.initial(), initial);
+        prop_assert!(funnel.is_monotone(), "funnel not monotone: {:?}", funnel);
+        // Explicitly: each stage's survivor count never exceeds its input.
+        let mut previous = initial;
+        for stage in funnel.stages() {
+            prop_assert!(stage.surviving <= previous,
+                "stage {} grew the corpus ({} -> {})", stage.stage, previous, stage.surviving);
+            previous = stage.surviving;
+        }
+        prop_assert_eq!(funnel.final_count(), dataset.len());
+    }
+
+    #[test]
+    fn rejection_provenance_is_conserved(
+        policy in policy_strategy(),
+        repos in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let files = corpus(repos, seed);
+        let initial = files.len();
+        let enabled_license = policy.check_repository_license;
+        let enabled_copyright = policy.check_file_copyright;
+        let enabled_dedup = policy.deduplicate;
+        let enabled_syntax = policy.check_syntax;
+        let enabled_cap = policy.max_file_chars.is_some();
+        let dataset = CurationPipeline::new(policy).run(files);
+
+        // kept + all rejects == initial.
+        prop_assert_eq!(dataset.len() + dataset.rejects().len(), initial);
+
+        // Rejects only carry reasons whose stage actually ran.
+        for reject in dataset.rejects() {
+            let allowed = match reject.reason {
+                RejectReason::License => enabled_license,
+                RejectReason::LengthCap => enabled_cap,
+                RejectReason::Duplicate => enabled_dedup,
+                RejectReason::Syntax => enabled_syntax,
+                RejectReason::Copyright => enabled_copyright,
+            };
+            prop_assert!(allowed, "reason {:?} from disabled stage {}", reject.reason, reject.stage);
+        }
+
+        // Per-stage removals in the funnel equal the per-stage reject counts.
+        for stage in dataset.funnel().stages() {
+            let tagged = dataset
+                .rejects()
+                .iter()
+                .filter(|r| r.stage == stage.stage)
+                .count();
+            prop_assert_eq!(stage.removed(), tagged,
+                "funnel says stage {} removed {} but {} rejects are tagged with it",
+                &stage.stage, stage.removed(), tagged);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_any_policy(
+        policy in policy_strategy(),
+        repos in 5usize..15,
+        seed in any::<u64>(),
+    ) {
+        let files = corpus(repos, seed);
+        let serial = CurationPipeline::new(policy.clone())
+            .with_mode(ExecutionMode::Serial)
+            .run(files.clone());
+        let parallel = CurationPipeline::new(policy)
+            .with_mode(ExecutionMode::Parallel)
+            .run(files);
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+}
+
+/// A growing "stage" violates the filter contract; the monotonicity check
+/// must catch it (regression guard for the `is_monotone` invariant itself).
+#[test]
+fn monotonicity_check_catches_growing_stages() {
+    struct Duplicator2x;
+
+    impl CurationStage for Duplicator2x {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+
+        fn apply(&self, batch: FileBatch) -> StageOutcome {
+            let mut files = batch.into_files();
+            let copies: Vec<ExtractedFile> = files.clone();
+            files.extend(copies);
+            StageOutcome::keep_all(files)
+        }
+    }
+
+    let files = corpus(5, 77);
+    let dataset = CurationPipeline::new(CurationConfig::unfiltered("Growing"))
+        .with_stage(Box::new(Duplicator2x))
+        .run(files);
+    assert!(!dataset.funnel().is_monotone());
+}

@@ -96,9 +96,7 @@ mod tests {
     #[test]
     fn scales_increase_monotonically() {
         assert!(ExperimentScale::tiny().repo_count < ExperimentScale::small().repo_count);
-        assert!(
-            ExperimentScale::small().repo_count < ExperimentScale::paper_default().repo_count
-        );
+        assert!(ExperimentScale::small().repo_count < ExperimentScale::paper_default().repo_count);
         assert_eq!(ExperimentScale::default(), ExperimentScale::paper_default());
     }
 

@@ -86,12 +86,23 @@ impl ScrapedCorpus {
 /// ```
 pub fn general_code_corpus(documents: usize, seed: u64) -> Vec<String> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..documents).map(|i| general_document(i, &mut rng)).collect()
+    (0..documents)
+        .map(|i| general_document(i, &mut rng))
+        .collect()
 }
 
 fn general_document<R: Rng>(index: usize, rng: &mut R) -> String {
-    const FUNCS: &[&str] = &["compute", "process", "update", "transform", "handle", "parse"];
-    const VARS: &[&str] = &["value", "count", "total", "buffer", "index", "result", "size"];
+    const FUNCS: &[&str] = &[
+        "compute",
+        "process",
+        "update",
+        "transform",
+        "handle",
+        "parse",
+    ];
+    const VARS: &[&str] = &[
+        "value", "count", "total", "buffer", "index", "result", "size",
+    ];
     let func = FUNCS[rng.gen_range(0..FUNCS.len())];
     let var_a = VARS[rng.gen_range(0..VARS.len())];
     let var_b = VARS[rng.gen_range(0..VARS.len())];

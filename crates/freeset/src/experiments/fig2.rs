@@ -54,9 +54,7 @@ impl Fig2Experiment {
         Self {
             scale: *scale,
             freeset: LengthHistogram::from_lengths(freeset_lengths),
-            verigen: LengthHistogram::from_lengths(
-                verigen.files().iter().map(|f| f.char_len()),
-            ),
+            verigen: LengthHistogram::from_lengths(verigen.files().iter().map(|f| f.char_len())),
             freeset_max_chars,
         }
     }

@@ -1,6 +1,6 @@
 //! §IV-A — the dataset-minimisation funnel.
 
-use curation::FunnelStats;
+use curation::{stage_names, FunnelStats};
 use gh_sim::{ScrapeReport, UniverseStats};
 use serde::{Deserialize, Serialize};
 
@@ -10,17 +10,19 @@ use crate::report::{markdown_table, pct};
 
 /// The paper's reported funnel (absolute counts at GitHub scale).
 pub fn paper_funnel() -> FunnelStats {
-    FunnelStats {
-        initial: 1_300_000,
-        after_license_filter: 608_180,
-        after_length_filter: 608_180,
-        // 62.5 % of the license-filtered corpus removed by LSH dedup.
-        after_dedup: 228_068,
-        // Syntax + copyright checks produce the final 222 624 files; the
-        // paper reports them jointly, so the split is approximate.
-        after_syntax_filter: 224_700,
-        after_copyright_filter: 222_624,
-    }
+    FunnelStats::from_counts(
+        1_300_000,
+        &[
+            (stage_names::LICENSE, 608_180),
+            (stage_names::LENGTH, 608_180),
+            // 62.5 % of the license-filtered corpus removed by LSH dedup.
+            (stage_names::DEDUP, 228_068),
+            // Syntax + copyright checks produce the final 222 624 files; the
+            // paper reports them jointly, so the split is approximate.
+            (stage_names::SYNTAX, 224_700),
+            (stage_names::COPYRIGHT, 222_624),
+        ],
+    )
 }
 
 /// Result of running the funnel experiment.
@@ -44,7 +46,7 @@ impl FunnelExperiment {
         let build = build_freeset(&FreeSetConfig::at_scale(scale));
         Self {
             scale: *scale,
-            measured: *build.dataset.funnel(),
+            measured: build.dataset.funnel().clone(),
             paper: paper_funnel(),
             universe: build.scraped.universe_stats,
             scrape: build.scraped.scrape_report,
@@ -56,19 +58,19 @@ impl FunnelExperiment {
         let rows = vec![
             vec![
                 "extracted files".to_string(),
-                self.paper.initial.to_string(),
-                self.measured.initial.to_string(),
+                self.paper.initial().to_string(),
+                self.measured.initial().to_string(),
             ],
             vec![
                 "after license filter".to_string(),
                 format!(
                     "{} ({}%)",
-                    self.paper.after_license_filter,
+                    self.paper.after(stage_names::LICENSE),
                     pct(100.0 * self.paper.license_survival_rate())
                 ),
                 format!(
                     "{} ({}%)",
-                    self.measured.after_license_filter,
+                    self.measured.after(stage_names::LICENSE),
                     pct(100.0 * self.measured.license_survival_rate())
                 ),
             ],
@@ -79,8 +81,8 @@ impl FunnelExperiment {
             ],
             vec![
                 "after syntax filter".to_string(),
-                self.paper.after_syntax_filter.to_string(),
-                self.measured.after_syntax_filter.to_string(),
+                self.paper.after(stage_names::SYNTAX).to_string(),
+                self.measured.after(stage_names::SYNTAX).to_string(),
             ],
             vec![
                 "final dataset".to_string(),
@@ -108,7 +110,8 @@ mod tests {
     fn funnel_shape_matches_the_paper() {
         let result = FunnelExperiment::run(&ExperimentScale::tiny());
         let m = &result.measured;
-        assert!(m.initial > m.final_count());
+        assert!(m.initial() > m.final_count());
+        assert!(m.is_monotone());
         // License survival and dedup removal land in the paper's ballpark.
         assert!((0.30..=0.80).contains(&m.license_survival_rate()));
         assert!((0.40..=0.80).contains(&m.dedup_removal_rate()));

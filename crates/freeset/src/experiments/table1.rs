@@ -59,19 +59,17 @@ pub struct Table1Experiment {
 const VERIGEN_SNAPSHOT_LAST_YEAR: u32 = 2016;
 
 fn paper_only_rows() -> Vec<Table1Row> {
-    vec![
-        Table1Row {
-            name: "CraftRTL".into(),
-            measured_chars: None,
-            measured_rows: None,
-            paper_size: "N/A".into(),
-            paper_rows: "80,100".into(),
-            structure: DatasetStructure::InstructionTuning,
-            augmented: true,
-            open_source: false,
-            license_check: false,
-        },
-    ]
+    vec![Table1Row {
+        name: "CraftRTL".into(),
+        measured_chars: None,
+        measured_rows: None,
+        paper_size: "N/A".into(),
+        paper_rows: "80,100".into(),
+        structure: DatasetStructure::InstructionTuning,
+        augmented: true,
+        open_source: false,
+        license_check: false,
+    }]
 }
 
 fn paper_reference(name: &str) -> (&'static str, &'static str) {
@@ -251,7 +249,14 @@ mod tests {
     fn table_contains_every_prior_work() {
         let result = Table1Experiment::run(&ExperimentScale::tiny());
         let names: Vec<&str> = result.rows.iter().map(|r| r.name.as_str()).collect();
-        for needle in ["VeriGen's Dataset", "RTLCoder", "CodeV", "BetterV", "OriGen", "CraftRTL"] {
+        for needle in [
+            "VeriGen's Dataset",
+            "RTLCoder",
+            "CodeV",
+            "BetterV",
+            "OriGen",
+            "CraftRTL",
+        ] {
             assert!(names.contains(&needle), "{needle} missing from {names:?}");
         }
         let markdown = result.render_markdown();
@@ -262,11 +267,7 @@ mod tests {
     #[test]
     fn codev_policy_produces_smaller_files_than_freeset() {
         let result = Table1Experiment::run(&ExperimentScale::tiny());
-        let codev = result
-            .summaries
-            .iter()
-            .find(|s| s.name == "CodeV")
-            .unwrap();
+        let codev = result.summaries.iter().find(|s| s.name == "CodeV").unwrap();
         // CodeV truncates files above 2 096 characters, so its mean file size
         // is smaller.
         let freeset = result

@@ -65,30 +65,107 @@ pub struct Table2Experiment {
 }
 
 fn paper_rows() -> Vec<Table2Row> {
-    let reported = |group, model: &str, open: Option<bool>, size: &str, p: (f64, f64, f64)| {
-        Table2Row {
+    let reported =
+        |group, model: &str, open: Option<bool>, size: &str, p: (f64, f64, f64)| Table2Row {
             group,
             model: model.to_string(),
             open_source: open,
             size: size.to_string(),
             pass_at: p,
             source: RowSource::PaperReported,
-        }
-    };
+        };
     vec![
-        reported(ModelGroup::Foundation, "GPT-4", Some(false), "N/A", (43.5, 55.8, 58.9)),
-        reported(ModelGroup::Foundation, "Codellama", Some(true), "7B", (18.2, 22.7, 24.3)),
-        reported(ModelGroup::Foundation, "DeepSeek-Coder", Some(true), "6.7B", (30.2, 33.9, 34.9)),
-        reported(ModelGroup::Foundation, "CodeQwen", Some(true), "7B", (22.5, 26.1, 28.0)),
-        reported(ModelGroup::VerilogTuned, "VeriGen", Some(true), "16B", (30.3, 43.9, 49.6)),
-        reported(ModelGroup::VerilogTuned, "RTLCoder-DS", Some(true), "7B", (41.6, 50.1, 53.4)),
-        reported(ModelGroup::VerilogTuned, "BetterV-CodeQwen", Some(false), "7B", (46.1, 53.7, 58.2)),
-        reported(ModelGroup::VerilogTuned, "CodeV-CodeQwen", Some(true), "7B", (53.2, 65.1, 68.5)),
-        reported(ModelGroup::VerilogTuned, "OriGen-DS", Some(true), "7B", (54.4, 60.1, 64.2)),
-        reported(ModelGroup::VerilogTuned, "CraftRTL-StarCoder2", Some(false), "15B", (68.0, 72.4, 74.6)),
-        reported(ModelGroup::VerilogTuned, "OpenLLM-RTL", None, "6.7B", (42.8, 51.6, 55.0)),
-        reported(ModelGroup::ThisWork, "Llama-3.1-Instruct (4-bit), paper", Some(true), "8B", (14.8, 23.0, 25.9)),
-        reported(ModelGroup::ThisWork, "FreeV-Llama3.1 (4-bit), paper", Some(true), "8B", (15.5, 30.9, 36.0)),
+        reported(
+            ModelGroup::Foundation,
+            "GPT-4",
+            Some(false),
+            "N/A",
+            (43.5, 55.8, 58.9),
+        ),
+        reported(
+            ModelGroup::Foundation,
+            "Codellama",
+            Some(true),
+            "7B",
+            (18.2, 22.7, 24.3),
+        ),
+        reported(
+            ModelGroup::Foundation,
+            "DeepSeek-Coder",
+            Some(true),
+            "6.7B",
+            (30.2, 33.9, 34.9),
+        ),
+        reported(
+            ModelGroup::Foundation,
+            "CodeQwen",
+            Some(true),
+            "7B",
+            (22.5, 26.1, 28.0),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "VeriGen",
+            Some(true),
+            "16B",
+            (30.3, 43.9, 49.6),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "RTLCoder-DS",
+            Some(true),
+            "7B",
+            (41.6, 50.1, 53.4),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "BetterV-CodeQwen",
+            Some(false),
+            "7B",
+            (46.1, 53.7, 58.2),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "CodeV-CodeQwen",
+            Some(true),
+            "7B",
+            (53.2, 65.1, 68.5),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "OriGen-DS",
+            Some(true),
+            "7B",
+            (54.4, 60.1, 64.2),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "CraftRTL-StarCoder2",
+            Some(false),
+            "15B",
+            (68.0, 72.4, 74.6),
+        ),
+        reported(
+            ModelGroup::VerilogTuned,
+            "OpenLLM-RTL",
+            None,
+            "6.7B",
+            (42.8, 51.6, 55.0),
+        ),
+        reported(
+            ModelGroup::ThisWork,
+            "Llama-3.1-Instruct (4-bit), paper",
+            Some(true),
+            "8B",
+            (14.8, 23.0, 25.9),
+        ),
+        reported(
+            ModelGroup::ThisWork,
+            "FreeV-Llama3.1 (4-bit), paper",
+            Some(true),
+            "8B",
+            (15.5, 30.9, 36.0),
+        ),
     ]
 }
 
@@ -96,7 +173,11 @@ impl Table2Experiment {
     /// Runs Table II at the given scale with the paper's evaluation protocol
     /// (10 samples per problem, temperatures 0.2/0.8).
     pub fn run(scale: &ExperimentScale) -> Self {
-        Self::run_with(scale, ProblemSuite::verilog_eval_human(), EvalConfig::default())
+        Self::run_with(
+            scale,
+            ProblemSuite::verilog_eval_human(),
+            EvalConfig::default(),
+        )
     }
 
     /// Runs Table II with an explicit suite and evaluation configuration.
@@ -125,17 +206,15 @@ impl Table2Experiment {
                     .unwrap_or(0.0),
                 report
                     .pass_percent(10)
-                    .or_else(|| {
-                        report
-                            .pass_at_k_percent
-                            .last()
-                            .map(|(_, v)| *v)
-                    })
+                    .or_else(|| report.pass_at_k_percent.last().map(|(_, v)| *v))
                     .unwrap_or(0.0),
             ),
             source: RowSource::Measured,
         };
-        rows.push(measured("Llama-3.1-Instruct (4-bit), measured", &base_report));
+        rows.push(measured(
+            "Llama-3.1-Instruct (4-bit), measured",
+            &base_report,
+        ));
         rows.push(measured("FreeV-Llama3.1 (4-bit), measured", &tuned_report));
 
         Self {
@@ -193,7 +272,16 @@ impl Table2Experiment {
             self.problems,
             self.samples_per_problem,
             markdown_table(
-                &["type", "model", "open-source", "size", "pass@1", "pass@5", "pass@10", "source"],
+                &[
+                    "type",
+                    "model",
+                    "open-source",
+                    "size",
+                    "pass@1",
+                    "pass@5",
+                    "pass@10",
+                    "source"
+                ],
                 &rows
             )
         )
@@ -282,10 +370,7 @@ mod tests {
     #[test]
     fn paper_reference_rows_match_the_publication() {
         let rows = Table2Experiment::paper_reference_rows();
-        let freev = rows
-            .iter()
-            .find(|r| r.model.starts_with("FreeV"))
-            .unwrap();
+        let freev = rows.iter().find(|r| r.model.starts_with("FreeV")).unwrap();
         assert_eq!(freev.pass_at, (15.5, 30.9, 36.0));
         let base = rows
             .iter()

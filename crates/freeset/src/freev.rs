@@ -88,7 +88,11 @@ impl FreeVBuilder {
     pub fn build(&self, scraped: &ScrapedCorpus, freeset_corpus: &[String]) -> FreeVModel {
         let mut base_corpus = general_code_corpus(self.base_general_documents, self.seed);
         base_corpus.extend(scraped.sample_fraction(self.base_verilog_fraction, self.seed ^ 0x5A5A));
-        let base = NgramModel::train_named("Llama-3.1-8B-Instruct (sim)", &base_corpus, &self.base_train);
+        let base = NgramModel::train_named(
+            "Llama-3.1-8B-Instruct (sim)",
+            &base_corpus,
+            &self.base_train,
+        );
         let tuned = AdaptedModel::continual_pretrain(
             "FreeV-Llama3.1 (sim)",
             base.clone(),
@@ -123,7 +127,7 @@ mod tests {
             base_verilog_fraction: 0.01,
             ..Default::default()
         };
-        let model = builder.build(&build.scraped, &train.to_vec());
+        let model = builder.build(&build.scraped, train);
         let base_ppl = perplexity(model.base(), held_out);
         let tuned_ppl = perplexity(model.tuned(), held_out);
         assert!(

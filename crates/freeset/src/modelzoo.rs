@@ -279,8 +279,12 @@ impl ModelZoo {
             .take(self.max_finetune_files)
             .map(str::to_string)
             .collect();
-        let tuned =
-            AdaptedModel::continual_pretrain(entry.name.clone(), base.clone(), &corpus, &self.pretrain);
+        let tuned = AdaptedModel::continual_pretrain(
+            entry.name.clone(),
+            base.clone(),
+            &corpus,
+            &self.pretrain,
+        );
         ZooModel {
             entry: entry.clone(),
             base,
@@ -336,7 +340,7 @@ mod tests {
         assert!(model.dataset_rows > 0);
         assert!(model.dataset_chars > 0);
         assert!(model.tuned.adapter_counts().trained_tokens() > 0);
-        assert!(zoo.scraped().len() > 0);
+        assert!(!zoo.scraped().is_empty());
     }
 
     #[test]

@@ -74,10 +74,7 @@ mod tests {
     fn markdown_table_renders_rows() {
         let t = markdown_table(
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["3".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
         );
         assert!(t.contains("| a | b |"));
         assert!(t.contains("| 3 | 4 |"));

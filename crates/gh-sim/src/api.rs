@@ -176,7 +176,10 @@ impl<'a> GithubApi<'a> {
     ///
     /// Panics if `requests_per_window` is zero.
     pub fn with_rate_limit(universe: &'a Universe, requests_per_window: usize) -> Self {
-        assert!(requests_per_window > 0, "rate limit must allow at least one request");
+        assert!(
+            requests_per_window > 0,
+            "rate limit must allow at least one request"
+        );
         Self {
             universe,
             requests_per_window,
@@ -321,7 +324,10 @@ mod tests {
         let api = GithubApi::with_rate_limit(&u, 2);
         assert!(api.search(&RepoQuery::all()).is_ok());
         assert!(api.clone_repository(0).is_ok());
-        assert_eq!(api.search(&RepoQuery::all()).unwrap_err(), ApiError::RateLimited);
+        assert_eq!(
+            api.search(&RepoQuery::all()).unwrap_err(),
+            ApiError::RateLimited
+        );
         api.wait_for_rate_limit_reset();
         assert!(api.search(&RepoQuery::all()).is_ok());
         let usage = api.usage();

@@ -235,7 +235,9 @@ impl Scraper {
             Ok(())
         } else {
             // Cannot be narrowed further.
-            Err(ApiError::TooManyResults { matched: usize::MAX })
+            Err(ApiError::TooManyResults {
+                matched: usize::MAX,
+            })
         }
     }
 }

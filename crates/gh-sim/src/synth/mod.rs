@@ -212,7 +212,9 @@ impl Synthesizer {
     /// Generates a design of the given kind with the given module name.
     pub fn generate<R: Rng>(&self, kind: DesignKind, name: &str, rng: &mut R) -> GeneratedDesign {
         let width = self.width(rng);
-        let depth = rng.gen_range(4..=self.config.max_depth.max(4)).next_power_of_two();
+        let depth = rng
+            .gen_range(4..=self.config.max_depth.max(4))
+            .next_power_of_two();
         let source = match kind {
             DesignKind::Adder => combinational::adder(name, width, rng),
             DesignKind::Alu => combinational::alu(name, width, rng),
@@ -277,14 +279,20 @@ const NAME_CLASSES: &[(&str, &[&str])] = &[
     ("y", &["y", "out", "res", "o_data", "result_o"]),
     ("q", &["q", "cnt_q", "value", "q_reg", "o_q"]),
     ("din", &["din", "data_in", "d_in", "i_data", "wdata"]),
-    ("dout", &["dout", "data_out", "d_out", "o_data_bus", "rdata"]),
+    (
+        "dout",
+        &["dout", "data_out", "d_out", "o_data_bus", "rdata"],
+    ),
     ("count", &["count", "cnt", "counter_val", "tick", "total"]),
     ("en", &["en", "enable", "ce", "i_en", "valid_in"]),
     ("sel", &["sel", "select", "mux_sel", "s", "choice"]),
     ("state", &["state", "fsm_state", "cur_state", "st", "phase"]),
     ("mem", &["mem", "ram", "storage", "buffer", "array_mem"]),
     ("shift", &["shift", "shreg", "pipe", "hold", "stage_reg"]),
-    ("timer", &["timer", "tick_cnt", "delay_cnt", "wait_cnt", "t_cnt"]),
+    (
+        "timer",
+        &["timer", "tick_cnt", "delay_cnt", "wait_cnt", "t_cnt"],
+    ),
 ];
 
 /// Replaces whole-word occurrences of `from` with `to`.
@@ -390,8 +398,14 @@ mod tests {
 
     #[test]
     fn replace_word_respects_boundaries() {
-        assert_eq!(replace_word("clk clk_q qclk", "clk", "clock"), "clock clk_q qclk");
-        assert_eq!(replace_word("q <= q + 1;", "q", "value"), "value <= value + 1;");
+        assert_eq!(
+            replace_word("clk clk_q qclk", "clk", "clock"),
+            "clock clk_q qclk"
+        );
+        assert_eq!(
+            replace_word("q <= q + 1;", "q", "value"),
+            "value <= value + 1;"
+        );
         assert_eq!(replace_word("", "q", "value"), "");
     }
 
@@ -406,7 +420,10 @@ mod tests {
             assert!(checker.is_valid(&d.source));
             distinct.insert(d.source);
         }
-        assert!(distinct.len() >= 8, "restyling should differentiate designs");
+        assert!(
+            distinct.len() >= 8,
+            "restyling should differentiate designs"
+        );
     }
 
     #[test]
@@ -441,7 +458,11 @@ mod tests {
         let designs: Vec<_> = (0..20).map(|_| synth.generate_random(&mut rng)).collect();
         let distinct: std::collections::HashSet<_> =
             designs.iter().map(|d| d.source.clone()).collect();
-        assert!(distinct.len() > 10, "expected variety, got {}", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "expected variety, got {}",
+            distinct.len()
+        );
     }
 
     #[test]

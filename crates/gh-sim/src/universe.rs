@@ -225,8 +225,11 @@ impl Universe {
 
                     // Rare gigantic file: replicate many bodies (vendor
                     // netlists and generated megafiles are the real-world
-                    // analogue).
-                    if huge_remaining > 0 && rng.gen_bool(0.002) {
+                    // analogue). Planted only in accepted-license repos so
+                    // Figure 2's length-distribution outliers survive the
+                    // curation funnel at every experiment scale.
+                    if huge_remaining > 0 && license.is_accepted_open_source() && rng.gen_bool(0.05)
+                    {
                         huge_remaining -= 1;
                         body = make_huge(&synth, &mut rng);
                     }
@@ -247,7 +250,7 @@ impl Universe {
                     content = corrupt(&content, &mut rng);
                 }
 
-                let dir = ["rtl", "src", "hdl", "cores"][rng.gen_range(0..4)];
+                let dir = ["rtl", "src", "hdl", "cores"][rng.gen_range(0..4usize)];
                 files.push(SourceFile::verilog(
                     format!("{dir}/design_{file_index}.v"),
                     content,
@@ -415,7 +418,10 @@ fn vendor_proprietary_design<R: Rng>(synth: &Synthesizer, vendor: &str, rng: &mu
          always @* begin\n\tcase (addr)\n"
     );
     for i in 0..entries {
-        rom.push_str(&format!("\t\t6'd{i}: data = 32'h{:08X};\n", rng.gen::<u32>()));
+        rom.push_str(&format!(
+            "\t\t6'd{i}: data = 32'h{:08X};\n",
+            rng.gen::<u32>()
+        ));
     }
     rom.push_str("\t\tdefault: data = 32'h00000000;\n\tendcase\nend\nendmodule\n");
     format!("{front}\n{rom}")
@@ -474,7 +480,11 @@ mod tests {
         let u = Universe::generate(&small_config());
         let s = u.stats();
         assert_eq!(s.repositories, 60);
-        let verilog: usize = u.repositories().iter().map(|r| r.verilog_file_count()).sum();
+        let verilog: usize = u
+            .repositories()
+            .iter()
+            .map(|r| r.verilog_file_count())
+            .sum();
         assert_eq!(verilog, s.verilog_files);
         let accepted = u
             .repositories()
@@ -494,7 +504,10 @@ mod tests {
         });
         let s = u.stats();
         assert!(s.planted_duplicates > 0, "no duplicates planted");
-        assert!(s.planted_copyright_files > 0, "no copyrighted files planted");
+        assert!(
+            s.planted_copyright_files > 0,
+            "no copyrighted files planted"
+        );
         assert!(s.planted_broken_files > 0, "no broken files planted");
         assert!(
             s.accepted_license_repositories < s.repositories,

@@ -1,6 +1,8 @@
 //! Property-based tests for the synthetic GitHub substrate.
 
-use gh_sim::{DesignKind, GithubApi, RepoQuery, SynthConfig, Synthesizer, Universe, UniverseConfig};
+use gh_sim::{
+    DesignKind, GithubApi, RepoQuery, SynthConfig, Synthesizer, Universe, UniverseConfig,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -260,7 +260,8 @@ mod tests {
             epochs: 0,
             ..Default::default()
         };
-        let tuned = AdaptedModel::continual_pretrain("noop", base.clone(), &verilog_corpus(), &config);
+        let tuned =
+            AdaptedModel::continual_pretrain("noop", base.clone(), &verilog_corpus(), &config);
         assert_eq!(tuned.adapter_weight(), 0.0);
         assert_eq!(tuned.adapter_counts().trained_tokens(), 0);
         let ctx = base.tokenizer().encode("assign y =");

@@ -285,9 +285,7 @@ mod tests {
     fn sampling_respects_probabilities() {
         let d = Distribution::from_weights(vec![(1, 0.99), (2, 0.01)]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let ones = (0..500)
-            .filter(|_| d.sample(&mut rng) == Some(1))
-            .count();
+        let ones = (0..500).filter(|_| d.sample(&mut rng) == Some(1)).count();
         assert!(ones > 450);
         assert!(Distribution::default().sample(&mut rng).is_none());
     }

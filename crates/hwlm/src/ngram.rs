@@ -177,7 +177,11 @@ impl NgramModel {
     }
 
     /// Builds a model from pre-existing parts (used by the adapter machinery).
-    pub fn from_parts(name: impl Into<String>, tokenizer: HdlTokenizer, counts: NgramCounts) -> Self {
+    pub fn from_parts(
+        name: impl Into<String>,
+        tokenizer: HdlTokenizer,
+        counts: NgramCounts,
+    ) -> Self {
         Self {
             name: name.into(),
             tokenizer,
@@ -287,8 +291,12 @@ mod tests {
     fn generation_stops_at_endmodule() {
         let model = NgramModel::train(&corpus(), &TrainConfig::default());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let out = model.generate_text("module or2(input a, input b, output y);", 200,
-            &SamplerConfig::with_temperature(0.2), &mut rng);
+        let out = model.generate_text(
+            "module or2(input a, input b, output y);",
+            200,
+            &SamplerConfig::with_temperature(0.2),
+            &mut rng,
+        );
         assert_eq!(out.matches("endmodule").count(), 1);
     }
 

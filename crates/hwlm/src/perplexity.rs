@@ -59,7 +59,10 @@ mod tests {
         let corpus = verilog_corpus();
         let model = NgramModel::train(&corpus, &TrainConfig::default());
         let ppl = perplexity(&model, &corpus);
-        assert!(ppl < 4.0, "perplexity on memorised data should be tiny, got {ppl}");
+        assert!(
+            ppl < 4.0,
+            "perplexity on memorised data should be tiny, got {ppl}"
+        );
     }
 
     #[test]

@@ -133,10 +133,7 @@ impl HdlTokenizer {
                 out.push(chars[start..i].iter().collect());
             } else {
                 let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
-                if let Some(op) = MULTI_CHAR_OPERATORS
-                    .iter()
-                    .find(|op| rest.starts_with(*op))
-                {
+                if let Some(op) = MULTI_CHAR_OPERATORS.iter().find(|op| rest.starts_with(*op)) {
                     out.push((*op).to_string());
                     i += op.len();
                 } else {
@@ -204,10 +201,7 @@ impl HdlTokenizer {
 
     /// Encodes text into token ids (without BOS/EOS markers).
     pub fn encode(&self, text: &str) -> Vec<TokenId> {
-        Self::split(text)
-            .iter()
-            .map(|t| self.vocab.id(t))
-            .collect()
+        Self::split(text).iter().map(|t| self.vocab.id(t)).collect()
     }
 
     /// Encodes a document wrapped in BOS/EOS markers, as used for training.
@@ -234,10 +228,8 @@ impl HdlTokenizer {
                 at_line_start = true;
                 continue;
             }
-            let no_space_before = matches!(
-                token,
-                ";" | "," | ")" | "]" | ":" | "." | "(" | "[" | "'"
-            );
+            let no_space_before =
+                matches!(token, ";" | "," | ")" | "]" | ":" | "." | "(" | "[" | "'");
             let last = out.chars().last();
             let no_space_after_last = matches!(
                 last,
@@ -313,7 +305,10 @@ mod tests {
 
     #[test]
     fn fit_is_deterministic() {
-        let corpus = vec!["module a; endmodule".to_string(), "module b; endmodule".to_string()];
+        let corpus = vec![
+            "module a; endmodule".to_string(),
+            "module b; endmodule".to_string(),
+        ];
         let t1 = HdlTokenizer::fit(&corpus, 1);
         let t2 = HdlTokenizer::fit(&corpus, 1);
         assert_eq!(t1, t2);

@@ -26,7 +26,7 @@ fn verilog_ish_doc() -> impl Strategy<Value = String> {
 proptest! {
     #[test]
     fn distributions_are_normalised(weights in proptest::collection::vec((0u32..500, 0.0f64..10.0), 1..30)) {
-        let d = Distribution::from_weights(weights.into_iter().map(|(t, w)| (t, w)).collect());
+        let d = Distribution::from_weights(weights.into_iter().collect());
         if !d.is_empty() {
             let sum: f64 = d.entries().iter().map(|(_, p)| p).sum();
             prop_assert!((sum - 1.0).abs() < 1e-9);
@@ -69,7 +69,7 @@ proptest! {
         let a = HdlTokenizer::split(&doc);
         let b = HdlTokenizer::split(&doc);
         prop_assert_eq!(&a, &b);
-        let tok = HdlTokenizer::fit(&[doc.clone()], 1);
+        let tok = HdlTokenizer::fit(std::slice::from_ref(&doc), 1);
         // Every token of the fitting document is in vocabulary.
         for t in &a {
             prop_assert_ne!(tok.vocab().id(t), 0, "token {} missing", t);

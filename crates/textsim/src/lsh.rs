@@ -32,7 +32,10 @@ impl LshParams {
     pub fn new(bands: usize, rows_per_band: usize) -> Self {
         assert!(bands > 0, "bands must be positive");
         assert!(rows_per_band > 0, "rows_per_band must be positive");
-        Self { bands, rows_per_band }
+        Self {
+            bands,
+            rows_per_band,
+        }
     }
 
     /// Chooses `bands`/`rows` for a signature of `signature_len` positions so
@@ -247,7 +250,10 @@ mod tests {
         let mut index = LshIndex::new(params);
         index.insert(
             1,
-            &sig(&hasher, "module alu(input [3:0] a, b, output [3:0] y); assign y = a + b; endmodule"),
+            &sig(
+                &hasher,
+                "module alu(input [3:0] a, b, output [3:0] y); assign y = a + b; endmodule",
+            ),
         );
         let unrelated = sig(
             &hasher,

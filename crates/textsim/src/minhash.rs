@@ -140,6 +140,23 @@ impl MinHasher {
         }
         Signature { values }
     }
+
+    /// Computes signatures for a batch of shingle sets, serially, preserving
+    /// input order.
+    pub fn signatures(&self, sets: &[ShingleSet]) -> Vec<Signature> {
+        sets.iter().map(|s| self.signature(s)).collect()
+    }
+
+    /// Computes signatures for a batch of shingle sets in parallel.
+    ///
+    /// Signature computation is the hot loop of de-duplication (permutations
+    /// × shingles per document) and every document is independent, so the
+    /// batch fans out across threads. Results are merged back in input order:
+    /// the output is element-for-element identical to [`Self::signatures`].
+    pub fn par_signatures(&self, sets: &[ShingleSet]) -> Vec<Signature> {
+        use rayon::prelude::*;
+        sets.par_iter().map(|s| self.signature(s)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +233,10 @@ mod tests {
         let hasher = MinHasher::new(16, 5);
         let empty = ShingleSet::new();
         let s = hasher.signature(&empty);
-        assert_eq!(s.estimate_jaccard(&hasher.signature(&ShingleSet::new())), 1.0);
+        assert_eq!(
+            s.estimate_jaccard(&hasher.signature(&ShingleSet::new())),
+            1.0
+        );
     }
 
     #[test]
@@ -231,5 +251,34 @@ mod tests {
         let a = MinHasher::new(8, 1).signature(&ShingleSet::new());
         let b = MinHasher::new(16, 1).signature(&ShingleSet::new());
         let _ = a.estimate_jaccard(&b);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::shingle::char_shingles;
+
+    #[test]
+    fn parallel_signatures_match_serial_exactly() {
+        let hasher = MinHasher::new(96, 41);
+        let sets: Vec<ShingleSet> = (0..64)
+            .map(|i| {
+                char_shingles(
+                    &format!(
+                        "module block_{i}(input a, output y); assign y = a ^ {i}'d0; endmodule"
+                    ),
+                    6,
+                )
+            })
+            .collect();
+        assert_eq!(hasher.signatures(&sets), hasher.par_signatures(&sets));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let hasher = MinHasher::new(8, 1);
+        assert!(hasher.par_signatures(&[]).is_empty());
+        assert!(hasher.signatures(&[]).is_empty());
     }
 }

@@ -78,7 +78,10 @@ impl ShingleSet {
     /// Size of the intersection with `other`.
     pub fn intersection_size(&self, other: &ShingleSet) -> usize {
         if self.len() <= other.len() {
-            self.hashes.iter().filter(|h| other.hashes.contains(h)).count()
+            self.hashes
+                .iter()
+                .filter(|h| other.hashes.contains(h))
+                .count()
         } else {
             other.intersection_size(self)
         }

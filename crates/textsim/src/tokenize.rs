@@ -233,7 +233,7 @@ mod tests {
             keep_punctuation: false,
         });
         assert_eq!(tok.tokenize("Foo + Bar;"), vec!["Foo", "Bar"]);
-        assert!(tok.options().keep_punctuation == false);
+        assert!(!tok.options().keep_punctuation);
     }
 
     #[test]

@@ -243,8 +243,8 @@ mod tests {
     #[test]
     fn idf_prefers_rare_terms() {
         let tok = CodeTokenizer::default();
-        let docs = vec!["common rare1", "common", "common other"];
-        let idf = IdfModel::fit(&tok, docs.iter().map(|s| *s));
+        let docs = ["common rare1", "common", "common other"];
+        let idf = IdfModel::fit(&tok, docs.iter().copied());
         assert!(idf.idf("rare1") > idf.idf("common"));
         assert_eq!(idf.document_count(), 3);
     }
@@ -252,7 +252,7 @@ mod tests {
     #[test]
     fn idf_of_unknown_term_is_maximal() {
         let tok = CodeTokenizer::default();
-        let idf = IdfModel::fit(&tok, ["a b", "a"].into_iter());
+        let idf = IdfModel::fit(&tok, ["a b", "a"]);
         assert!(idf.idf("never_seen") >= idf.idf("b"));
         assert!(idf.idf("b") >= idf.idf("a"));
     }
@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn tf_idf_reweighting_preserves_terms() {
         let tok = CodeTokenizer::default();
-        let idf = IdfModel::fit(&tok, ["a b", "a c"].into_iter());
+        let idf = IdfModel::fit(&tok, ["a b", "a c"]);
         let v = TermVector::from_text(&tok, "a b b");
         let w = v.to_tf_idf(&idf);
         assert_eq!(w.len(), v.len());

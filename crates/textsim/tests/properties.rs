@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use textsim::{
-    char_shingles, cosine_similarity, jaccard_similarity, jaccard_similarity_sorted,
-    CodeTokenizer, LshIndex, LshParams, MinHasher, TermVector, Tokenizer,
+    char_shingles, cosine_similarity, jaccard_similarity, jaccard_similarity_sorted, CodeTokenizer,
+    LshIndex, LshParams, MinHasher, TermVector, Tokenizer,
 };
 
 fn text_strategy() -> impl Strategy<Value = String> {

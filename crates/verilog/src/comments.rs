@@ -172,11 +172,11 @@ fn find_word(haystack: &str, word: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(rel) = haystack[from..].find(word) {
         let pos = from + rel;
-        let before_ok = pos == 0
-            || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+        let before_ok =
+            pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
         let after = pos + word.len();
-        let after_ok = after >= bytes.len()
-            || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
         if before_ok && after_ok {
             return Some(pos);
         }

@@ -139,13 +139,7 @@ impl CompiledModule {
         let mut ports = Vec::new();
         for port in &module.ports {
             let width = range_width(port.range.as_ref(), &parameters)?;
-            signals.insert(
-                port.name.clone(),
-                SignalInfo {
-                    width,
-                    depth: None,
-                },
-            );
+            signals.insert(port.name.clone(), SignalInfo { width, depth: None });
             ports.push((port.name.clone(), port.direction, width));
         }
 
@@ -472,11 +466,12 @@ impl CompiledModule {
 
     fn target_width(&self, target: &Expr, state: &EvalState) -> Result<u32, EvalError> {
         Ok(match target {
-            Expr::Ident(name) => self
-                .signals
-                .get(name)
-                .ok_or_else(|| EvalError::UnknownSignal(name.clone()))?
-                .width,
+            Expr::Ident(name) => {
+                self.signals
+                    .get(name)
+                    .ok_or_else(|| EvalError::UnknownSignal(name.clone()))?
+                    .width
+            }
             Expr::Index { .. } => 1,
             Expr::Slice { msb, lsb, .. } => {
                 let msb = self.eval_expr(msb, state)?.bits() as u32;
@@ -633,7 +628,8 @@ fn apply_resolved(state: &mut EvalState, target: ResolvedTarget, value: Value) {
         ResolvedTarget::Signal(name) => state.set(&name, value),
         ResolvedTarget::Bit(name, index) => {
             if let Some(current) = state.get(&name) {
-                let updated = current.with_bit(index, Value::bit(value.is_true() && value.bits() & 1 == 1));
+                let updated =
+                    current.with_bit(index, Value::bit(value.is_true() && value.bits() & 1 == 1));
                 state.set(&name, updated);
             }
         }
@@ -694,7 +690,7 @@ fn eval_unary(op: UnaryOp, v: Value) -> Value {
         UnaryOp::ReduceXor => Value::bit(v.bits().count_ones() % 2 == 1),
         UnaryOp::ReduceNand => Value::bit(v.bits() != Value::mask(v.width())),
         UnaryOp::ReduceNor => Value::bit(!v.is_true()),
-        UnaryOp::ReduceXnor => Value::bit(v.bits().count_ones() % 2 == 0),
+        UnaryOp::ReduceXnor => Value::bit(v.bits().count_ones().is_multiple_of(2)),
     }
 }
 
@@ -706,8 +702,8 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Value {
         BinaryOp::Add => Value::new(a.wrapping_add(b), width),
         BinaryOp::Sub => Value::new(a.wrapping_sub(b), width),
         BinaryOp::Mul => Value::new(a.wrapping_mul(b), width),
-        BinaryOp::Div => Value::new(if b == 0 { 0 } else { a / b }, width),
-        BinaryOp::Mod => Value::new(if b == 0 { 0 } else { a % b }, width),
+        BinaryOp::Div => Value::new(a.checked_div(b).unwrap_or(0), width),
+        BinaryOp::Mod => Value::new(a.checked_rem(b).unwrap_or(0), width),
         BinaryOp::Pow => Value::new(a.wrapping_pow(b.min(u64::from(u32::MAX)) as u32), width),
         BinaryOp::And => Value::new(a & b, width),
         BinaryOp::Or => Value::new(a | b, width),
@@ -721,9 +717,7 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Value {
         BinaryOp::Le => Value::bit(a <= b),
         BinaryOp::Gt => Value::bit(a > b),
         BinaryOp::Ge => Value::bit(a >= b),
-        BinaryOp::Shl | BinaryOp::AShl => {
-            Value::new(if b >= 64 { 0 } else { a << b }, width)
-        }
+        BinaryOp::Shl | BinaryOp::AShl => Value::new(if b >= 64 { 0 } else { a << b }, width),
         BinaryOp::Shr => Value::new(if b >= 64 { 0 } else { a >> b }, width),
         BinaryOp::AShr => {
             let shifted = if b >= 64 {
@@ -775,10 +769,7 @@ fn range_width(range: Option<&Range>, parameters: &HashMap<String, i64>) -> Resu
 }
 
 /// Evaluates a constant expression over integer parameters.
-pub(crate) fn const_eval(
-    expr: &Expr,
-    parameters: &HashMap<String, i64>,
-) -> Result<i64, EvalError> {
+pub(crate) fn const_eval(expr: &Expr, parameters: &HashMap<String, i64>) -> Result<i64, EvalError> {
     match expr {
         Expr::Number { value, .. } => Ok(*value as i64),
         Expr::Ident(name) => parameters
@@ -1013,10 +1004,9 @@ mod tests {
 
     #[test]
     fn instantiation_is_rejected() {
-        let modules = Parser::parse_source(
-            "module top(input a, output y); inv u0(.a(a), .y(y)); endmodule",
-        )
-        .unwrap();
+        let modules =
+            Parser::parse_source("module top(input a, output y); inv u0(.a(a), .y(y)); endmodule")
+                .unwrap();
         let err = CompiledModule::elaborate(&modules[0]).unwrap_err();
         assert!(matches!(err, EvalError::Unsupported(_)));
     }
@@ -1026,10 +1016,12 @@ mod tests {
         let m = compile("module bad(input a, output y); assign y = a & ghost; endmodule");
         let mut s = m.initial_state();
         // The error surfaces at settle time (inside initial_state).
-        assert!(matches!(s, Err(EvalError::UnknownSignal(_))) || {
-            let st = s.as_mut().unwrap();
-            matches!(m.settle(st), Err(EvalError::UnknownSignal(_)))
-        });
+        assert!(
+            matches!(s, Err(EvalError::UnknownSignal(_))) || {
+                let st = s.as_mut().unwrap();
+                matches!(m.settle(st), Err(EvalError::UnknownSignal(_)))
+            }
+        );
     }
 
     #[test]
@@ -1043,9 +1035,10 @@ mod tests {
 
     #[test]
     fn too_wide_vector_is_rejected() {
-        let modules =
-            Parser::parse_source("module wide(input [127:0] a, output y); assign y = a[0]; endmodule")
-                .unwrap();
+        let modules = Parser::parse_source(
+            "module wide(input [127:0] a, output y); assign y = a[0]; endmodule",
+        )
+        .unwrap();
         assert!(matches!(
             CompiledModule::elaborate(&modules[0]),
             Err(EvalError::WidthTooLarge(_))

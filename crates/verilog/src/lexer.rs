@@ -25,7 +25,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -184,7 +188,7 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos])
             .unwrap_or_default()
             .to_string();
-        let kind = match Keyword::from_str(&text) {
+        let kind = match Keyword::from_spelling(&text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text),
         };
@@ -227,8 +231,14 @@ impl<'a> Lexer<'a> {
             }
             if matches!(
                 self.peek(),
-                Some(b'b') | Some(b'B') | Some(b'o') | Some(b'O') | Some(b'd') | Some(b'D')
-                    | Some(b'h') | Some(b'H')
+                Some(b'b')
+                    | Some(b'B')
+                    | Some(b'o')
+                    | Some(b'O')
+                    | Some(b'd')
+                    | Some(b'D')
+                    | Some(b'h')
+                    | Some(b'H')
             ) {
                 self.bump();
             }
@@ -239,8 +249,7 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-        } else if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
-        {
+        } else if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
             self.bump();
             while let Some(c) = self.peek() {
                 if c.is_ascii_digit() || c == b'e' || c == b'E' || c == b'-' || c == b'+' {
@@ -266,8 +275,14 @@ impl<'a> Lexer<'a> {
         }
         if matches!(
             self.peek(),
-            Some(b'b') | Some(b'B') | Some(b'o') | Some(b'O') | Some(b'd') | Some(b'D')
-                | Some(b'h') | Some(b'H')
+            Some(b'b')
+                | Some(b'B')
+                | Some(b'o')
+                | Some(b'O')
+                | Some(b'd')
+                | Some(b'D')
+                | Some(b'h')
+                | Some(b'H')
         ) {
             self.bump();
         }
@@ -317,13 +332,21 @@ impl<'a> Lexer<'a> {
                 for _ in 0..sym.len() {
                     self.bump();
                 }
-                return Ok(Token::new(TokenKind::Symbol((*sym).to_string()), line, column));
+                return Ok(Token::new(
+                    TokenKind::Symbol((*sym).to_string()),
+                    line,
+                    column,
+                ));
             }
         }
         let c = self.bump().expect("caller checked non-empty");
         let single = c as char;
         if single.is_ascii_graphic() {
-            Ok(Token::new(TokenKind::Symbol(single.to_string()), line, column))
+            Ok(Token::new(
+                TokenKind::Symbol(single.to_string()),
+                line,
+                column,
+            ))
         } else {
             Err(LexError {
                 message: format!("unexpected byte 0x{c:02x}"),

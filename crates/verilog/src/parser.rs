@@ -240,8 +240,7 @@ impl Parser {
                         Keyword::Output => PortDirection::Output,
                         _ => PortDirection::Inout,
                     });
-                    current_is_reg = self.eat_keyword(Keyword::Reg)
-                        || self.eat_keyword(Keyword::Wire) && false;
+                    current_is_reg = self.eat_keyword(Keyword::Reg);
                     // `output wire` is also legal; swallow a wire keyword.
                     if !current_is_reg {
                         let _ = self.eat_keyword(Keyword::Wire);
@@ -325,8 +324,13 @@ impl Parser {
                 Ok(out)
             }
             TokenKind::Keyword(
-                kw @ (Keyword::Input | Keyword::Output | Keyword::Inout | Keyword::Wire
-                | Keyword::Reg | Keyword::Integer | Keyword::Genvar),
+                kw @ (Keyword::Input
+                | Keyword::Output
+                | Keyword::Inout
+                | Keyword::Wire
+                | Keyword::Reg
+                | Keyword::Integer
+                | Keyword::Genvar),
             ) => {
                 self.pos += 1;
                 let direction = match kw {
@@ -372,7 +376,10 @@ impl Parser {
                     }
                 }
                 self.expect_symbol(";")?;
-                Ok(vec![ModuleItem::Declaration(Declaration { direction, nets })])
+                Ok(vec![ModuleItem::Declaration(Declaration {
+                    direction,
+                    nets,
+                })])
             }
             TokenKind::Keyword(Keyword::Assign) => {
                 self.pos += 1;
@@ -641,16 +648,14 @@ impl Parser {
             TokenKind::Ident(name) if name.starts_with('$') => {
                 self.pos += 1;
                 let mut args = Vec::new();
-                if self.eat_symbol("(") {
-                    if !self.eat_symbol(")") {
-                        loop {
-                            args.push(self.parse_expr()?);
-                            if !self.eat_symbol(",") {
-                                break;
-                            }
+                if self.eat_symbol("(") && !self.eat_symbol(")") {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat_symbol(",") {
+                            break;
                         }
-                        self.expect_symbol(")")?;
                     }
+                    self.expect_symbol(")")?;
                 }
                 self.expect_symbol(";")?;
                 Ok(Statement::SystemCall { name, args })
@@ -1316,7 +1321,11 @@ mod tests {
         assert_eq!(parse_number_literal("'d7"), Some((7, None)));
         assert_eq!(parse_number_literal("16'd1_000"), Some((1000, Some(16))));
         assert_eq!(parse_number_literal("4'bxx10"), Some((2, Some(4))));
-        assert_eq!(parse_number_literal("2'd7"), Some((3, Some(2))), "truncated to width");
+        assert_eq!(
+            parse_number_literal("2'd7"),
+            Some((3, Some(2))),
+            "truncated to width"
+        );
         assert_eq!(parse_number_literal("bogus"), None);
     }
 
@@ -1335,10 +1344,7 @@ mod tests {
         let m = parse_one(
             "module tb;\nreg clk;\ninitial begin\n clk = 0;\n $display(\"hello\");\n #10 clk = 1;\nend\nendmodule",
         );
-        assert!(m
-            .items
-            .iter()
-            .any(|i| matches!(i, ModuleItem::Initial(_))));
+        assert!(m.items.iter().any(|i| matches!(i, ModuleItem::Initial(_))));
     }
 
     #[test]

@@ -150,10 +150,7 @@ pub struct TestVector {
 
 impl TestVector {
     /// Creates a combinational vector (no clocking).
-    pub fn combinational(
-        inputs: Vec<(String, u64)>,
-        expected: Vec<(String, u64)>,
-    ) -> Self {
+    pub fn combinational(inputs: Vec<(String, u64)>, expected: Vec<(String, u64)>) -> Self {
         Self {
             inputs,
             clock_cycles: 0,
@@ -295,11 +292,18 @@ mod tests {
 
     #[test]
     fn combinational_testbench_passes_and_fails_correctly() {
-        let good = module("module xorgate(input a, input b, output y); assign y = a ^ b; endmodule");
+        let good =
+            module("module xorgate(input a, input b, output y); assign y = a ^ b; endmodule");
         let bad = module("module xorgate(input a, input b, output y); assign y = a & b; endmodule");
         let tb = Testbench::combinational(vec![
-            TestVector::combinational(vec![("a".into(), 0), ("b".into(), 1)], vec![("y".into(), 1)]),
-            TestVector::combinational(vec![("a".into(), 1), ("b".into(), 1)], vec![("y".into(), 0)]),
+            TestVector::combinational(
+                vec![("a".into(), 0), ("b".into(), 1)],
+                vec![("y".into(), 1)],
+            ),
+            TestVector::combinational(
+                vec![("a".into(), 1), ("b".into(), 1)],
+                vec![("y".into(), 0)],
+            ),
         ]);
         assert!(tb.passes(&good).unwrap());
         assert!(!tb.passes(&bad).unwrap());

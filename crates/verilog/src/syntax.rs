@@ -110,9 +110,7 @@ impl SyntaxChecker {
         let mut unresolved = Vec::new();
         for module in modules {
             for inst in module.instances() {
-                if !module_names.iter().any(|n| *n == inst.module)
-                    && !unresolved.contains(&inst.module)
-                {
+                if !module_names.contains(&inst.module) && !unresolved.contains(&inst.module) {
                     unresolved.push(inst.module.clone());
                 }
             }

@@ -50,7 +50,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword from its source spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_spelling(s: &str) -> Option<Keyword> {
         Some(match s {
             "module" => Keyword::Module,
             "endmodule" => Keyword::Endmodule,
@@ -217,14 +217,18 @@ mod tests {
             Keyword::Posedge,
             Keyword::Casez,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::from_spelling(kw.as_str()), Some(kw));
         }
     }
 
     #[test]
     fn unknown_keyword_is_none() {
-        assert_eq!(Keyword::from_str("nonsense"), None);
-        assert_eq!(Keyword::from_str("Module"), None, "keywords are case sensitive");
+        assert_eq!(Keyword::from_spelling("nonsense"), None);
+        assert_eq!(
+            Keyword::from_spelling("Module"),
+            None,
+            "keywords are case sensitive"
+        );
     }
 
     #[test]

@@ -6,13 +6,7 @@ use verilog::{extract_modules, strip_comments, Lexer, Parser, SyntaxChecker};
 
 /// A strategy producing random (mostly valid) simple combinational modules.
 fn simple_module_strategy() -> impl Strategy<Value = String> {
-    let ops = prop_oneof![
-        Just("&"),
-        Just("|"),
-        Just("^"),
-        Just("+"),
-        Just("-"),
-    ];
+    let ops = prop_oneof![Just("&"), Just("|"), Just("^"), Just("+"), Just("-"),];
     (1u32..=16, ops, any::<bool>()).prop_map(|(width, op, invert)| {
         let inv = if invert { "~" } else { "" };
         format!(

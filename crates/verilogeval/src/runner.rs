@@ -164,10 +164,8 @@ impl Runner {
                 .iter()
                 .map(|p| self.solve_problem(model, p, temperature, &mut rng))
                 .collect();
-            let nc: Vec<(usize, usize)> = per_problem
-                .iter()
-                .map(|r| (r.samples, r.correct))
-                .collect();
+            let nc: Vec<(usize, usize)> =
+                per_problem.iter().map(|r| (r.samples, r.correct)).collect();
             let pass_at_k_percent: Vec<(usize, f64)> = self
                 .config
                 .ks
@@ -227,13 +225,22 @@ mod tests {
         let corpus: Vec<String> = suite
             .problems()
             .iter()
-            .map(|p| format!("{}{}\n", p.prompt(), {
-                // golden body without the header line
-                let body: Vec<&str> = p.golden_solution.lines().skip(1).collect();
-                body.join("\n")
-            }))
+            .map(|p| {
+                format!("{}{}\n", p.prompt(), {
+                    // golden body without the header line
+                    let body: Vec<&str> = p.golden_solution.lines().skip(1).collect();
+                    body.join("\n")
+                })
+            })
             .collect();
-        NgramModel::train_named("oracle", &corpus, &TrainConfig { order: 16, ..Default::default() })
+        NgramModel::train_named(
+            "oracle",
+            &corpus,
+            &TrainConfig {
+                order: 16,
+                ..Default::default()
+            },
+        )
     }
 
     fn weak_model() -> NgramModel {

@@ -67,11 +67,14 @@ impl ProblemSuite {
 
 // ----- helpers -----
 
-fn iv(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+/// A named signal assignment, e.g. `("a", 1)`.
+type Pins<'a> = &'a [(&'a str, u64)];
+
+fn iv(pairs: Pins<'_>) -> Vec<(String, u64)> {
     pairs.iter().map(|(n, v)| ((*n).to_string(), *v)).collect()
 }
 
-fn comb_vectors(cases: &[(&[(&str, u64)], &[(&str, u64)])]) -> Testbench {
+fn comb_vectors(cases: &[(Pins<'_>, Pins<'_>)]) -> Testbench {
     Testbench::combinational(
         cases
             .iter()
@@ -80,7 +83,7 @@ fn comb_vectors(cases: &[(&[(&str, u64)], &[(&str, u64)])]) -> Testbench {
     )
 }
 
-fn clocked_vectors(cases: &[(&[(&str, u64)], u32, &[(&str, u64)])]) -> Testbench {
+fn clocked_vectors(cases: &[(Pins<'_>, u32, Pins<'_>)]) -> Testbench {
     Testbench::clocked(
         "clk",
         cases
@@ -112,6 +115,7 @@ fn problem(
 
 fn gate_problems() -> Vec<Problem> {
     let two_input = |id: &str, desc: &str, op: &str, f: fn(u64, u64) -> u64| {
+        #[allow(clippy::type_complexity)]
         let cases: Vec<(Vec<(&str, u64)>, Vec<(&str, u64)>)> = (0..4)
             .map(|i| {
                 let a = i & 1;
@@ -119,7 +123,7 @@ fn gate_problems() -> Vec<Problem> {
                 (vec![("a", a), ("b", b)], vec![("y", f(a, b) & 1)])
             })
             .collect();
-        let case_refs: Vec<(&[(&str, u64)], &[(&str, u64)])> = cases
+        let case_refs: Vec<(Pins<'_>, Pins<'_>)> = cases
             .iter()
             .map(|(i, o)| (i.as_slice(), o.as_slice()))
             .collect();
@@ -133,11 +137,25 @@ fn gate_problems() -> Vec<Problem> {
         )
     };
     let mut out = vec![
-        two_input("and2", "Implement a 2-input AND gate.", "a & b", |a, b| a & b),
+        two_input("and2", "Implement a 2-input AND gate.", "a & b", |a, b| {
+            a & b
+        }),
         two_input("or2", "Implement a 2-input OR gate.", "a | b", |a, b| a | b),
-        two_input("xor2", "Implement a 2-input XOR gate.", "a ^ b", |a, b| a ^ b),
-        two_input("nand2", "Implement a 2-input NAND gate.", "~(a & b)", |a, b| !(a & b)),
-        two_input("nor2", "Implement a 2-input NOR gate.", "~(a | b)", |a, b| !(a | b)),
+        two_input("xor2", "Implement a 2-input XOR gate.", "a ^ b", |a, b| {
+            a ^ b
+        }),
+        two_input(
+            "nand2",
+            "Implement a 2-input NAND gate.",
+            "~(a & b)",
+            |a, b| !(a & b),
+        ),
+        two_input(
+            "nor2",
+            "Implement a 2-input NOR gate.",
+            "~(a | b)",
+            |a, b| !(a | b),
+        ),
         two_input(
             "xnor2",
             "Implement a 2-input XNOR gate.",
@@ -151,10 +169,7 @@ fn gate_problems() -> Vec<Problem> {
         "Implement an inverter: the output is the logical complement of the input.",
         "module top_module(input a, output y);",
         "assign y = ~a;",
-        comb_vectors(&[
-            (&[("a", 0)], &[("y", 1)]),
-            (&[("a", 1)], &[("y", 0)]),
-        ]),
+        comb_vectors(&[(&[("a", 0)], &[("y", 1)]), (&[("a", 1)], &[("y", 0)])]),
     ));
     out.push(problem(
         "buffer1",
@@ -162,10 +177,7 @@ fn gate_problems() -> Vec<Problem> {
         "Implement a buffer: the output follows the input.",
         "module top_module(input a, output y);",
         "assign y = a;",
-        comb_vectors(&[
-            (&[("a", 0)], &[("y", 0)]),
-            (&[("a", 1)], &[("y", 1)]),
-        ]),
+        comb_vectors(&[(&[("a", 0)], &[("y", 0)]), (&[("a", 1)], &[("y", 1)])]),
     ));
     out.push(problem(
         "and4",

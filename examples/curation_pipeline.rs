@@ -28,17 +28,41 @@ fn main() {
 
     println!("scraper statistics:");
     println!("  search queries issued : {}", result.scrape.queries_issued);
-    println!("  queries over the cap  : {}", result.scrape.queries_over_cap);
-    println!("  rate-limit waits      : {}", result.scrape.rate_limit_waits);
-    println!("  repositories cloned   : {}", result.scrape.repositories_cloned);
-    println!("  files seen / Verilog  : {} / {}", result.scrape.files_seen, result.scrape.verilog_files_extracted);
+    println!(
+        "  queries over the cap  : {}",
+        result.scrape.queries_over_cap
+    );
+    println!(
+        "  rate-limit waits      : {}",
+        result.scrape.rate_limit_waits
+    );
+    println!(
+        "  repositories cloned   : {}",
+        result.scrape.repositories_cloned
+    );
+    println!(
+        "  files seen / Verilog  : {} / {}",
+        result.scrape.files_seen, result.scrape.verilog_files_extracted
+    );
     println!();
     println!("universe ground truth (what was planted):");
-    println!("  duplicates            : {}", result.universe.planted_duplicates);
-    println!("  copyrighted files     : {}", result.universe.planted_copyright_files);
-    println!("  broken files          : {}", result.universe.planted_broken_files);
+    println!(
+        "  duplicates            : {}",
+        result.universe.planted_duplicates
+    );
+    println!(
+        "  copyrighted files     : {}",
+        result.universe.planted_copyright_files
+    );
+    println!(
+        "  broken files          : {}",
+        result.universe.planted_broken_files
+    );
     println!();
     println!("{}", result.render_markdown());
     println!();
-    println!("machine-readable result:\n{}", to_json_string(&result.measured));
+    println!(
+        "machine-readable result:\n{}",
+        to_json_string(&result.measured)
+    );
 }

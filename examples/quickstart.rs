@@ -9,15 +9,18 @@
 //! corpus with the FreeSet policy, continually pre-train a base model on it,
 //! and compare the base model and FreeV on one generation prompt.
 
+use free_fair_hw::freeset::build_freeset;
 use free_fair_hw::freeset::config::{ExperimentScale, FreeSetConfig};
 use free_fair_hw::freeset::freev::FreeVBuilder;
-use free_fair_hw::freeset::build_freeset;
 use free_fair_hw::hwlm::{perplexity, LanguageModel, SamplerConfig};
 use rand::SeedableRng;
 
 fn main() {
     let scale = ExperimentScale::small();
-    println!("== 1. Building FreeSet (scale: {} repositories) ==", scale.repo_count);
+    println!(
+        "== 1. Building FreeSet (scale: {} repositories) ==",
+        scale.repo_count
+    );
     let build = build_freeset(&FreeSetConfig::at_scale(&scale));
     println!("{}\n", build.dataset.funnel());
 

@@ -1,0 +1,179 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box` — with a
+//! plain wall-clock harness: a short warm-up, `sample_size` timed samples,
+//! and a `min / mean / max` summary line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Summary>,
+}
+
+struct Summary {
+    name: String,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts command-line configuration (ignored by the stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name.into(), sample_size, f);
+        self
+    }
+
+    /// Prints the collected summary table.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\nbenchmark summary ({} entries):", self.results.len());
+        for r in &self.results {
+            println!(
+                "  {:<50} min {:>12?}  mean {:>12?}  max {:>12?}",
+                r.name, r.min, r.mean, r.max
+            );
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        f(&mut bencher);
+        let samples = bencher.samples;
+        if samples.is_empty() {
+            return;
+        }
+        let min = *samples.iter().min().expect("non-empty samples");
+        let max = *samples.iter().max().expect("non-empty samples");
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!("{name:<60} time: [{min:?} {mean:?} {max:?}]");
+        self.results.push(Summary {
+            name,
+            min,
+            mean,
+            max,
+        });
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full_name = format!("{}/{}", self.name, name.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full_name, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `routine` (after one warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut criterion = Criterion::default().configure_from_args();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert_eq!(criterion.results.len(), 1);
+        assert_eq!(criterion.results[0].name, "demo/count");
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+        criterion.final_summary();
+    }
+
+    #[test]
+    fn top_level_bench_function_works() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("x", |b| b.iter(|| black_box(2 + 2)));
+        assert_eq!(criterion.results.len(), 1);
+    }
+}

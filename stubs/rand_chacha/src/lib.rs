@@ -1,0 +1,160 @@
+//! Offline stand-in for `rand_chacha`, implementing a genuine ChaCha8 stream
+//! cipher as an RNG. Output does not bit-match the upstream crate (the
+//! workspace never relies on specific streams, only on determinism and
+//! statistical quality), but the keystream is real ChaCha with 8 rounds.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream-cipher random generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buffer: [u32; 16],
+    /// Next unread word of `buffer`; 16 means exhausted.
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+impl ChaCha8Rng {
+    fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        // Words 12..14 are the block counter, 14..16 the nonce (zero).
+        Self {
+            state,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn quarter_round(block: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        block[a] = block[a].wrapping_add(block[b]);
+        block[d] = (block[d] ^ block[a]).rotate_left(16);
+        block[c] = block[c].wrapping_add(block[d]);
+        block[b] = (block[b] ^ block[c]).rotate_left(12);
+        block[a] = block[a].wrapping_add(block[b]);
+        block[d] = (block[d] ^ block[a]).rotate_left(8);
+        block[c] = block[c].wrapping_add(block[d]);
+        block[b] = (block[b] ^ block[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut block = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column rounds.
+            Self::quarter_round(&mut block, 0, 4, 8, 12);
+            Self::quarter_round(&mut block, 1, 5, 9, 13);
+            Self::quarter_round(&mut block, 2, 6, 10, 14);
+            Self::quarter_round(&mut block, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut block, 0, 5, 10, 15);
+            Self::quarter_round(&mut block, 1, 6, 11, 12);
+            Self::quarter_round(&mut block, 2, 7, 8, 13);
+            Self::quarter_round(&mut block, 3, 4, 9, 14);
+        }
+        for (out, (mixed, input)) in self
+            .buffer
+            .iter_mut()
+            .zip(block.iter().zip(self.state.iter()))
+        {
+            *out = mixed.wrapping_add(*input);
+        }
+        // 64-bit block counter in words 12/13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    /// Expands a 64-bit seed into the 256-bit key with SplitMix64 (the same
+    /// construction `rand`'s `seed_from_u64` uses).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = next();
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        Self::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64k bits, expect ~32k ones; allow generous slack.
+        assert!((30_000..34_000).contains(&ones), "ones {ones}");
+        let mean: f64 = (0..1000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 1000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small parallel-iterator subset the workspace uses —
+//! `par_iter()` / `into_par_iter()` followed by `map(...).collect()` — on top
+//! of `std::thread::scope`. Items are split into one contiguous chunk per
+//! worker and results are reassembled in chunk order, so `collect` output is
+//! always in input order regardless of thread scheduling (the property the
+//! curation pipeline's serial/parallel equivalence relies on).
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Traits to bring parallel-iterator methods into scope.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads used by parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        (ra, handle.join().expect("rayon stub: join worker panicked"))
+    })
+}
+
+/// An eager parallel iterator over an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item in parallel, preserving input order, and collects.
+    ///
+    /// Mapping and collection are fused (this stub is eager): `map` returns a
+    /// lazily-collectable handle whose only consumer is [`MappedParIter::collect`].
+    pub fn map<R, F>(self, f: F) -> MappedParIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MappedParIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`]: a parallel map pending collection.
+pub struct MappedParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MappedParIter<T, F> {
+    /// Runs the map on a scoped thread pool and collects results in input
+    /// order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Order-stable parallel map: contiguous chunks, one worker per chunk,
+/// results flattened in chunk order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 || len < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stub: map worker panicked"))
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// Conversion into an owned parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Borrowing conversion into a parallel iterator of references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type produced.
+    type Item: Send + 'a;
+
+    /// Returns a [`ParIter`] over references to the elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -3,11 +3,13 @@
 
 use free_fair_hw::copyright_bench::{BenchmarkConfig, CopyrightBenchmark, CopyrightedReference};
 use free_fair_hw::curation::{CopyrightDetector, CurationConfig, CurationPipeline};
+use free_fair_hw::freeset::build_freeset;
 use free_fair_hw::freeset::config::{ExperimentScale, FreeSetConfig};
 use free_fair_hw::freeset::corpus::ScrapedCorpus;
 use free_fair_hw::freeset::freev::FreeVBuilder;
-use free_fair_hw::freeset::build_freeset;
-use free_fair_hw::gh_sim::{GithubApi, RepoQuery, Scraper, ScraperConfig, Universe, UniverseConfig};
+use free_fair_hw::gh_sim::{
+    GithubApi, RepoQuery, Scraper, ScraperConfig, Universe, UniverseConfig,
+};
 use free_fair_hw::hwlm::{LanguageModel, SamplerConfig};
 use free_fair_hw::verilog::{Parser, SyntaxChecker};
 use free_fair_hw::verilogeval::{pass_at_k, EvalConfig, ProblemSuite, Runner};
@@ -23,16 +25,22 @@ fn scrape_curate_train_and_generate() {
     let build = build_freeset(&FreeSetConfig::at_scale(&tiny_scale()));
     assert!(build.scraped.len() > 100, "scrape too small");
     let funnel = build.dataset.funnel();
-    assert_eq!(funnel.initial, build.scraped.len());
+    assert_eq!(funnel.initial(), build.scraped.len());
     assert!(funnel.final_count() > 0);
-    assert!(funnel.final_count() < funnel.initial);
+    assert!(funnel.final_count() < funnel.initial());
 
     // 2. Every curated file is syntactically valid and copyright-free.
     let checker = SyntaxChecker::new();
     let detector = CopyrightDetector::new();
     for file in build.dataset.files() {
-        assert!(checker.is_valid(file.content()), "invalid file survived curation");
-        assert!(!detector.is_protected(file.content()), "protected file survived curation");
+        assert!(
+            checker.is_valid(file.content()),
+            "invalid file survived curation"
+        );
+        assert!(
+            !detector.is_protected(file.content()),
+            "protected file survived curation"
+        );
     }
 
     // 3. Train FreeV and generate something parseable from a clean prompt.
@@ -100,8 +108,12 @@ fn copyright_benchmark_separates_leaky_from_clean_models() {
     let clean = FreeVBuilder::default().build(&scraped, &freeset_corpus);
     let leaky = FreeVBuilder::default().build(&scraped, &raw_corpus);
 
-    let clean_rate = benchmark.evaluate(&clean.quantized_tuned()).violation_rate();
-    let leaky_rate = benchmark.evaluate(&leaky.quantized_tuned()).violation_rate();
+    let clean_rate = benchmark
+        .evaluate(&clean.quantized_tuned())
+        .violation_rate();
+    let leaky_rate = benchmark
+        .evaluate(&leaky.quantized_tuned())
+        .violation_rate();
     assert!(
         leaky_rate > clean_rate,
         "unfiltered fine-tuning ({leaky_rate}) should violate more than FreeSet fine-tuning ({clean_rate})"
@@ -152,7 +164,7 @@ fn the_pipeline_is_deterministic_across_runs() {
     // A different seed changes the corpus.
     let c = build_freeset(&FreeSetConfig::at_scale(&tiny_scale().with_seed(123)));
     assert_ne!(
-        a.dataset.funnel().initial,
+        a.dataset.funnel().initial(),
         0,
         "sanity: non-empty funnels being compared"
     );
