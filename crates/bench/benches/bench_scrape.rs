@@ -1,0 +1,113 @@
+//! Benchmarks the scrape phase: the serial `Scraper` versus the concurrent
+//! `fetch::FetchEngine` at 1/2/4 workers, plus the streaming
+//! scrape-and-curate path against the serial scrape-then-curate composition.
+//! Before timing, the equivalence contract (byte-identical file banks) is
+//! asserted and reported, so `cargo bench` output doubles as evidence.
+//!
+//! NB: CI containers may be single-core — the concurrency win shows on
+//! multi-core hardware; the equivalence assertions hold everywhere.
+
+use bench::{print_artifact, timing_scale};
+use criterion::{black_box, Criterion};
+use curation::{CurationConfig, CurationPipeline};
+use freeset::config::{ExperimentScale, FreeSetConfig};
+use freeset::corpus::SCRAPE_API_BUDGET as API_BUDGET;
+use freeset::dataset::scrape_and_curate;
+use gh_sim::fetch::{FetchConfig, FetchEngine};
+use gh_sim::{GithubApi, Scraper, ScraperConfig, Universe, UniverseConfig};
+
+fn universe_at(scale: &ExperimentScale) -> Universe {
+    Universe::generate(&UniverseConfig {
+        repo_count: scale.repo_count,
+        seed: scale.seed,
+        ..Default::default()
+    })
+}
+
+fn bench_scrape_clients(c: &mut Criterion, label: &str, scale: &ExperimentScale) {
+    let universe = universe_at(scale);
+    let mut group = c.benchmark_group(format!("scrape_{label}"));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let api = GithubApi::with_rate_limit(&universe, API_BUDGET);
+            let output = Scraper::new(ScraperConfig::default())
+                .run(black_box(&api))
+                .expect("serial scrape");
+            black_box(output.files.len())
+        })
+    });
+    for workers in [1, 2, 4] {
+        let engine = FetchEngine::new(FetchConfig::with_workers(workers));
+        group.bench_function(format!("concurrent_{workers}w"), |b| {
+            b.iter(|| {
+                let api = GithubApi::with_rate_limit(&universe, API_BUDGET);
+                let output = engine
+                    .run(black_box(&api), ScraperConfig::default())
+                    .expect("concurrent scrape");
+                black_box(output.files.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_pipeline(c: &mut Criterion) {
+    let config = FreeSetConfig::at_scale(&timing_scale());
+    let mut group = c.benchmark_group("scrape_and_curate");
+    group.sample_size(10);
+    group.bench_function("serial_scrape_then_curate", |b| {
+        b.iter(|| {
+            let scraped = freeset::corpus::ScrapedCorpus::build(black_box(&config));
+            let dataset = CurationPipeline::new(CurationConfig::freeset()).run(scraped.files);
+            black_box(dataset.len())
+        })
+    });
+    for workers in [2, 4] {
+        group.bench_function(format!("streaming_{workers}w"), |b| {
+            b.iter(|| {
+                let build =
+                    scrape_and_curate(black_box(&config), &FetchConfig::with_workers(workers));
+                black_box(build.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    // The equivalence contract, asserted before anything is timed.
+    let scale = timing_scale();
+    let universe = universe_at(&scale);
+    let serial = Scraper::new(ScraperConfig::default())
+        .run(&GithubApi::with_rate_limit(&universe, API_BUDGET))
+        .expect("serial scrape");
+    let concurrent = FetchEngine::new(FetchConfig::with_workers(4))
+        .run(
+            &GithubApi::with_rate_limit(&universe, API_BUDGET),
+            ScraperConfig::default(),
+        )
+        .expect("concurrent scrape");
+    assert_eq!(
+        serial.files, concurrent.files,
+        "concurrent bank must be byte-identical"
+    );
+    print_artifact(
+        "Fetch engine: serial/concurrent equivalence",
+        &format!(
+            "{} repositories cloned, {} Verilog files extracted — identical banks\n\
+             concurrent run: max {} in flight, {} window waits, {} retries",
+            concurrent.report.repositories_cloned,
+            concurrent.report.verilog_files_extracted,
+            concurrent.report.max_in_flight,
+            concurrent.report.rate_limit_waits,
+            concurrent.report.rate_limit_retries,
+        ),
+    );
+
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_scrape_clients(&mut criterion, "tiny", &ExperimentScale::tiny());
+    bench_scrape_clients(&mut criterion, "small", &ExperimentScale::small());
+    bench_streaming_pipeline(&mut criterion);
+    criterion.final_summary();
+}

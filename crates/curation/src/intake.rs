@@ -1,0 +1,164 @@
+//! Streaming batch intake for the curation stage engine.
+//!
+//! A [`CurationSession`] accepts the corpus incrementally — e.g. one
+//! repository at a time, straight off a concurrent scraper's handoff queue —
+//! instead of requiring the whole file bank up front. Batch-invariant stages
+//! (see [`CurationStage::batch_invariant`]) are applied to each batch as it
+//! arrives, so license/length filtering overlaps the scrape; the first
+//! non-invariant stage (de-duplication, in every paper policy) and
+//! everything after it run once at [`CurationSession::finish`], over the
+//! survivors in arrival order.
+//!
+//! The session is *exactly* equivalent to the one-shot path: for any split
+//! of a corpus into batches,
+//! `session.push(batch₁); …; session.push(batchₙ); session.finish()`
+//! produces the same [`CuratedDataset`] — files, funnel and rejection
+//! provenance — as `pipeline.run(batch₁ ⧺ … ⧺ batchₙ)` (property-tested in
+//! `tests/stage_properties.rs`). [`crate::CurationPipeline::run`] is in fact
+//! implemented as a single-batch session.
+
+use gh_sim::ExtractedFile;
+
+use crate::funnel::FunnelStats;
+use crate::pipeline::{CuratedDataset, CurationPipeline};
+use crate::stage::{CurationStage, FileBatch, RejectedFile, StageOutcome};
+
+/// Per-stage tallies accumulated across pushed batches.
+#[derive(Default)]
+struct StageTally {
+    entering: usize,
+    surviving: usize,
+    rejects: Vec<RejectedFile>,
+}
+
+/// An in-progress curation run accepting the corpus batch by batch.
+///
+/// Created by [`CurationPipeline::session`]; see the module docs for the
+/// equivalence guarantee.
+///
+/// # Example
+///
+/// ```
+/// use curation::{CurationConfig, CurationPipeline};
+///
+/// let pipeline = CurationPipeline::new(CurationConfig::freeset());
+/// let mut session = pipeline.session();
+/// session.push(vec![]); // batches arrive as the scrape progresses
+/// let dataset = session.finish();
+/// assert!(dataset.is_empty());
+/// ```
+pub struct CurationSession<'p> {
+    pipeline: &'p CurationPipeline,
+    /// The stages built from the pipeline's configuration (custom stages are
+    /// borrowed from the pipeline and run after these).
+    configured: Vec<Box<dyn CurationStage>>,
+    /// Index (into the configured ⧺ custom stage list) of the first stage
+    /// that is *not* batch-invariant; stages before it run per batch.
+    split: usize,
+    /// One tally per streaming stage.
+    tallies: Vec<StageTally>,
+    /// Survivors of the streaming prefix, in arrival order.
+    buffered: Vec<ExtractedFile>,
+    /// Total files pushed (the funnel's initial count).
+    pushed: usize,
+}
+
+impl<'p> CurationSession<'p> {
+    pub(crate) fn new(pipeline: &'p CurationPipeline) -> Self {
+        let mut session = Self {
+            pipeline,
+            configured: pipeline.configured_stages(),
+            split: 0,
+            tallies: Vec::new(),
+            buffered: Vec::new(),
+            pushed: 0,
+        };
+        let total = session.stage_count();
+        session.split = (0..total)
+            .find(|&i| !session.stage_at(i).batch_invariant())
+            .unwrap_or(total);
+        session.tallies = (0..session.split).map(|_| StageTally::default()).collect();
+        session
+    }
+
+    fn stage_at(&self, index: usize) -> &dyn CurationStage {
+        if index < self.configured.len() {
+            self.configured[index].as_ref()
+        } else {
+            self.pipeline.custom_stage_list()[index - self.configured.len()].as_ref()
+        }
+    }
+
+    fn stage_count(&self) -> usize {
+        self.configured.len() + self.pipeline.custom_stage_list().len()
+    }
+
+    /// Number of leading stages applied incrementally per pushed batch.
+    pub fn streaming_stage_count(&self) -> usize {
+        self.split
+    }
+
+    /// Total files pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Feeds one batch through the streaming stage prefix, buffering its
+    /// survivors for the deferred stages.
+    pub fn push(&mut self, files: Vec<ExtractedFile>) {
+        self.pushed += files.len();
+        let mut files = files;
+        for index in 0..self.split {
+            let stage = self.stage_at(index);
+            let mut outcome = stage.apply(FileBatch::new(files, self.pipeline.mode()));
+            restamp(stage, &mut outcome);
+            let tally = &mut self.tallies[index];
+            tally.entering += outcome.total();
+            tally.surviving += outcome.kept.len();
+            tally.rejects.append(&mut outcome.rejected);
+            files = outcome.kept;
+        }
+        self.buffered.extend(files);
+    }
+
+    /// Runs the deferred stages over the buffered survivors and assembles
+    /// the dataset: identical, batch split notwithstanding, to a one-shot
+    /// [`CurationPipeline::run`] over the concatenated input.
+    pub fn finish(mut self) -> CuratedDataset {
+        let mut funnel = FunnelStats::new(self.pushed);
+        let mut rejects: Vec<RejectedFile> = Vec::new();
+        // The streaming prefix: fold the per-batch tallies into the funnel.
+        let tallies = std::mem::take(&mut self.tallies);
+        for (index, mut tally) in tallies.into_iter().enumerate() {
+            funnel.record(self.stage_at(index).name(), tally.surviving);
+            debug_assert_eq!(
+                funnel.stages().last().map(|s| s.entering),
+                Some(tally.entering),
+                "streamed tallies must chain like a one-shot funnel"
+            );
+            rejects.append(&mut tally.rejects);
+        }
+        // The deferred suffix: ordinary stage-at-a-time execution.
+        let mut files = std::mem::take(&mut self.buffered);
+        for index in self.split..self.stage_count() {
+            let stage = self.stage_at(index);
+            let mut outcome = stage.apply(FileBatch::new(files, self.pipeline.mode()));
+            restamp(stage, &mut outcome);
+            funnel.record(stage.name(), outcome.kept.len());
+            rejects.extend(outcome.rejected);
+            files = outcome.kept;
+        }
+        self.pipeline.assemble_dataset(files, funnel, rejects)
+    }
+}
+
+/// Stamps every rejection with the stage's canonical name so provenance
+/// always keys the same way as the funnel, even when a stage's `apply`
+/// tagged rejections inconsistently.
+fn restamp(stage: &dyn CurationStage, outcome: &mut StageOutcome) {
+    for reject in &mut outcome.rejected {
+        if reject.stage != stage.name() {
+            reject.stage = stage.name().to_string();
+        }
+    }
+}

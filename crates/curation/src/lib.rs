@@ -57,6 +57,7 @@
 pub mod copyright;
 pub mod dedup;
 pub mod funnel;
+pub mod intake;
 pub mod license_filter;
 pub mod pipeline;
 pub mod report;
@@ -67,6 +68,7 @@ pub mod syntax_filter;
 pub use copyright::{CopyrightDetector, CopyrightFinding};
 pub use dedup::{DedupConfig, DedupOutcome, Deduplicator};
 pub use funnel::{FunnelStats, StageCount};
+pub use intake::CurationSession;
 pub use license_filter::LicenseFilter;
 pub use pipeline::{
     CuratedDataset, CuratedFile, CurationConfig, CurationPipeline, DatasetStructure,

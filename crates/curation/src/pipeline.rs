@@ -15,8 +15,9 @@ use serde::{Deserialize, Serialize};
 use crate::copyright::CopyrightDetector;
 use crate::dedup::DedupConfig;
 use crate::funnel::FunnelStats;
+use crate::intake::CurationSession;
 use crate::license_filter::LicenseFilter;
-use crate::stage::{CurationStage, ExecutionMode, FileBatch, RejectReason, RejectedFile};
+use crate::stage::{CurationStage, ExecutionMode, RejectReason, RejectedFile};
 use crate::stages::{CopyrightStage, DedupStage, LengthCapStage, LicenseStage, SyntaxStage};
 
 /// How the curated dataset is meant to be consumed downstream — mirrored from
@@ -265,7 +266,7 @@ impl CurationPipeline {
 
     /// Builds the stage list the configuration's toggles describe (without
     /// the appended custom stages).
-    fn configured_stages(&self) -> Vec<Box<dyn CurationStage>> {
+    pub(crate) fn configured_stages(&self) -> Vec<Box<dyn CurationStage>> {
         let mut stages: Vec<Box<dyn CurationStage>> = Vec::new();
         if self.config.check_repository_license {
             stages.push(Box::new(LicenseStage::new(self.license_filter.clone())));
@@ -287,6 +288,11 @@ impl CurationPipeline {
         stages
     }
 
+    /// The appended custom stages, in registration order.
+    pub(crate) fn custom_stage_list(&self) -> &[Box<dyn CurationStage>] {
+        &self.custom_stages
+    }
+
     /// The names of the stages this pipeline will run, in order.
     pub fn stage_names(&self) -> Vec<String> {
         self.configured_stages()
@@ -296,30 +302,30 @@ impl CurationPipeline {
             .collect()
     }
 
-    /// Runs the pipeline over a bank of extracted files.
+    /// Opens a streaming intake session: the corpus can be pushed batch by
+    /// batch (e.g. straight off a concurrent scraper's handoff queue) and
+    /// the result is identical to a one-shot [`CurationPipeline::run`] over
+    /// the concatenated batches. See [`CurationSession`].
+    pub fn session(&self) -> CurationSession<'_> {
+        CurationSession::new(self)
+    }
+
+    /// Runs the pipeline over a bank of extracted files — a single-batch
+    /// [`CurationSession`], so the streaming and one-shot paths share one
+    /// executor.
     pub fn run(&self, files: Vec<ExtractedFile>) -> CuratedDataset {
-        let mut funnel = FunnelStats::new(files.len());
-        let mut rejects: Vec<RejectedFile> = Vec::new();
-        let mut files = files;
-        let configured = self.configured_stages();
-        let stages = configured
-            .iter()
-            .map(Box::as_ref)
-            .chain(self.custom_stages.iter().map(Box::as_ref));
-        for stage in stages {
-            let mut outcome = stage.apply(FileBatch::new(files, self.mode));
-            funnel.record(stage.name(), outcome.kept.len());
-            // Stamp rejections with the stage's canonical name so provenance
-            // always keys the same way as the funnel, even when a stage's
-            // `apply` tagged them inconsistently.
-            for reject in &mut outcome.rejected {
-                if reject.stage != stage.name() {
-                    reject.stage = stage.name().to_string();
-                }
-            }
-            rejects.extend(outcome.rejected);
-            files = outcome.kept;
-        }
+        let mut session = self.session();
+        session.push(files);
+        session.finish()
+    }
+
+    /// Assembles the run's output (the session's final step).
+    pub(crate) fn assemble_dataset(
+        &self,
+        files: Vec<ExtractedFile>,
+        funnel: FunnelStats,
+        rejects: Vec<RejectedFile>,
+    ) -> CuratedDataset {
         CuratedDataset {
             name: self.config.name.clone(),
             structure: self.config.structure,
@@ -334,7 +340,7 @@ impl CurationPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stage::StageOutcome;
+    use crate::stage::{FileBatch, StageOutcome};
     use gh_sim::{GithubApi, License, Scraper, ScraperConfig, Universe, UniverseConfig};
 
     fn scraped_corpus(repos: usize, seed: u64) -> Vec<ExtractedFile> {

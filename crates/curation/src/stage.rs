@@ -198,6 +198,19 @@ pub trait CurationStage: Send + Sync {
 
     /// Applies the stage to a batch.
     fn apply(&self, batch: FileBatch) -> StageOutcome;
+
+    /// Whether the stage's per-file verdicts are independent of the rest of
+    /// the batch, so that applying it to a stream of batches produces the
+    /// same result as applying it to their concatenation. Batch-invariant
+    /// stages run incrementally in a [`crate::CurationSession`] while the
+    /// scrape is still in flight; everything else (e.g. de-duplication,
+    /// whose first-occurrence-wins decision looks across files) is deferred
+    /// to the end of the stream.
+    ///
+    /// Defaults to `false` — the conservative answer, always correct.
+    fn batch_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// Canonical stage names, shared by the stage implementations, the funnel's

@@ -41,6 +41,10 @@ impl CurationStage for LicenseStage {
             self.filter.accepts(f)
         })
     }
+
+    fn batch_invariant(&self) -> bool {
+        true
+    }
 }
 
 /// Drops files longer than a maximum character count
@@ -72,6 +76,10 @@ impl CurationStage for LengthCapStage {
         batch.partition(stage_names::LENGTH, RejectReason::LengthCap, |f| {
             f.char_len() <= self.max_chars
         })
+    }
+
+    fn batch_invariant(&self) -> bool {
+        true
     }
 }
 
@@ -146,6 +154,10 @@ impl CurationStage for SyntaxStage {
             self.filter.passes(&f.content)
         })
     }
+
+    fn batch_invariant(&self) -> bool {
+        true
+    }
 }
 
 /// Removes files whose headers carry proprietary-copyright language
@@ -198,6 +210,10 @@ impl CurationStage for CopyrightStage {
             }
         }
         outcome
+    }
+
+    fn batch_invariant(&self) -> bool {
+        true
     }
 }
 

@@ -129,6 +129,57 @@ proptest! {
         prop_assert_eq!(&serial, &parallel);
         prop_assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     }
+
+    #[test]
+    fn streamed_batches_equal_one_shot_for_any_split(
+        policy in policy_strategy(),
+        repos in 5usize..15,
+        seed in any::<u64>(),
+        batch_size in 1usize..40,
+    ) {
+        let files = corpus(repos, seed);
+        let pipeline = CurationPipeline::new(policy);
+        let one_shot = pipeline.run(files.clone());
+        // Feed the same corpus through a streaming session in arbitrary
+        // fixed-size batches (including a ragged final batch and, when
+        // batch_size exceeds the corpus, a single batch).
+        let mut session = pipeline.session();
+        for chunk in files.chunks(batch_size) {
+            session.push(chunk.to_vec());
+        }
+        let streamed = session.finish();
+        prop_assert_eq!(&streamed, &one_shot);
+        prop_assert_eq!(format!("{streamed:?}"), format!("{one_shot:?}"));
+    }
+
+    #[test]
+    fn streamed_per_repo_batches_equal_one_shot(
+        repos in 5usize..15,
+        seed in any::<u64>(),
+    ) {
+        // The shape the fetch engine actually delivers: one batch per
+        // repository, under the full FreeSet policy.
+        let files = corpus(repos, seed);
+        let pipeline = CurationPipeline::new(CurationConfig::freeset());
+        let one_shot = pipeline.run(files.clone());
+        let mut session = pipeline.session();
+        prop_assert!(session.streaming_stage_count() >= 1,
+            "the license stage must stream ahead of dedup");
+        let mut remaining = files.as_slice();
+        while !remaining.is_empty() {
+            let repo_id = remaining[0].repo_id;
+            let split = remaining
+                .iter()
+                .position(|f| f.repo_id != repo_id)
+                .unwrap_or(remaining.len());
+            let (batch, rest) = remaining.split_at(split);
+            session.push(batch.to_vec());
+            remaining = rest;
+        }
+        prop_assert_eq!(session.pushed(), files.len());
+        let streamed = session.finish();
+        prop_assert_eq!(&streamed, &one_shot);
+    }
 }
 
 /// A growing "stage" violates the filter contract; the monotonicity check

@@ -9,6 +9,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::FreeSetConfig;
 
+/// The per-window request budget every scrape client (serial reference,
+/// concurrent engine, benchmarks) runs against. Generous enough that
+/// supported experiment scales never exhaust a window — which keeps every
+/// scrape-report counter deterministic — while still finite, so the
+/// rate-limit machinery stays on the request path.
+pub const SCRAPE_API_BUDGET: usize = 10_000;
+
 /// The raw scraped corpus, reused by every curation policy so that dataset
 /// comparisons (Table I) and model comparisons (Figures 2/3, Table II) all
 /// see the same underlying population.
@@ -31,7 +38,7 @@ impl ScrapedCorpus {
     /// API at supported universe sizes (granularisation always succeeds).
     pub fn build(config: &FreeSetConfig) -> Self {
         let universe = Universe::generate(&config.universe);
-        let api = GithubApi::with_rate_limit(&universe, 10_000);
+        let api = GithubApi::with_rate_limit(&universe, SCRAPE_API_BUDGET);
         let output = Scraper::new(config.scraper)
             .run(&api)
             .expect("simulated scrape cannot fail at supported scales");

@@ -5,8 +5,8 @@
 //! non-enterprise accounts, and request rate limits. This module models both
 //! so that the scraper's query-granularisation logic is exercised for real.
 
-use std::cell::RefCell;
 use std::fmt;
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -137,8 +137,12 @@ pub struct ApiUsage {
 
 /// The simulated GitHub API over a [`Universe`].
 ///
-/// Interior mutability is used for the request accounting so that read-only
-/// API handles can be shared freely by the scraper.
+/// Interior mutability (a [`Mutex`] around the rate-limit window and the
+/// usage counters) is used for the request accounting so that read-only API
+/// handles can be shared freely — by the serial [`crate::Scraper`] on one
+/// thread, or by every worker of a [`crate::fetch::FetchEngine`] at once:
+/// the type is `Sync`, and each request's admission decision is atomic with
+/// respect to concurrent requests.
 ///
 /// # Example
 ///
@@ -155,8 +159,8 @@ pub struct ApiUsage {
 pub struct GithubApi<'a> {
     universe: &'a Universe,
     requests_per_window: usize,
-    window_remaining: RefCell<usize>,
-    usage: RefCell<ApiUsage>,
+    window_remaining: Mutex<usize>,
+    usage: Mutex<ApiUsage>,
 }
 
 impl<'a> GithubApi<'a> {
@@ -183,27 +187,44 @@ impl<'a> GithubApi<'a> {
         Self {
             universe,
             requests_per_window,
-            window_remaining: RefCell::new(requests_per_window),
-            usage: RefCell::new(ApiUsage::default()),
+            window_remaining: Mutex::new(requests_per_window),
+            usage: Mutex::new(ApiUsage::default()),
         }
+    }
+
+    /// The per-window request budget this API enforces.
+    pub fn requests_per_window(&self) -> usize {
+        self.requests_per_window
     }
 
     /// Usage statistics so far.
     pub fn usage(&self) -> ApiUsage {
-        *self.usage.borrow()
+        *self.usage.lock().expect("api usage lock poisoned")
     }
 
     /// Resets the rate-limit window (the simulated equivalent of waiting for
     /// the window to roll over).
     pub fn wait_for_rate_limit_reset(&self) {
-        *self.window_remaining.borrow_mut() = self.requests_per_window;
-        self.usage.borrow_mut().rate_limit_resets += 1;
+        *self
+            .window_remaining
+            .lock()
+            .expect("api window lock poisoned") = self.requests_per_window;
+        self.usage
+            .lock()
+            .expect("api usage lock poisoned")
+            .rate_limit_resets += 1;
     }
 
     fn consume_request(&self) -> Result<(), ApiError> {
-        let mut remaining = self.window_remaining.borrow_mut();
+        let mut remaining = self
+            .window_remaining
+            .lock()
+            .expect("api window lock poisoned");
         if *remaining == 0 {
-            self.usage.borrow_mut().rate_limit_rejections += 1;
+            self.usage
+                .lock()
+                .expect("api usage lock poisoned")
+                .rate_limit_rejections += 1;
             return Err(ApiError::RateLimited);
         }
         *remaining -= 1;
@@ -219,7 +240,10 @@ impl<'a> GithubApi<'a> {
     /// * [`ApiError::RateLimited`] when the request budget is exhausted.
     /// * [`ApiError::PageOutOfRange`] for pages past the end.
     pub fn search(&self, query: &RepoQuery) -> Result<SearchPage, ApiError> {
-        self.usage.borrow_mut().search_requests += 1;
+        self.usage
+            .lock()
+            .expect("api usage lock poisoned")
+            .search_requests += 1;
         self.consume_request()?;
         let mut matches: Vec<&Repository> = self
             .universe
@@ -255,7 +279,10 @@ impl<'a> GithubApi<'a> {
     /// * [`ApiError::UnknownRepository`] when the id does not exist.
     /// * [`ApiError::RateLimited`] when the request budget is exhausted.
     pub fn clone_repository(&self, id: u64) -> Result<&'a Repository, ApiError> {
-        self.usage.borrow_mut().clone_requests += 1;
+        self.usage
+            .lock()
+            .expect("api usage lock poisoned")
+            .clone_requests += 1;
         self.consume_request()?;
         self.universe
             .repository(id)
@@ -359,6 +386,64 @@ mod tests {
         let mut sorted = stars.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(stars, sorted);
+    }
+
+    #[test]
+    fn api_handles_are_shareable_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<GithubApi<'static>>();
+        // Concurrent requests against one handle never over-admit: with a
+        // budget of 10, exactly 10 of the 40 racing requests may succeed.
+        let u = universe(20);
+        let api = GithubApi::with_rate_limit(&u, 10);
+        let successes: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..10)
+                            .filter(|_| api.search(&RepoQuery::all()).is_ok())
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .sum()
+        });
+        assert_eq!(successes, 10);
+        assert_eq!(api.usage().rate_limit_rejections, 30);
+        assert_eq!(api.requests_per_window(), 10);
+    }
+
+    #[test]
+    fn page_out_of_range_on_exact_page_multiple() {
+        // 200 matches fill exactly two pages: the last page reports no
+        // further results, and the next page is an error (not an empty page).
+        let u = universe(200);
+        let api = GithubApi::with_rate_limit(&u, 1000);
+        let last = api.search(&RepoQuery::all().page(1)).unwrap();
+        assert_eq!(last.repo_ids.len(), PAGE_SIZE);
+        assert!(!last.has_more);
+        assert_eq!(
+            api.search(&RepoQuery::all().page(2)).unwrap_err(),
+            ApiError::PageOutOfRange { page: 2, pages: 2 }
+        );
+    }
+
+    #[test]
+    fn empty_result_set_still_has_one_page() {
+        let u = universe(10);
+        let api = GithubApi::with_rate_limit(&u, 1000);
+        // No repository is created after 2030.
+        let none = RepoQuery::all().created(2030, 2031);
+        let page = api.search(&none).unwrap();
+        assert!(page.repo_ids.is_empty());
+        assert_eq!(page.total_matches, 0);
+        assert!(!page.has_more);
+        assert_eq!(
+            api.search(&none.page(1)).unwrap_err(),
+            ApiError::PageOutOfRange { page: 1, pages: 1 }
+        );
     }
 
     #[test]

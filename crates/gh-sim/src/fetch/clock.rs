@@ -1,0 +1,77 @@
+//! The shared virtual clock the fetch engine schedules against.
+//!
+//! The simulated GitHub API has no real time: "waiting out" a rate-limit
+//! window is a state reset, not a sleep. The fetch engine still needs a
+//! common notion of elapsed time so that token-bucket refills and retry
+//! backoff have a measurable cost — [`SimClock`] provides it as a monotone
+//! tick counter shared by every worker. Waiting is advancing the clock, so
+//! tests run at full speed while the engine's reports still expose how long
+//! a real scrape would have stalled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone virtual clock measured in abstract ticks.
+///
+/// All operations are lock-free; `advance_to` is a monotonic maximum, so
+/// racing workers can never move the clock backwards.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    ticks: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock starting at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `ticks`, returning the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.ticks.fetch_add(ticks, Ordering::SeqCst) + ticks
+    }
+
+    /// Advances the clock to at least `deadline` (no-op when the clock is
+    /// already past it), returning the ticks actually waited.
+    pub fn advance_to(&self, deadline: u64) -> u64 {
+        let before = self.ticks.fetch_max(deadline, Ordering::SeqCst);
+        deadline.saturating_sub(before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(5), 5);
+        assert_eq!(clock.now(), 5);
+        assert_eq!(clock.advance_to(12), 7);
+        assert_eq!(clock.now(), 12);
+        // Moving to an earlier deadline waits nothing and changes nothing.
+        assert_eq!(clock.advance_to(3), 0);
+        assert_eq!(clock.now(), 12);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let clock = SimClock::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        clock.advance(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now(), 4000);
+    }
+}

@@ -1,0 +1,213 @@
+//! Client-side token-bucket pacing for the worker pool.
+//!
+//! The engine never lets its workers free-run against the API: every request
+//! first takes a token from a shared [`TokenBucket`] whose capacity mirrors
+//! the server's per-window budget. When the bucket runs dry the acquiring
+//! worker *rolls the window* — it advances the shared [`SimClock`] to the
+//! end of the current window and refills the bucket — which is the
+//! concurrent analogue of the serial scraper's
+//! [`crate::GithubApi::wait_for_rate_limit_reset`] wait.
+//!
+//! Server-side rejections can still happen (the bucket can be configured to
+//! overcommit the server budget, and bucket/API bookkeeping is not one
+//! atomic step under contention). For that path the bucket exposes
+//! [`TokenBucket::roll_if_stale`]: a worker that observed
+//! [`crate::ApiError::RateLimited`] under window generation `g` asks for a
+//! roll, and only the *first* such worker per window actually rolls — the
+//! rest retry against the budget that worker just refreshed. The generation
+//! counter is what keeps a thundering herd of rejected workers from
+//! resetting the window once per rejection.
+
+use std::sync::Mutex;
+
+use super::clock::SimClock;
+
+/// The outcome of taking a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Acquired {
+    /// The window generation the token belongs to (monotone; bumped on every
+    /// roll). Pass it to [`TokenBucket::roll_if_stale`] when the server
+    /// rejects the request anyway.
+    pub generation: u64,
+    /// Whether this acquisition rolled the window (the bucket was empty).
+    /// Note a roll can wait *zero* ticks when backoff advances already
+    /// pushed the clock past the window deadline — callers coordinating
+    /// server-side resets must key on this flag, not on `waited_ticks`.
+    pub rolled: bool,
+    /// Virtual ticks this acquisition waited because the bucket was empty
+    /// (zero when a token was immediately available).
+    pub waited_ticks: u64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: usize,
+    generation: u64,
+    window_started: u64,
+}
+
+/// A token bucket over a virtual clock: `capacity` tokens per
+/// `window_ticks`-long window, refilled by whichever worker first needs the
+/// next window.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: usize,
+    window_ticks: u64,
+    state: Mutex<BucketState>,
+}
+
+impl TokenBucket {
+    /// Creates a bucket holding `capacity` tokens per `window_ticks` window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (no request could ever be admitted) or
+    /// `window_ticks` is zero (rolling the window would not advance time).
+    pub fn new(capacity: usize, window_ticks: u64) -> Self {
+        assert!(capacity > 0, "token bucket needs a positive capacity");
+        assert!(window_ticks > 0, "token bucket needs a positive window");
+        Self {
+            capacity,
+            window_ticks,
+            state: Mutex::new(BucketState {
+                tokens: capacity,
+                generation: 0,
+                window_started: 0,
+            }),
+        }
+    }
+
+    /// The per-window token budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Takes one token, rolling the window (advancing `clock`, refilling the
+    /// bucket) when none is left. Always succeeds; the returned
+    /// [`Acquired::waited_ticks`] reports the virtual wait, if any.
+    pub fn acquire(&self, clock: &SimClock) -> Acquired {
+        let mut state = self.state.lock().expect("token bucket lock poisoned");
+        if state.tokens == 0 {
+            let waited = self.roll_locked(&mut state, clock);
+            state.tokens -= 1;
+            return Acquired {
+                generation: state.generation,
+                rolled: true,
+                waited_ticks: waited,
+            };
+        }
+        state.tokens -= 1;
+        Acquired {
+            generation: state.generation,
+            rolled: false,
+            waited_ticks: 0,
+        }
+    }
+
+    /// Rolls the window after a server-side rejection observed under
+    /// `observed_generation` — unless another worker already rolled past that
+    /// generation, in which case the caller should simply retry. Returns the
+    /// ticks waited when this call performed the roll.
+    pub fn roll_if_stale(&self, clock: &SimClock, observed_generation: u64) -> Option<u64> {
+        let mut state = self.state.lock().expect("token bucket lock poisoned");
+        if state.generation != observed_generation {
+            return None;
+        }
+        Some(self.roll_locked(&mut state, clock))
+    }
+
+    /// Advances the clock to the end of the current window and refills the
+    /// bucket. Returns the ticks waited.
+    fn roll_locked(&self, state: &mut BucketState, clock: &SimClock) -> u64 {
+        let deadline = state.window_started + self.window_ticks;
+        let waited = clock.advance_to(deadline);
+        state.window_started = clock.now().max(deadline);
+        state.tokens = self.capacity;
+        state.generation += 1;
+        waited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_flow_until_the_window_is_dry() {
+        let clock = SimClock::new();
+        let bucket = TokenBucket::new(3, 100);
+        for _ in 0..3 {
+            let grant = bucket.acquire(&clock);
+            assert_eq!(grant.waited_ticks, 0);
+            assert_eq!(grant.generation, 0);
+            assert!(!grant.rolled);
+        }
+        // The fourth acquisition rolls the window.
+        let grant = bucket.acquire(&clock);
+        assert_eq!(grant.waited_ticks, 100);
+        assert_eq!(grant.generation, 1);
+        assert!(grant.rolled);
+        assert_eq!(clock.now(), 100);
+    }
+
+    #[test]
+    fn only_the_first_stale_observer_rolls() {
+        let clock = SimClock::new();
+        let bucket = TokenBucket::new(2, 50);
+        let grant_a = bucket.acquire(&clock);
+        let grant_b = bucket.acquire(&clock);
+        // Both workers were rejected server-side under generation 0; only
+        // one roll happens.
+        assert_eq!(bucket.roll_if_stale(&clock, grant_a.generation), Some(50));
+        assert_eq!(bucket.roll_if_stale(&clock, grant_b.generation), None);
+        assert_eq!(clock.now(), 50);
+    }
+
+    #[test]
+    fn a_roll_can_wait_zero_ticks_but_still_reports_rolled() {
+        let clock = SimClock::new();
+        let bucket = TokenBucket::new(1, 10);
+        bucket.acquire(&clock);
+        // Backoff elsewhere pushes the clock far past the window deadline.
+        clock.advance(100);
+        let grant = bucket.acquire(&clock);
+        assert!(grant.rolled, "an empty bucket must report the roll");
+        assert_eq!(grant.waited_ticks, 0, "the deadline already passed");
+    }
+
+    #[test]
+    fn windows_accumulate_across_rolls() {
+        let clock = SimClock::new();
+        let bucket = TokenBucket::new(1, 10);
+        for expected_wait in [0, 10, 10, 10] {
+            assert_eq!(bucket.acquire(&clock).waited_ticks, expected_wait);
+        }
+        assert_eq!(clock.now(), 30);
+    }
+
+    #[test]
+    fn concurrent_acquisitions_never_over_admit_per_window() {
+        let clock = SimClock::new();
+        let bucket = TokenBucket::new(8, 100);
+        let grants: Vec<Acquired> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| (0..8).map(|_| bucket.acquire(&clock)).collect::<Vec<_>>()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().expect("acquire worker panicked"))
+                .collect()
+        });
+        assert_eq!(grants.len(), 32);
+        // Every generation hands out at most `capacity` tokens.
+        for generation in 0..=grants.iter().map(|g| g.generation).max().unwrap() {
+            let handed_out = grants.iter().filter(|g| g.generation == generation).count();
+            assert!(handed_out <= 8, "generation {generation} over-admitted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_is_rejected() {
+        TokenBucket::new(0, 10);
+    }
+}

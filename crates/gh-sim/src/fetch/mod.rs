@@ -1,0 +1,49 @@
+//! A deterministic concurrent fetch engine for the simulated GitHub API.
+//!
+//! The serial [`crate::Scraper`] drives the API one blocking request at a
+//! time, so the rate-limit and result-cap machinery is never exercised under
+//! contention and universe size is bottlenecked on a single loop. This
+//! module schedules the same scrape from a pool of scoped worker threads —
+//! and still produces a byte-identical [`crate::ExtractedFile`] bank, for
+//! any worker count and any scheduler seed.
+//!
+//! # The token-bucket model
+//!
+//! All pacing happens against a **virtual clock** ([`SimClock`]): a shared
+//! monotone tick counter where "waiting" means advancing the counter, so no
+//! wall-clock time is ever spent sleeping and a run's stall profile is still
+//! measurable (reported as ticks in the extended [`crate::ScrapeReport`]).
+//!
+//! Client-side admission is a **token bucket** ([`TokenBucket`]) holding one
+//! token per request the server allows per rate-limit window. Every request
+//! first takes a token; the worker that drains the bucket *rolls the
+//! window* — advances the clock by one window length, refills the bucket and
+//! resets the server's budget — which is the concurrent analogue of the
+//! serial scraper's in-line `wait_for_rate_limit_reset`. Because bucket and
+//! server bookkeeping are not one atomic step (and because the bucket can be
+//! configured to overcommit the server budget), workers can still observe
+//! server-side [`crate::ApiError::RateLimited`] rejections; those are
+//! absorbed by **retry with seeded exponential backoff**, where a window
+//! *generation* counter ensures a thundering herd of rejected workers
+//! performs exactly one window roll between retries.
+//!
+//! # Streaming handoff
+//!
+//! Cloned repositories leave the engine through a reorder buffer and a
+//! bounded queue ([`BoundedQueue`]): results are released strictly in the
+//! deterministic output order, and a slow consumer backpressures the whole
+//! worker pool instead of buffering the scrape in memory. This is what
+//! `freeset::scrape_and_curate` builds on to run curation concurrently with
+//! the scrape.
+
+pub mod clock;
+pub mod engine;
+pub mod limiter;
+pub mod queue;
+pub mod stats;
+
+pub use clock::SimClock;
+pub use engine::{FetchBatch, FetchBatches, FetchConfig, FetchEngine};
+pub use limiter::{Acquired, TokenBucket};
+pub use queue::{BoundedQueue, PushError};
+pub use stats::FetchStats;

@@ -1,0 +1,95 @@
+//! Per-worker fetch statistics and their deterministic merge into a
+//! [`ScrapeReport`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::scraper::ScrapeReport;
+
+/// Counters one fetch worker accumulates locally (no shared-state contention
+/// on the hot path) and hands back when it finishes. Workers are merged in
+/// worker-index order, so the combined [`ScrapeReport`] is independent of
+/// which worker happened to finish first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FetchStats {
+    /// Search requests this worker issued (including rejected attempts).
+    pub queries_issued: usize,
+    /// Over-cap responses this worker granularised.
+    pub queries_over_cap: usize,
+    /// Rate-limit window rollovers this worker performed.
+    pub rate_limit_waits: usize,
+    /// Requests this worker re-issued after a server-side rejection.
+    pub rate_limit_retries: usize,
+    /// Backoff pauses this worker took between retries.
+    pub backoff_waits: usize,
+    /// Virtual ticks this worker spent in backoff pauses.
+    pub backoff_ticks_waited: u64,
+    /// Repositories this worker cloned.
+    pub repositories_cloned: usize,
+    /// Files (of any kind) this worker saw in its cloned repositories.
+    pub files_seen: usize,
+    /// Verilog files this worker extracted.
+    pub verilog_files_extracted: usize,
+}
+
+impl FetchStats {
+    /// Accumulates another worker's counters into this one.
+    pub fn merge(&mut self, other: &FetchStats) {
+        self.queries_issued += other.queries_issued;
+        self.queries_over_cap += other.queries_over_cap;
+        self.rate_limit_waits += other.rate_limit_waits;
+        self.rate_limit_retries += other.rate_limit_retries;
+        self.backoff_waits += other.backoff_waits;
+        self.backoff_ticks_waited += other.backoff_ticks_waited;
+        self.repositories_cloned += other.repositories_cloned;
+        self.files_seen += other.files_seen;
+        self.verilog_files_extracted += other.verilog_files_extracted;
+    }
+
+    /// Folds the merged worker counters into a [`ScrapeReport`], attaching
+    /// the engine-level observations that no single worker can see.
+    pub fn into_report(self, repositories_found: usize, max_in_flight: usize) -> ScrapeReport {
+        ScrapeReport {
+            queries_issued: self.queries_issued,
+            queries_over_cap: self.queries_over_cap,
+            rate_limit_waits: self.rate_limit_waits,
+            rate_limit_retries: self.rate_limit_retries,
+            backoff_waits: self.backoff_waits,
+            backoff_ticks_waited: self.backoff_ticks_waited,
+            max_in_flight,
+            repositories_found,
+            repositories_cloned: self.repositories_cloned,
+            files_seen: self.files_seen,
+            verilog_files_extracted: self.verilog_files_extracted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = FetchStats {
+            queries_issued: 3,
+            queries_over_cap: 1,
+            rate_limit_waits: 2,
+            rate_limit_retries: 4,
+            backoff_waits: 4,
+            backoff_ticks_waited: 64,
+            repositories_cloned: 9,
+            files_seen: 40,
+            verilog_files_extracted: 25,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.queries_issued, 6);
+        assert_eq!(a.backoff_ticks_waited, 128);
+        assert_eq!(a.repositories_cloned, 18);
+        let report = a.into_report(20, 4);
+        assert_eq!(report.repositories_found, 20);
+        assert_eq!(report.repositories_cloned, 18);
+        assert_eq!(report.max_in_flight, 4);
+        assert_eq!(report.rate_limit_retries, 8);
+    }
+}

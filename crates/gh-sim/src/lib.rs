@@ -15,9 +15,13 @@
 //!   copyright headers hidden inside "open-source" repositories, heavy
 //!   file duplication and syntactically broken files — each of which one of
 //!   the curation stages must catch.
-//! * [`GithubApi`] exposes that universe behind a search/clone API that
-//!   enforces the same pagination cap and rate-limiting behaviour the real
-//!   API does, and [`Scraper`] is the paper's query-granularisation client.
+//! * [`GithubApi`] exposes that universe behind a thread-safe search/clone
+//!   API that enforces the same pagination cap and rate-limiting behaviour
+//!   the real API does; [`Scraper`] is the paper's query-granularisation
+//!   client (serial reference), and [`fetch::FetchEngine`] is its
+//!   deterministic concurrent equivalent — a worker pool with token-bucket
+//!   pacing, retry-with-backoff and in-order streaming handoff whose output
+//!   is byte-identical to the serial scraper's.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 
 pub mod api;
 pub mod corruption;
+pub mod fetch;
 pub mod license;
 pub mod repo;
 pub mod scraper;
@@ -43,6 +48,7 @@ pub mod synth;
 pub mod universe;
 
 pub use api::{ApiError, ApiUsage, GithubApi, RepoQuery, SearchPage};
+pub use fetch::{FetchBatch, FetchConfig, FetchEngine, FetchStats};
 pub use license::License;
 pub use repo::{ExtractedFile, FileKind, Repository, SourceFile};
 pub use scraper::{ScrapeOutput, ScrapeReport, Scraper, ScraperConfig};

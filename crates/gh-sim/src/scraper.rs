@@ -10,6 +10,14 @@
 //!    for accreditation;
 //! 3. non-Verilog files are discarded and the Verilog files are condensed
 //!    into one large bank of [`ExtractedFile`]s.
+//!
+//! [`Scraper`] is the *serial* reference implementation: it drives the API
+//! one blocking request at a time and waits out every rate limit in-line, so
+//! there is never more than one request in flight. The concurrent
+//! [`crate::fetch::FetchEngine`] schedules the same requests from a worker
+//! pool and is property-tested to produce a byte-identical
+//! [`ExtractedFile`] bank; both clients share the granularisation rule
+//! ([`granularise`]) so they always split an over-cap query the same way.
 
 use serde::{Deserialize, Serialize};
 
@@ -40,15 +48,30 @@ impl Default for ScraperConfig {
     }
 }
 
-/// Statistics describing a scraping run.
+/// Statistics describing a scraping run (serial or concurrent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct ScrapeReport {
     /// Search queries issued (including ones rejected for being too broad).
     pub queries_issued: usize,
     /// Queries that had to be split because they exceeded the result cap.
     pub queries_over_cap: usize,
-    /// Times the scraper had to wait out the rate limit.
+    /// Times the client had to wait out the rate limit (window rollovers).
     pub rate_limit_waits: usize,
+    /// Requests re-issued after a [`ApiError::RateLimited`] rejection. The
+    /// serial scraper retries exactly once per wait, so here this always
+    /// equals [`ScrapeReport::rate_limit_waits`]; under a concurrent
+    /// [`crate::fetch::FetchEngine`] several workers can be rejected in the
+    /// same window and retries outnumber waits.
+    pub rate_limit_retries: usize,
+    /// Backoff pauses taken between retries (always zero for the serial
+    /// scraper, which waits for the window reset instead of backing off).
+    pub backoff_waits: usize,
+    /// Virtual ticks spent in backoff pauses (zero for the serial scraper).
+    pub backoff_ticks_waited: u64,
+    /// The largest number of API requests that were ever simultaneously in
+    /// flight (1 for the serial scraper, up to the worker count for the
+    /// concurrent engine).
+    pub max_in_flight: usize,
     /// Repositories discovered by the search phase.
     pub repositories_found: usize,
     /// Repositories successfully cloned.
@@ -57,6 +80,25 @@ pub struct ScrapeReport {
     pub files_seen: usize,
     /// Verilog files extracted.
     pub verilog_files_extracted: usize,
+}
+
+impl ScrapeReport {
+    /// Checks the report's internal invariants; called (under
+    /// `debug_assertions`) before either scrape client returns its output.
+    pub(crate) fn debug_validate(&self) {
+        debug_assert!(
+            self.repositories_cloned <= self.repositories_found,
+            "cloned {} repositories but only {} were found",
+            self.repositories_cloned,
+            self.repositories_found
+        );
+        debug_assert!(
+            self.verilog_files_extracted <= self.files_seen,
+            "extracted {} Verilog files out of {} seen",
+            self.verilog_files_extracted,
+            self.files_seen
+        );
+    }
 }
 
 /// The result of a scraping run: the file bank plus its report.
@@ -97,31 +139,45 @@ impl Scraper {
         self.config
     }
 
-    /// Runs the scrape against `api`, granularising queries as needed and
-    /// waiting out rate limits.
-    ///
-    /// # Errors
-    ///
-    /// Returns an [`ApiError`] only for conditions granularisation cannot fix
-    /// (for example a single year × license bucket still exceeding the result
-    /// cap, which cannot happen with the provided universe sizes).
-    pub fn run(&self, api: &GithubApi<'_>) -> Result<ScrapeOutput, ApiError> {
-        let mut report = ScrapeReport::default();
-        let mut repo_ids: Vec<u64> = Vec::new();
-
-        // Phase 1: discovery. Try whole-range queries first and granularise
-        // by year, then by license, when the result cap is hit.
+    /// The top-level discovery queries the configuration describes: one
+    /// whole-date-range query per license bucket (or a single unrestricted
+    /// query when every license is scraped).
+    pub(crate) fn root_queries(&self) -> Vec<RepoQuery> {
         let licenses: Vec<Option<License>> = if self.config.accepted_licenses_only {
             License::ACCEPTED.iter().copied().map(Some).collect()
         } else {
             vec![None]
         };
-        for license in &licenses {
-            let base = RepoQuery {
+        licenses
+            .into_iter()
+            .map(|license| RepoQuery {
                 created_between: Some((self.config.from_year, self.config.to_year)),
-                license: *license,
+                license,
                 page: 0,
-            };
+            })
+            .collect()
+    }
+
+    /// Runs the scrape against `api` one blocking request at a time,
+    /// granularising queries as needed and waiting out rate limits in-line.
+    /// At most one request is ever in flight; the concurrent equivalent is
+    /// [`crate::fetch::FetchEngine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] only for conditions granularisation cannot fix
+    /// (for example a single year × license bucket still exceeding the result
+    /// cap, which cannot happen with generated universes at supported sizes).
+    pub fn run(&self, api: &GithubApi<'_>) -> Result<ScrapeOutput, ApiError> {
+        let mut report = ScrapeReport {
+            max_in_flight: 1,
+            ..ScrapeReport::default()
+        };
+        let mut repo_ids: Vec<u64> = Vec::new();
+
+        // Phase 1: discovery. Try whole-range queries first and granularise
+        // by year, then by license, when the result cap is hit.
+        for base in self.root_queries() {
             self.discover(api, base, &mut report, &mut repo_ids)?;
         }
         repo_ids.sort_unstable();
@@ -136,6 +192,7 @@ impl Scraper {
                     Ok(repo) => break repo,
                     Err(ApiError::RateLimited) => {
                         report.rate_limit_waits += 1;
+                        report.rate_limit_retries += 1;
                         api.wait_for_rate_limit_reset();
                     }
                     Err(other) => return Err(other),
@@ -145,17 +202,10 @@ impl Scraper {
             report.files_seen += repo.files.len();
             for file in repo.verilog_files() {
                 report.verilog_files_extracted += 1;
-                files.push(ExtractedFile {
-                    repo_id: repo.id,
-                    repo_full_name: repo.full_name.clone(),
-                    owner: repo.owner.clone(),
-                    repo_license: repo.license,
-                    created_year: repo.created_year,
-                    path: file.path.clone(),
-                    content: file.content.clone(),
-                });
+                files.push(extract_file(repo, file));
             }
         }
+        report.debug_validate();
         Ok(ScrapeOutput { files, report })
     }
 
@@ -185,60 +235,80 @@ impl Scraper {
                 }
                 Err(ApiError::RateLimited) => {
                     report.rate_limit_waits += 1;
+                    report.rate_limit_retries += 1;
                     api.wait_for_rate_limit_reset();
                 }
-                Err(ApiError::TooManyResults { .. }) => {
+                Err(ApiError::TooManyResults { matched }) => {
                     report.queries_over_cap += 1;
-                    return self.split(api, query, report, out);
+                    let default_range = (self.config.from_year, self.config.to_year);
+                    let Some(splits) = granularise(&query, default_range) else {
+                        // A single year × single license bucket over the cap
+                        // cannot be narrowed further; surface the real match
+                        // count so callers can size their universes.
+                        return Err(ApiError::TooManyResults { matched });
+                    };
+                    for split in splits {
+                        self.discover(api, split, report, out)?;
+                    }
+                    return Ok(());
                 }
                 Err(other) => return Err(other),
             }
         }
     }
+}
 
-    fn split(
-        &self,
-        api: &GithubApi<'_>,
-        query: RepoQuery,
-        report: &mut ScrapeReport,
-        out: &mut Vec<u64>,
-    ) -> Result<(), ApiError> {
-        let (from, to) = query
-            .created_between
-            .unwrap_or((self.config.from_year, self.config.to_year));
-        if from < to {
-            // Split the date range in half, as the paper granularises by
-            // repository creation date.
-            let mid = (from + to) / 2;
-            let first = RepoQuery {
+/// Builds an [`ExtractedFile`] from one Verilog file of a cloned repository
+/// (the condensation step both scrape clients share).
+pub(crate) fn extract_file(
+    repo: &crate::repo::Repository,
+    file: &crate::repo::SourceFile,
+) -> ExtractedFile {
+    ExtractedFile {
+        repo_id: repo.id,
+        repo_full_name: repo.full_name.clone(),
+        owner: repo.owner.clone(),
+        repo_license: repo.license,
+        created_year: repo.created_year,
+        path: file.path.clone(),
+        content: file.content.clone(),
+    }
+}
+
+/// The paper's granularisation rule, shared by the serial [`Scraper`] and the
+/// concurrent [`crate::fetch::FetchEngine`]: an over-cap query is split into
+/// the two halves of its creation-date range; a single-year query is split
+/// into one query per license; a single year × single license bucket cannot
+/// be narrowed further (`None`).
+pub(crate) fn granularise(query: &RepoQuery, default_range: (u32, u32)) -> Option<Vec<RepoQuery>> {
+    let (from, to) = query.created_between.unwrap_or(default_range);
+    if from < to {
+        let mid = (from + to) / 2;
+        Some(vec![
+            RepoQuery {
                 created_between: Some((from, mid)),
                 page: 0,
                 ..query.clone()
-            };
-            let second = RepoQuery {
+            },
+            RepoQuery {
                 created_between: Some((mid + 1, to)),
                 page: 0,
                 ..query.clone()
-            };
-            self.discover(api, first, report, out)?;
-            self.discover(api, second, report, out)
-        } else if query.license.is_none() {
-            // A single year still over the cap: granularise by license.
-            for license in License::ALL {
-                let narrowed = RepoQuery {
+            },
+        ])
+    } else if query.license.is_none() {
+        Some(
+            License::ALL
+                .into_iter()
+                .map(|license| RepoQuery {
                     license: Some(license),
+                    created_between: Some((from, to)),
                     page: 0,
-                    ..query.clone()
-                };
-                self.discover(api, narrowed, report, out)?;
-            }
-            Ok(())
-        } else {
-            // Cannot be narrowed further.
-            Err(ApiError::TooManyResults {
-                matched: usize::MAX,
-            })
-        }
+                })
+                .collect(),
+        )
+    } else {
+        None
     }
 }
 

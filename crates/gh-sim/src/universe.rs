@@ -283,7 +283,37 @@ impl Universe {
         }
     }
 
-    /// The configuration used to generate the universe.
+    /// Builds a universe from hand-constructed repositories, recomputing the
+    /// derivable statistics (the `planted_*` counters stay zero: nothing was
+    /// planted). This is how tests and custom workloads shape populations the
+    /// generator cannot express — for example more than [`crate::api::SEARCH_RESULT_CAP`]
+    /// repositories sharing one creation year and license, the configuration
+    /// under which query granularisation provably cannot succeed.
+    pub fn from_repositories(repositories: Vec<Repository>) -> Self {
+        let mut stats = UniverseStats {
+            repositories: repositories.len(),
+            ..Default::default()
+        };
+        for repo in &repositories {
+            if repo.has_accepted_license() {
+                stats.accepted_license_repositories += 1;
+                stats.verilog_files_in_licensed_repos += repo.verilog_file_count();
+            }
+            stats.total_files += repo.files.len();
+            stats.verilog_files += repo.verilog_file_count();
+        }
+        Self {
+            config: UniverseConfig {
+                repo_count: repositories.len(),
+                ..Default::default()
+            },
+            repositories,
+            stats,
+        }
+    }
+
+    /// The configuration used to generate the universe (nominal for
+    /// universes built with [`Universe::from_repositories`]).
     pub fn config(&self) -> &UniverseConfig {
         &self.config
     }
@@ -294,7 +324,17 @@ impl Universe {
     }
 
     /// Looks up a repository by id.
+    ///
+    /// Generated universes assign `id == index`, making the lookup O(1) —
+    /// this sits on the clone path of every scrape, where a linear scan made
+    /// large universes quadratic. Hand-built universes with arbitrary ids
+    /// fall back to a scan.
     pub fn repository(&self, id: u64) -> Option<&Repository> {
+        if let Some(repo) = self.repositories.get(id as usize) {
+            if repo.id == id {
+                return Some(repo);
+            }
+        }
         self.repositories.iter().find(|r| r.id == id)
     }
 
@@ -544,6 +584,50 @@ mod tests {
         assert!(u.repository(59).is_some());
         assert!(u.repository(60).is_none());
         assert_eq!(u.config().repo_count, 60);
+    }
+
+    #[test]
+    fn hand_built_universes_recompute_stats() {
+        let repos: Vec<Repository> = (0..5u64)
+            .map(|id| Repository {
+                id,
+                full_name: format!("o/r{id}"),
+                owner: "o".into(),
+                created_year: 2015,
+                license: if id % 2 == 0 {
+                    License::Mit
+                } else {
+                    License::None
+                },
+                stars: 1,
+                files: vec![SourceFile::verilog("a.v", "module m; endmodule")],
+            })
+            .collect();
+        let u = Universe::from_repositories(repos);
+        let s = u.stats();
+        assert_eq!(s.repositories, 5);
+        assert_eq!(s.verilog_files, 5);
+        assert_eq!(s.accepted_license_repositories, 3);
+        assert_eq!(s.verilog_files_in_licensed_repos, 3);
+        assert_eq!(s.planted_duplicates, 0);
+        assert!(u.repository(4).is_some());
+        assert!(u.repository(5).is_none());
+    }
+
+    #[test]
+    fn lookup_falls_back_for_non_sequential_ids() {
+        let repo = Repository {
+            id: 40,
+            full_name: "o/r40".into(),
+            owner: "o".into(),
+            created_year: 2015,
+            license: License::Mit,
+            stars: 0,
+            files: vec![],
+        };
+        let u = Universe::from_repositories(vec![repo]);
+        assert_eq!(u.repository(40).unwrap().full_name, "o/r40");
+        assert!(u.repository(0).is_none());
     }
 
     #[test]
