@@ -1,0 +1,149 @@
+//! Benchmarks the de-duplication engine — the paper's single largest funnel
+//! stage (§III-D2, ~62% removal under FreeSet) — in its three execution
+//! shapes: one-shot serial, one-shot parallel (batch signature fan-out), and
+//! streamed per-batch against the persistent kept-index. Also records the
+//! streaming engine's kept-set residency as `FFH-METRIC` lines so later PRs
+//! can track both the time and the memory trajectory.
+
+use bench::{print_artifact, print_metric, timing_scale};
+use criterion::{black_box, Criterion};
+use curation::{DedupConfig, Deduplicator, ExecutionMode};
+use freeset::config::{ExperimentScale, FreeSetConfig};
+use freeset::corpus::ScrapedCorpus;
+
+/// The batch size the streamed variant pushes — roughly one repository's
+/// worth of files at the bench scales.
+const STREAM_BATCH: usize = 32;
+
+fn corpus_texts(scale: &ExperimentScale) -> Vec<String> {
+    let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(scale));
+    scraped.files.into_iter().map(|f| f.content).collect()
+}
+
+fn bench_modes(c: &mut Criterion, label: &str, texts: &[String]) {
+    let dedup = Deduplicator::new(DedupConfig::default());
+    let mut group = c.benchmark_group(format!("dedup_{label}"));
+    group.sample_size(10);
+    group.bench_function("one_shot_serial", |b| {
+        b.iter(|| {
+            black_box(
+                dedup
+                    .dedup_texts_with_mode(black_box(texts), ExecutionMode::Serial)
+                    .kept,
+            )
+        })
+    });
+    group.bench_function("one_shot_parallel", |b| {
+        b.iter(|| {
+            black_box(
+                dedup
+                    .dedup_texts_with_mode(black_box(texts), ExecutionMode::Parallel)
+                    .kept,
+            )
+        })
+    });
+    group.bench_function("streamed_batches", |b| {
+        b.iter(|| {
+            let mut stream = dedup.streaming();
+            let mut kept = 0usize;
+            for chunk in texts.chunks(STREAM_BATCH) {
+                kept += stream
+                    .push_texts_with_mode(black_box(chunk), ExecutionMode::Parallel)
+                    .kept
+                    .len();
+            }
+            black_box(kept)
+        })
+    });
+    group.finish();
+}
+
+/// Regenerates the residency/equivalence artefact at one scale and emits the
+/// trajectory metrics.
+fn report_scale(label: &str, texts: &[String]) {
+    let dedup = Deduplicator::new(DedupConfig::default());
+    let one_shot = dedup.dedup_texts_with_mode(texts, ExecutionMode::Parallel);
+    let mut stream = dedup.streaming();
+    let mut streamed_kept = 0usize;
+    let mut streamed_removed = 0usize;
+    for chunk in texts.chunks(STREAM_BATCH) {
+        let outcome = stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
+        streamed_kept += outcome.kept.len();
+        streamed_removed += outcome.removed.len();
+    }
+    assert_eq!(streamed_kept, one_shot.kept.len());
+    assert_eq!(streamed_removed, one_shot.removed.len());
+
+    let stats = stream.stats();
+    // What a corpus-buffering implementation would have had to hold: every
+    // pushed document's shingles at once (the old finish()-time dedup).
+    let corpus_hashes = stats.pushed_hashes;
+    print_artifact(
+        &format!("Streaming dedup at scale `{label}`"),
+        &format!(
+            "{} files pushed in batches of {STREAM_BATCH}: {} kept, {} removed ({:.1}% removal) — identical to one-shot\n\
+             kept-set residency: {} hashes across {} kept docs; peak batch working set {} hashes\n\
+             corpus-buffering equivalent would hold {} hashes ({:.1}x the streamed peak)",
+            stats.pushed,
+            streamed_kept,
+            streamed_removed,
+            100.0 * streamed_removed as f64 / stats.pushed.max(1) as f64,
+            stats.kept_hashes,
+            stats.kept_docs,
+            stats.peak_batch_hashes,
+            corpus_hashes,
+            corpus_hashes as f64 / (stats.kept_hashes + stats.peak_batch_hashes).max(1) as f64,
+        ),
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "files_pushed",
+        stats.pushed as f64,
+        "files",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "kept_docs",
+        stats.kept_docs as f64,
+        "files",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "kept_hashes",
+        stats.kept_hashes as f64,
+        "hashes",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "peak_batch_hashes",
+        stats.peak_batch_hashes as f64,
+        "hashes",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "corpus_hashes_one_shot",
+        corpus_hashes as f64,
+        "hashes",
+    );
+}
+
+fn main() {
+    // One scrape per scale, shared by the artefact report and the timing
+    // loops.
+    let scales = [
+        ("tiny", timing_scale()),
+        ("small", ExperimentScale::small()),
+    ];
+    let mut criterion = Criterion::default().configure_from_args();
+    for (label, scale) in &scales {
+        let texts = corpus_texts(scale);
+        report_scale(label, &texts);
+        bench_modes(&mut criterion, label, &texts);
+    }
+    criterion.final_summary();
+}

@@ -33,6 +33,24 @@ pub fn print_artifact(title: &str, body: &str) {
     println!("{body}");
 }
 
+/// Formats one machine-readable benchmark metric line.
+///
+/// Every bench target that tracks a trajectory (times, residency, removal
+/// rates) emits its headline numbers in this stable shape so later PRs can
+/// grep `FFH-METRIC` out of `cargo bench` logs and diff them run over run:
+///
+/// ```text
+/// FFH-METRIC bench=<target> scale=<label> metric=<name> value=<number> unit=<unit>
+/// ```
+pub fn format_metric(bench: &str, scale: &str, metric: &str, value: f64, unit: &str) -> String {
+    format!("FFH-METRIC bench={bench} scale={scale} metric={metric} value={value} unit={unit}")
+}
+
+/// Prints one [`format_metric`] line.
+pub fn print_metric(bench: &str, scale: &str, metric: &str, value: f64, unit: &str) {
+    println!("{}", format_metric(bench, scale, metric, value, unit));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +58,15 @@ mod tests {
     #[test]
     fn scales_are_ordered() {
         assert!(timing_scale().repo_count <= report_scale().repo_count);
+    }
+
+    #[test]
+    fn metric_lines_have_a_stable_greppable_shape() {
+        let line = format_metric("bench_dedup", "small", "kept_hashes", 123.0, "hashes");
+        assert!(line.starts_with("FFH-METRIC "));
+        assert_eq!(
+            line,
+            "FFH-METRIC bench=bench_dedup scale=small metric=kept_hashes value=123 unit=hashes"
+        );
     }
 }

@@ -6,10 +6,25 @@
 //! is discarded when its similarity with any kept file reaches the 0.85
 //! threshold. Candidates are verified with exact Jaccard similarity so LSH
 //! false positives cannot evict distinct files.
+//!
+//! Two entry points share one engine. [`Deduplicator`] is the one-shot API:
+//! hand it a complete bank, get the kept/removed partition back.
+//! [`StreamingDeduplicator`] is the incremental engine underneath: batches
+//! are pushed as they arrive (e.g. straight off the concurrent scraper) and
+//! resolved against the persistent kept-index immediately, so the corpus
+//! never has to be buffered. Shingle/signature construction parallelises per
+//! batch; the first-occurrence-wins resolution is sequential; kept shingle
+//! sets are stored as compact sorted vectors and the LSH buckets live in a
+//! [`ShardedLshIndex`], so peak memory tracks the *kept* set (plus one batch
+//! in flight) rather than the whole corpus. The one-shot path is a
+//! single-push stream, so both are identical by construction.
 
 use gh_sim::ExtractedFile;
 use serde::{Deserialize, Serialize};
-use textsim::{char_shingles, jaccard_similarity, LshIndex, LshParams, MinHasher, ShingleSet};
+use textsim::{
+    char_shingles, jaccard_similarity_sorted, CandidateScratch, InsertOrMatch, LshParams,
+    MinHasher, ShardedLshIndex, ShingleSet, Signature,
+};
 
 use crate::stage::ExecutionMode;
 
@@ -38,9 +53,15 @@ impl Default for DedupConfig {
 }
 
 /// The result of de-duplicating a file bank.
+///
+/// Indices refer to the de-duplicator's input order: for a one-shot
+/// [`Deduplicator`] call that is the input slice; for a
+/// [`StreamingDeduplicator`] they are *global* positions across every batch
+/// pushed so far (so a later batch's duplicate can point back at a file kept
+/// from an earlier batch).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct DedupOutcome {
-    /// Indices (into the input slice) of the files that were kept.
+    /// Indices (into the input order) of the files that were kept.
     pub kept: Vec<usize>,
     /// `(dropped_index, kept_index_it_duplicates, similarity)` for removals.
     pub removed: Vec<(usize, usize, f64)>,
@@ -104,12 +125,10 @@ impl Deduplicator {
         self.config
     }
 
-    /// Shingles one comment-stripped text: real-world copies typically
-    /// differ only in banner comments or header boilerplate, and the
-    /// similarity judgement should be about the code itself.
-    fn shingle_text(&self, text: &str) -> ShingleSet {
-        let code = verilog::strip_comments(text);
-        char_shingles(&code, self.config.shingle_size)
+    /// Opens a stateful streaming engine with this de-duplicator's
+    /// configuration (sharing its already-built permutation family).
+    pub fn streaming(&self) -> StreamingDeduplicator {
+        StreamingDeduplicator::from_parts(self.config, self.hasher.clone(), self.lsh_params)
     }
 
     /// De-duplicates a slice of raw texts, keeping the first occurrence of
@@ -119,7 +138,9 @@ impl Deduplicator {
         self.dedup_texts_with_mode(texts, ExecutionMode::Serial)
     }
 
-    /// De-duplicates a slice of raw texts with the given execution mode.
+    /// De-duplicates a slice of raw texts with the given execution mode — a
+    /// single-push [`StreamingDeduplicator`], so the one-shot and streamed
+    /// paths cannot diverge.
     ///
     /// The keep/drop loop is inherently sequential (a file is compared
     /// against previously *kept* files), but shingling and signature
@@ -133,69 +154,23 @@ impl Deduplicator {
         texts: &[S],
         mode: ExecutionMode,
     ) -> DedupOutcome {
-        match mode {
-            ExecutionMode::Serial => self.dedup_prepared(texts.iter().map(|t| {
-                let shingles = self.shingle_text(t.as_ref());
-                let signature = self.hasher.signature(&shingles);
-                (shingles, signature)
-            })),
-            ExecutionMode::Parallel => {
-                use rayon::prelude::*;
-                let shingles: Vec<ShingleSet> = texts
-                    .par_iter()
-                    .map(|t| self.shingle_text(t.as_ref()))
-                    .collect();
-                let signatures = self.hasher.par_signatures(&shingles);
-                self.dedup_prepared(shingles.into_iter().zip(signatures))
-            }
-        }
+        self.streaming().push_texts_with_mode(texts, mode)
     }
 
-    /// The sequential first-occurrence-wins loop over prepared
-    /// (shingles, signature) pairs in input order.
-    fn dedup_prepared(
+    /// De-duplicates extracted files by their content with the given
+    /// execution mode, returning the kept files (first occurrence wins) and
+    /// the outcome.
+    pub fn dedup_files(
         &self,
-        prepared: impl Iterator<Item = (ShingleSet, textsim::Signature)>,
-    ) -> DedupOutcome {
-        let mut outcome = DedupOutcome::default();
-        let mut index = LshIndex::new(self.lsh_params);
-        // Shingle sets of kept documents, addressed by their input index.
-        let mut kept_shingles: Vec<(usize, ShingleSet)> = Vec::new();
-
-        for (i, (shingles, signature)) in prepared.enumerate() {
-            let mut duplicate_of: Option<(usize, f64)> = None;
-            for candidate in index.candidates(&signature) {
-                let (kept_input_index, kept_set) = &kept_shingles[candidate as usize];
-                let similarity = jaccard_similarity(&shingles, kept_set);
-                if similarity >= self.config.similarity_threshold {
-                    duplicate_of = Some((*kept_input_index, similarity));
-                    break;
-                }
-            }
-            match duplicate_of {
-                Some((kept_index, similarity)) => {
-                    outcome.removed.push((i, kept_index, similarity));
-                }
-                None => {
-                    let slot = kept_shingles.len() as u64;
-                    index.insert(slot, &signature);
-                    kept_shingles.push((i, shingles));
-                    outcome.kept.push(i);
-                }
-            }
-        }
-        outcome
-    }
-
-    /// De-duplicates extracted files by their content, returning the kept
-    /// files (first occurrence wins) and the outcome.
-    pub fn dedup_files(&self, files: Vec<ExtractedFile>) -> (Vec<ExtractedFile>, DedupOutcome) {
+        files: Vec<ExtractedFile>,
+        mode: ExecutionMode,
+    ) -> (Vec<ExtractedFile>, DedupOutcome) {
         let outcome = self.dedup_texts_with_mode(
             &files
                 .iter()
                 .map(|f| f.content.as_str())
                 .collect::<Vec<&str>>(),
-            ExecutionMode::Serial,
+            mode,
         );
         let keep: std::collections::HashSet<usize> = outcome.kept.iter().copied().collect();
         let kept_files = files
@@ -205,38 +180,215 @@ impl Deduplicator {
             .collect();
         (kept_files, outcome)
     }
+}
 
-    /// De-duplicates extracted files, splitting them into kept files and
-    /// `(removed_file, kept_input_index, similarity)` rows — the provenance
-    /// the stage engine records. Both lists preserve input order.
-    pub fn partition_files(
-        &self,
-        files: Vec<ExtractedFile>,
+/// Residency statistics of a [`StreamingDeduplicator`] — what the engine is
+/// actually holding, so benchmarks (and capacity planning) can verify that
+/// memory tracks the kept set instead of the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamingDedupStats {
+    /// Total documents pushed so far.
+    pub pushed: usize,
+    /// Documents currently kept (and therefore resident).
+    pub kept_docs: usize,
+    /// Total shingle hashes stored for the kept documents — the dominant
+    /// residency term, one `u64` per hash.
+    pub kept_hashes: usize,
+    /// Total shingle hashes across *every* pushed document — what a
+    /// corpus-buffering implementation would have had to hold at once.
+    pub pushed_hashes: usize,
+    /// Shingle hashes of the largest single push — the batch-shaped
+    /// transient working-set bound, identical in both execution modes
+    /// (serial mode actually materialises only one file of it at a time).
+    pub peak_batch_hashes: usize,
+}
+
+/// The incremental MinHash/LSH de-duplication engine.
+///
+/// Batches are pushed in arrival order; each document is resolved against
+/// the persistent kept-index immediately (LSH candidates from a
+/// [`ShardedLshIndex`], verified with exact Jaccard) and either recorded as
+/// a duplicate of an earlier *kept* document or inserted as newly kept.
+/// Pushing batches b₁…bₙ yields exactly the outcomes of one-shot
+/// de-duplication over b₁ ⧺ … ⧺ bₙ, split along the same boundaries — the
+/// one-shot [`Deduplicator`] API is literally a single-push stream.
+///
+/// Kept shingle sets are stored as compact ascending `Vec<u64>`s (verified
+/// with [`jaccard_similarity_sorted`]) and candidate retrieval reuses one
+/// [`CandidateScratch`], so steady-state memory is the kept documents plus
+/// the batch in flight, and the hot loop does not allocate per query.
+///
+/// # Example
+///
+/// ```
+/// use curation::{DedupConfig, Deduplicator, ExecutionMode};
+///
+/// let dedup = Deduplicator::new(DedupConfig::default());
+/// let mut stream = dedup.streaming();
+/// let first = stream.push_texts(&["module a(input x); assign y = ~x; endmodule"]);
+/// assert_eq!(first.kept, vec![0]);
+/// // The duplicate arrives in a later batch but still points back at the
+/// // kept file's global index.
+/// let second = stream.push_texts(&["module a(input x); assign y = ~x; endmodule"]);
+/// assert_eq!(second.removed, vec![(1, 0, 1.0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDeduplicator {
+    config: DedupConfig,
+    hasher: MinHasher,
+    index: ShardedLshIndex,
+    /// Kept documents addressed by their index slot: global input index and
+    /// compact ascending shingle hashes.
+    kept: Vec<(usize, Vec<u64>)>,
+    scratch: CandidateScratch,
+    seen: usize,
+    kept_hashes: usize,
+    pushed_hashes: usize,
+    peak_batch_hashes: usize,
+}
+
+impl StreamingDeduplicator {
+    /// Creates a streaming engine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero permutations or a threshold
+    /// outside `(0, 1)`.
+    pub fn new(config: DedupConfig) -> Self {
+        Deduplicator::new(config).streaming()
+    }
+
+    fn from_parts(config: DedupConfig, hasher: MinHasher, lsh_params: LshParams) -> Self {
+        Self {
+            config,
+            hasher,
+            index: ShardedLshIndex::new(lsh_params),
+            kept: Vec::new(),
+            scratch: CandidateScratch::new(),
+            seen: 0,
+            kept_hashes: 0,
+            pushed_hashes: 0,
+            peak_batch_hashes: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DedupConfig {
+        self.config
+    }
+
+    /// Total documents pushed so far (the next document's global index).
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Number of documents currently kept.
+    pub fn kept_len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Current residency statistics.
+    pub fn stats(&self) -> StreamingDedupStats {
+        StreamingDedupStats {
+            pushed: self.seen,
+            kept_docs: self.kept.len(),
+            kept_hashes: self.kept_hashes,
+            pushed_hashes: self.pushed_hashes,
+            peak_batch_hashes: self.peak_batch_hashes,
+        }
+    }
+
+    /// Per-shard occupied-bucket counts of the underlying LSH index.
+    pub fn shard_bucket_counts(&self) -> Vec<usize> {
+        self.index.shard_bucket_counts()
+    }
+
+    /// Pushes one batch single-threaded; see
+    /// [`Self::push_texts_with_mode`].
+    pub fn push_texts<S: AsRef<str> + Sync>(&mut self, texts: &[S]) -> DedupOutcome {
+        self.push_texts_with_mode(texts, ExecutionMode::Serial)
+    }
+
+    /// Pushes one batch of raw texts through the engine, resolving each
+    /// against everything kept so far. Returned indices are global (across
+    /// all pushes); parallel mode fans the batch's shingle/signature
+    /// construction across threads with order-stable results, so both modes
+    /// produce identical outcomes.
+    pub fn push_texts_with_mode<S: AsRef<str> + Sync>(
+        &mut self,
+        texts: &[S],
         mode: ExecutionMode,
-    ) -> (Vec<ExtractedFile>, Vec<(ExtractedFile, usize, f64)>) {
-        let outcome = self.dedup_texts_with_mode(
-            &files
-                .iter()
-                .map(|f| f.content.as_str())
-                .collect::<Vec<&str>>(),
-            mode,
-        );
-        let removed_info: std::collections::HashMap<usize, (usize, f64)> = outcome
-            .removed
-            .iter()
-            .map(|&(dropped, kept, similarity)| (dropped, (kept, similarity)))
-            .collect();
-        let mut kept_files = Vec::with_capacity(outcome.kept.len());
-        let mut removed_files = Vec::with_capacity(outcome.removed.len());
-        for (i, file) in files.into_iter().enumerate() {
-            match removed_info.get(&i) {
-                None => kept_files.push(file),
-                Some(&(kept_index, similarity)) => {
-                    removed_files.push((file, kept_index, similarity));
+    ) -> DedupOutcome {
+        let mut outcome = DedupOutcome::default();
+        let mut batch_hashes = 0usize;
+        match mode {
+            ExecutionMode::Serial => {
+                for text in texts {
+                    let shingles = self.shingle_text(text.as_ref());
+                    let signature = self.hasher.signature(&shingles);
+                    batch_hashes += shingles.len();
+                    self.resolve(shingles, signature, &mut outcome);
+                }
+            }
+            ExecutionMode::Parallel => {
+                use rayon::prelude::*;
+                let shingles: Vec<ShingleSet> = texts
+                    .par_iter()
+                    .map(|t| self.shingle_text(t.as_ref()))
+                    .collect();
+                let signatures = self.hasher.par_signatures(&shingles);
+                batch_hashes = shingles.iter().map(ShingleSet::len).sum();
+                for (set, signature) in shingles.into_iter().zip(signatures) {
+                    self.resolve(set, signature, &mut outcome);
                 }
             }
         }
-        (kept_files, removed_files)
+        self.pushed_hashes += batch_hashes;
+        self.peak_batch_hashes = self.peak_batch_hashes.max(batch_hashes);
+        outcome
+    }
+
+    /// Shingles one comment-stripped text: real-world copies typically
+    /// differ only in banner comments or header boilerplate, and the
+    /// similarity judgement should be about the code itself. (A comment-only
+    /// file therefore shingles to the empty set; see
+    /// [`textsim::jaccard_similarity`] — two empty sets are defined
+    /// identical, so comment-only files de-duplicate down to the first one.)
+    fn shingle_text(&self, text: &str) -> ShingleSet {
+        let code = verilog::strip_comments(text);
+        char_shingles(&code, self.config.shingle_size)
+    }
+
+    /// The sequential first-occurrence-wins resolution of one document.
+    fn resolve(&mut self, shingles: ShingleSet, signature: Signature, outcome: &mut DedupOutcome) {
+        let input_index = self.seen;
+        self.seen += 1;
+        let hashes: Vec<u64> = shingles.iter().collect();
+        let threshold = self.config.similarity_threshold;
+        let kept = &self.kept;
+        let verdict = self.index.insert_or_match(
+            kept.len() as u64,
+            &signature,
+            &mut self.scratch,
+            |candidate| {
+                let (_, kept_hashes) = &kept[candidate as usize];
+                let similarity = jaccard_similarity_sorted(&hashes, kept_hashes);
+                (similarity >= threshold).then_some(similarity)
+            },
+        );
+        match verdict {
+            InsertOrMatch::Matched(slot, similarity) => {
+                let kept_input_index = self.kept[slot as usize].0;
+                outcome
+                    .removed
+                    .push((input_index, kept_input_index, similarity));
+            }
+            InsertOrMatch::Inserted => {
+                self.kept_hashes += hashes.len();
+                self.kept.push((input_index, hashes));
+                outcome.kept.push(input_index);
+            }
+        }
     }
 }
 
@@ -345,10 +497,33 @@ mod tests {
                 content: content.clone(),
             })
             .collect();
-        let (kept, outcome) = dedup.dedup_files(files);
+        let (kept, outcome) = dedup.dedup_files(files, ExecutionMode::Serial);
         assert_eq!(kept.len(), 3);
         assert_eq!(outcome.removed.len(), 1);
         assert_eq!(kept[0].repo_full_name, "owner/repo0");
+    }
+
+    #[test]
+    fn dedup_files_honours_the_execution_mode() {
+        // Regression: dedup_files used to hardcode ExecutionMode::Serial.
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = distinct_docs();
+        let files: Vec<ExtractedFile> = (0..30)
+            .map(|i| ExtractedFile {
+                repo_id: i as u64,
+                repo_full_name: format!("owner/repo{i}"),
+                owner: "owner".into(),
+                repo_license: gh_sim::License::Mit,
+                created_year: 2020,
+                path: format!("f{i}.v"),
+                content: docs[i % docs.len()].clone(),
+            })
+            .collect();
+        let (kept_serial, outcome_serial) = dedup.dedup_files(files.clone(), ExecutionMode::Serial);
+        let (kept_parallel, outcome_parallel) = dedup.dedup_files(files, ExecutionMode::Parallel);
+        assert_eq!(kept_serial, kept_parallel);
+        assert_eq!(outcome_serial, outcome_parallel);
+        assert_eq!(kept_serial.len(), docs.len());
     }
 
     #[test]
@@ -377,5 +552,106 @@ mod tests {
         assert!(outcome.kept.is_empty());
         assert!(outcome.removed.is_empty());
         assert_eq!(outcome.removal_rate(), 0.0);
+    }
+
+    /// Pins the semantics of comment-only files, which shingle to the empty
+    /// set after comment stripping: `jaccard(∅, ∅) == 1.0`, so the first
+    /// comment-only file is kept and every later one — byte-identical or
+    /// not — is removed as its duplicate. Code is what the similarity
+    /// judgement is about; files with no code are all "the same nothing".
+    #[test]
+    fn comment_only_files_deduplicate_to_the_first() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = vec![
+            "// just a banner comment\n/* and a block comment */\n".to_string(),
+            "// just a banner comment\n/* and a block comment */\n".to_string(), // byte-identical
+            "// an entirely different comment\n".to_string(), // different text, still no code
+            distinct_docs()[0].clone(),                       // real code survives alongside
+        ];
+        let outcome = dedup.dedup_texts(&docs);
+        assert_eq!(outcome.kept, vec![0, 3]);
+        assert_eq!(outcome.removed.len(), 2);
+        for &(dropped, kept, similarity) in &outcome.removed {
+            assert_eq!(
+                kept, 0,
+                "comment-only file {dropped} must point at the first"
+            );
+            assert_eq!(similarity, 1.0);
+        }
+    }
+
+    #[test]
+    fn comment_only_files_never_absorb_real_code() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = vec!["// comment-only\n".to_string(), distinct_docs()[0].clone()];
+        let outcome = dedup.dedup_texts(&docs);
+        assert_eq!(
+            outcome.kept,
+            vec![0, 1],
+            "an empty shingle set must not match non-empty code"
+        );
+    }
+
+    #[test]
+    fn streamed_batches_match_one_shot_for_any_split() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = distinct_docs();
+        let many: Vec<String> = (0..48)
+            .map(|i| {
+                let base = &docs[i % docs.len()];
+                if i % 4 == 0 {
+                    base.clone()
+                } else {
+                    format!("// file {i}\n{base}\nmodule pad_{i}(input p{i}); endmodule")
+                }
+            })
+            .collect();
+        let one_shot = dedup.dedup_texts_with_mode(&many, ExecutionMode::Parallel);
+        for batch_size in [1, 5, 16, 48, 100] {
+            for mode in [ExecutionMode::Serial, ExecutionMode::Parallel] {
+                let mut stream = dedup.streaming();
+                let mut merged = DedupOutcome::default();
+                for chunk in many.chunks(batch_size) {
+                    let outcome = stream.push_texts_with_mode(chunk, mode);
+                    merged.kept.extend(outcome.kept);
+                    merged.removed.extend(outcome.removed);
+                }
+                assert_eq!(
+                    merged, one_shot,
+                    "streamed outcome diverged at batch size {batch_size} in {mode:?} mode"
+                );
+                assert_eq!(stream.seen(), many.len());
+                assert_eq!(stream.kept_len(), one_shot.kept.len());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_residency_tracks_the_kept_set() {
+        let dedup = Deduplicator::new(DedupConfig::default());
+        let docs = distinct_docs();
+        // 90 files, only 3 distinct: the kept set stays tiny.
+        let many: Vec<String> = (0..90).map(|i| docs[i % docs.len()].clone()).collect();
+        let mut stream = dedup.streaming();
+        for chunk in many.chunks(10) {
+            stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
+        }
+        let stats = stream.stats();
+        assert_eq!(stats.pushed, 90);
+        assert_eq!(stats.kept_docs, docs.len());
+        assert!(stats.kept_hashes > 0);
+        // Residency invariant: after 90 pushes the engine holds exactly what
+        // it would hold having seen only the 3 distinct files — the kept
+        // set, not the corpus.
+        let mut reference = dedup.streaming();
+        reference.push_texts(&docs);
+        assert_eq!(stats.kept_hashes, reference.stats().kept_hashes);
+        assert_eq!(stats.kept_docs, reference.stats().kept_docs);
+        // The transient working set is one 10-file batch, not the corpus: 9
+        // batches of equal content mean the peak is ~1/9 of the total pushed.
+        assert_eq!(stats.pushed_hashes, 30 * stats.kept_hashes);
+        assert!(stats.peak_batch_hashes <= stats.pushed_hashes / 4);
+        // The sharded index spread its buckets.
+        assert!(stream.shard_bucket_counts().iter().sum::<usize>() > 0);
     }
 }

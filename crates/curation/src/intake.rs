@@ -2,12 +2,17 @@
 //!
 //! A [`CurationSession`] accepts the corpus incrementally — e.g. one
 //! repository at a time, straight off a concurrent scraper's handoff queue —
-//! instead of requiring the whole file bank up front. Batch-invariant stages
-//! (see [`CurationStage::batch_invariant`]) are applied to each batch as it
-//! arrives, so license/length filtering overlaps the scrape; the first
-//! non-invariant stage (de-duplication, in every paper policy) and
-//! everything after it run once at [`CurationSession::finish`], over the
-//! survivors in arrival order.
+//! instead of requiring the whole file bank up front. The session runs the
+//! leading *streamable* prefix of the stage list on each batch as it
+//! arrives: batch-invariant stages (license, length, syntax, copyright)
+//! apply statelessly, and stateful streaming stages (de-duplication, which
+//! resolves each batch against its persistent kept-index — see
+//! [`CurationStage::open_stream`]) carry their state across pushes. Under
+//! the paper's FreeSet policy every stage streams, so nothing is buffered
+//! and curation — dedup included — fully overlaps the scrape. Only a custom
+//! stage without a streaming form (and the stages after it) is deferred to
+//! [`CurationSession::finish`], which runs the deferred suffix over the
+//! buffered survivors in arrival order.
 //!
 //! The session is *exactly* equivalent to the one-shot path: for any split
 //! of a corpus into batches,
@@ -21,7 +26,7 @@ use gh_sim::ExtractedFile;
 
 use crate::funnel::FunnelStats;
 use crate::pipeline::{CuratedDataset, CurationPipeline};
-use crate::stage::{CurationStage, FileBatch, RejectedFile, StageOutcome};
+use crate::stage::{CurationStage, FileBatch, RejectedFile, StageOutcome, StageStreaming};
 
 /// Per-stage tallies accumulated across pushed batches.
 #[derive(Default)]
@@ -29,6 +34,22 @@ struct StageTally {
     entering: usize,
     surviving: usize,
     rejects: Vec<RejectedFile>,
+}
+
+/// Looks up a stage across the configured and custom stage lists.
+///
+/// A free function (not a method) so `push` can borrow the stage while the
+/// per-stage streams are borrowed mutably — the borrows are disjoint fields.
+fn stage_at<'a>(
+    configured: &'a [Box<dyn CurationStage>],
+    custom: &'a [Box<dyn CurationStage>],
+    index: usize,
+) -> &'a dyn CurationStage {
+    if index < configured.len() {
+        configured[index].as_ref()
+    } else {
+        custom[index - configured.len()].as_ref()
+    }
 }
 
 /// An in-progress curation run accepting the corpus batch by batch.
@@ -53,8 +74,11 @@ pub struct CurationSession<'p> {
     /// borrowed from the pipeline and run after these).
     configured: Vec<Box<dyn CurationStage>>,
     /// Index (into the configured ⧺ custom stage list) of the first stage
-    /// that is *not* batch-invariant; stages before it run per batch.
+    /// with no streaming form; stages before it run per batch.
     split: usize,
+    /// One streaming form per stage in the prefix (`Stateless` entries apply
+    /// the stage directly; `Stateful` entries carry cross-batch state).
+    streams: Vec<StageStreaming>,
     /// One tally per streaming stage.
     tallies: Vec<StageTally>,
     /// Survivors of the streaming prefix, in arrival order.
@@ -65,28 +89,33 @@ pub struct CurationSession<'p> {
 
 impl<'p> CurationSession<'p> {
     pub(crate) fn new(pipeline: &'p CurationPipeline) -> Self {
-        let mut session = Self {
+        let configured = pipeline.configured_stages();
+        let custom = pipeline.custom_stage_list();
+        let total = configured.len() + custom.len();
+        let mut streams = Vec::new();
+        let mut split = total;
+        for index in 0..total {
+            match stage_at(&configured, custom, index).open_stream() {
+                StageStreaming::Deferred => {
+                    split = index;
+                    break;
+                }
+                stream => streams.push(stream),
+            }
+        }
+        Self {
             pipeline,
-            configured: pipeline.configured_stages(),
-            split: 0,
-            tallies: Vec::new(),
+            configured,
+            split,
+            streams,
+            tallies: (0..split).map(|_| StageTally::default()).collect(),
             buffered: Vec::new(),
             pushed: 0,
-        };
-        let total = session.stage_count();
-        session.split = (0..total)
-            .find(|&i| !session.stage_at(i).batch_invariant())
-            .unwrap_or(total);
-        session.tallies = (0..session.split).map(|_| StageTally::default()).collect();
-        session
+        }
     }
 
     fn stage_at(&self, index: usize) -> &dyn CurationStage {
-        if index < self.configured.len() {
-            self.configured[index].as_ref()
-        } else {
-            self.pipeline.custom_stage_list()[index - self.configured.len()].as_ref()
-        }
+        stage_at(&self.configured, self.pipeline.custom_stage_list(), index)
     }
 
     fn stage_count(&self) -> usize {
@@ -94,6 +123,8 @@ impl<'p> CurationSession<'p> {
     }
 
     /// Number of leading stages applied incrementally per pushed batch.
+    /// Under the FreeSet policy this is *every* stage — de-duplication
+    /// streams against its persistent kept-index.
     pub fn streaming_stage_count(&self) -> usize {
         self.split
     }
@@ -104,13 +135,23 @@ impl<'p> CurationSession<'p> {
     }
 
     /// Feeds one batch through the streaming stage prefix, buffering its
-    /// survivors for the deferred stages.
+    /// survivors for the deferred stages (if any).
     pub fn push(&mut self, files: Vec<ExtractedFile>) {
         self.pushed += files.len();
+        let mode = self.pipeline.mode();
         let mut files = files;
         for index in 0..self.split {
+            let mut outcome = match &mut self.streams[index] {
+                StageStreaming::Stateful(stream) => stream.push(FileBatch::new(files, mode)),
+                StageStreaming::Stateless => {
+                    stage_at(&self.configured, self.pipeline.custom_stage_list(), index)
+                        .apply(FileBatch::new(files, mode))
+                }
+                StageStreaming::Deferred => {
+                    unreachable!("deferred stages are never part of the streaming prefix")
+                }
+            };
             let stage = self.stage_at(index);
-            let mut outcome = stage.apply(FileBatch::new(files, self.pipeline.mode()));
             restamp(stage, &mut outcome);
             let tally = &mut self.tallies[index];
             tally.entering += outcome.total();

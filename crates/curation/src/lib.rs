@@ -66,7 +66,9 @@ pub mod stages;
 pub mod syntax_filter;
 
 pub use copyright::{CopyrightDetector, CopyrightFinding};
-pub use dedup::{DedupConfig, DedupOutcome, Deduplicator};
+pub use dedup::{
+    DedupConfig, DedupOutcome, Deduplicator, StreamingDedupStats, StreamingDeduplicator,
+};
 pub use funnel::{FunnelStats, StageCount};
 pub use intake::CurationSession;
 pub use license_filter::LicenseFilter;
@@ -76,6 +78,9 @@ pub use pipeline::{
 pub use report::{DatasetSummary, LengthHistogram};
 pub use stage::{
     stage_names, CurationStage, ExecutionMode, FileBatch, RejectReason, RejectedFile, StageOutcome,
+    StageStream, StageStreaming,
 };
-pub use stages::{CopyrightStage, DedupStage, LengthCapStage, LicenseStage, SyntaxStage};
+pub use stages::{
+    CopyrightStage, DedupStage, DedupStream, LengthCapStage, LicenseStage, SyntaxStage,
+};
 pub use syntax_filter::SyntaxFilter;

@@ -182,6 +182,36 @@ impl StageOutcome {
     }
 }
 
+/// A stateful, per-session instance of a stage consuming a stream of
+/// batches.
+///
+/// Obtained from [`CurationStage::open_stream`]; a [`crate::CurationSession`]
+/// feeds every pushed batch through the stream in arrival order. A stream
+/// must be *prefix-consistent*: after pushing batches `b₁ … bₙ`, the
+/// concatenation of the returned outcomes must equal the outcome of the
+/// stage's one-shot [`CurationStage::apply`] over `b₁ ⧺ … ⧺ bₙ` — same kept
+/// files, same rejections, same provenance text. That is what lets the
+/// session guarantee streamed output byte-identical to a one-shot run.
+pub trait StageStream: Send {
+    /// Feeds one batch through the stage, carrying state forward to the next
+    /// push.
+    fn push(&mut self, batch: FileBatch) -> StageOutcome;
+}
+
+/// How a stage participates in a [`crate::CurationSession`]'s streaming
+/// intake — the result of [`CurationStage::open_stream`].
+pub enum StageStreaming {
+    /// The stage cannot stream: the session defers it, and every stage after
+    /// it, to `finish()`. The conservative answer, always correct.
+    Deferred,
+    /// The stage is batch-invariant: per-batch `apply` needs no carried
+    /// state, so the session simply applies it to each batch as it arrives.
+    Stateless,
+    /// The stage streams through per-session state (e.g. de-duplication
+    /// against the persistent kept-index).
+    Stateful(Box<dyn StageStream>),
+}
+
 /// A curation stage: a named transformation that partitions a batch into
 /// survivors and provenance-tagged rejections.
 ///
@@ -201,15 +231,27 @@ pub trait CurationStage: Send + Sync {
 
     /// Whether the stage's per-file verdicts are independent of the rest of
     /// the batch, so that applying it to a stream of batches produces the
-    /// same result as applying it to their concatenation. Batch-invariant
-    /// stages run incrementally in a [`crate::CurationSession`] while the
-    /// scrape is still in flight; everything else (e.g. de-duplication,
-    /// whose first-occurrence-wins decision looks across files) is deferred
-    /// to the end of the stream.
+    /// same result as applying it to their concatenation.
     ///
     /// Defaults to `false` — the conservative answer, always correct.
     fn batch_invariant(&self) -> bool {
         false
+    }
+
+    /// Opens this stage's streaming form for one [`crate::CurationSession`].
+    ///
+    /// The default derives the answer from [`Self::batch_invariant`]:
+    /// invariant stages stream statelessly, everything else is deferred.
+    /// Stages that are order-dependent but can carry their cross-batch state
+    /// explicitly (de-duplication against a persistent kept-index) override
+    /// this to return [`StageStreaming::Stateful`], which lets the session
+    /// run them incrementally while the scrape is still in flight.
+    fn open_stream(&self) -> StageStreaming {
+        if self.batch_invariant() {
+            StageStreaming::Stateless
+        } else {
+            StageStreaming::Deferred
+        }
     }
 }
 

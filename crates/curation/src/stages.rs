@@ -7,9 +7,11 @@
 //! interface with provenance-tagged rejections.
 
 use crate::copyright::CopyrightDetector;
-use crate::dedup::{DedupConfig, Deduplicator};
+use crate::dedup::{DedupConfig, Deduplicator, StreamingDeduplicator};
 use crate::license_filter::LicenseFilter;
-use crate::stage::{stage_names, CurationStage, FileBatch, RejectReason, StageOutcome};
+use crate::stage::{
+    stage_names, CurationStage, FileBatch, RejectReason, StageOutcome, StageStream, StageStreaming,
+};
 use crate::syntax_filter::SyntaxFilter;
 
 /// Drops files from repositories without an accepted license
@@ -87,7 +89,12 @@ impl CurationStage for LengthCapStage {
 ///
 /// The keep/drop decision is order-dependent (first occurrence wins) and runs
 /// sequentially; the expensive per-file shingling and MinHash signature
-/// construction fans out across threads in parallel mode.
+/// construction fans out across threads in parallel mode. The stage streams:
+/// [`CurationStage::open_stream`] returns a stateful [`DedupStream`] that
+/// resolves each pushed batch against the persistent kept-index, so a
+/// [`crate::CurationSession`] de-duplicates while the scrape is still in
+/// flight. One-shot `apply` is a single-push stream — byte-identical by
+/// construction.
 #[derive(Debug, Clone)]
 pub struct DedupStage {
     dedup: Deduplicator,
@@ -113,19 +120,61 @@ impl CurationStage for DedupStage {
     }
 
     fn apply(&self, batch: FileBatch) -> StageOutcome {
+        DedupStream::new(self.dedup.streaming()).push(batch)
+    }
+
+    fn open_stream(&self) -> StageStreaming {
+        StageStreaming::Stateful(Box::new(DedupStream::new(self.dedup.streaming())))
+    }
+}
+
+/// The stateful streaming form of [`DedupStage`]: a thin adapter mapping the
+/// [`StreamingDeduplicator`]'s global-index outcomes back onto each batch's
+/// files, with the same rejection provenance text as the one-shot path
+/// (duplicate pointers are global indices into the stage's input stream, so
+/// a file can be rejected as the duplicate of a file kept batches earlier).
+pub struct DedupStream {
+    inner: StreamingDeduplicator,
+}
+
+impl DedupStream {
+    /// Wraps a streaming engine.
+    pub fn new(inner: StreamingDeduplicator) -> Self {
+        Self { inner }
+    }
+
+    /// The engine, for residency inspection.
+    pub fn engine(&self) -> &StreamingDeduplicator {
+        &self.inner
+    }
+}
+
+impl StageStream for DedupStream {
+    fn push(&mut self, batch: FileBatch) -> StageOutcome {
         let mode = batch.mode();
         let files = batch.into_files();
-        let (kept, removed) = self.dedup.partition_files(files, mode);
-        let mut outcome = StageOutcome::keep_all(kept);
-        for (file, kept_index, similarity) in removed {
-            outcome.reject(
-                file,
-                stage_names::DEDUP,
-                RejectReason::Duplicate,
-                Some(format!(
-                    "duplicate of kept file #{kept_index} (jaccard {similarity:.3})"
-                )),
-            );
+        let base = self.inner.seen();
+        let contents: Vec<&str> = files.iter().map(|f| f.content.as_str()).collect();
+        let result = self.inner.push_texts_with_mode(&contents, mode);
+        // Map the engine's global indices back onto this batch's files.
+        let removed_info: std::collections::HashMap<usize, (usize, f64)> = result
+            .removed
+            .iter()
+            .map(|&(dropped, kept, similarity)| (dropped - base, (kept, similarity)))
+            .collect();
+        let mut outcome = StageOutcome::with_capacity(files.len());
+        for (offset, file) in files.into_iter().enumerate() {
+            match removed_info.get(&offset) {
+                None => outcome.kept.push(file),
+                Some(&(kept_index, similarity)) => outcome.reject(
+                    file,
+                    stage_names::DEDUP,
+                    RejectReason::Duplicate,
+                    Some(format!(
+                        "duplicate of kept file #{kept_index} (jaccard {similarity:.3})"
+                    )),
+                ),
+            }
         }
         outcome
     }

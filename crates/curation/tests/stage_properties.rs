@@ -136,9 +136,11 @@ proptest! {
         repos in 5usize..15,
         seed in any::<u64>(),
         batch_size in 1usize..40,
+        parallel in any::<bool>(),
     ) {
         let files = corpus(repos, seed);
-        let pipeline = CurationPipeline::new(policy);
+        let mode = if parallel { ExecutionMode::Parallel } else { ExecutionMode::Serial };
+        let pipeline = CurationPipeline::new(policy).with_mode(mode);
         let one_shot = pipeline.run(files.clone());
         // Feed the same corpus through a streaming session in arbitrary
         // fixed-size batches (including a ragged final batch and, when
@@ -163,8 +165,8 @@ proptest! {
         let pipeline = CurationPipeline::new(CurationConfig::freeset());
         let one_shot = pipeline.run(files.clone());
         let mut session = pipeline.session();
-        prop_assert!(session.streaming_stage_count() >= 1,
-            "the license stage must stream ahead of dedup");
+        prop_assert_eq!(session.streaming_stage_count(), 4,
+            "every FreeSet stage — dedup included — must stream");
         let mut remaining = files.as_slice();
         while !remaining.is_empty() {
             let repo_id = remaining[0].repo_id;
@@ -179,6 +181,141 @@ proptest! {
         prop_assert_eq!(session.pushed(), files.len());
         let streamed = session.finish();
         prop_assert_eq!(&streamed, &one_shot);
+    }
+}
+
+fn handmade_file(i: usize, license: gh_sim::License, content: &str) -> ExtractedFile {
+    ExtractedFile {
+        repo_id: i as u64,
+        repo_full_name: format!("o/r{i}"),
+        owner: "o".into(),
+        repo_license: license,
+        created_year: 2020,
+        path: format!("f{i}.v"),
+        content: content.into(),
+    }
+}
+
+#[test]
+fn freeset_session_streams_every_stage_including_dedup() {
+    let pipeline = CurationPipeline::new(CurationConfig::freeset());
+    let session = pipeline.session();
+    assert_eq!(pipeline.stage_names().len(), 4);
+    assert_eq!(
+        session.streaming_stage_count(),
+        4,
+        "license, dedup, syntax and copyright must all run per batch"
+    );
+}
+
+/// An order-dependent custom stage with no streaming form: keeps only the
+/// first `N` files it ever sees, so its verdicts depend on everything before
+/// the batch — the session must defer it.
+struct TakeFirst(usize);
+
+impl CurationStage for TakeFirst {
+    fn name(&self) -> &str {
+        "take-first"
+    }
+
+    fn apply(&self, batch: FileBatch) -> StageOutcome {
+        let mut outcome = StageOutcome::default();
+        for (i, file) in batch.into_files().into_iter().enumerate() {
+            if i < self.0 {
+                outcome.kept.push(file);
+            } else {
+                outcome.reject(file, "take-first", RejectReason::LengthCap, None);
+            }
+        }
+        outcome
+    }
+}
+
+#[test]
+fn non_streamable_custom_stage_before_dedup_defers_the_rest() {
+    // Stage order: license (streams) → take-first (cannot stream) → dedup.
+    // The split must land on take-first, and dedup — although streamable —
+    // must be deferred behind it, with output still equal to one-shot.
+    let mut config = CurationConfig::unfiltered("CustomOrder");
+    config.check_repository_license = true;
+    let files = corpus(8, 99);
+    let build = || {
+        CurationPipeline::new(config.clone())
+            .with_stage(Box::new(TakeFirst(25)))
+            .with_stage(Box::new(curation::DedupStage::new(
+                curation::DedupConfig::default(),
+            )))
+    };
+    let pipeline = build();
+    let one_shot = pipeline.run(files.clone());
+    let mut session = pipeline.session();
+    assert_eq!(
+        session.streaming_stage_count(),
+        1,
+        "only the license stage may stream ahead of the order-dependent custom stage"
+    );
+    for chunk in files.chunks(7) {
+        session.push(chunk.to_vec());
+    }
+    let streamed = session.finish();
+    assert_eq!(streamed, one_shot);
+    assert!(one_shot.funnel().stage("take-first").is_some());
+    assert!(one_shot.len() <= 25);
+}
+
+#[test]
+fn empty_batches_between_non_empty_ones_are_neutral() {
+    let files = corpus(8, 41);
+    let pipeline = CurationPipeline::new(CurationConfig::freeset());
+    let one_shot = pipeline.run(files.clone());
+    let mut session = pipeline.session();
+    session.push(vec![]);
+    let mid = files.len() / 2;
+    session.push(files[..mid].to_vec());
+    session.push(vec![]);
+    session.push(vec![]);
+    session.push(files[mid..].to_vec());
+    session.push(vec![]);
+    assert_eq!(session.pushed(), files.len());
+    let streamed = session.finish();
+    assert_eq!(streamed, one_shot);
+    assert_eq!(format!("{streamed:?}"), format!("{one_shot:?}"));
+}
+
+#[test]
+fn batches_after_total_rejection_still_stream_and_dedup() {
+    let body =
+        "module alu(input [3:0] a, input [3:0] b, output [3:0] y); assign y = a + b; endmodule";
+    // Batch 1 is wiped out by the license filter; batch 2 must still reach
+    // the (stateful) dedup stream, and its own duplicate must point at the
+    // first *kept* file — not at anything from the rejected batch.
+    let rejected_batch: Vec<ExtractedFile> = (0..4)
+        .map(|i| handmade_file(i, gh_sim::License::Proprietary, body))
+        .collect();
+    let kept_batch: Vec<ExtractedFile> = (4..7)
+        .map(|i| handmade_file(i, gh_sim::License::Mit, body))
+        .collect();
+    let all: Vec<ExtractedFile> = rejected_batch
+        .iter()
+        .chain(kept_batch.iter())
+        .cloned()
+        .collect();
+    let pipeline = CurationPipeline::new(CurationConfig::freeset());
+    let one_shot = pipeline.run(all);
+    let mut session = pipeline.session();
+    session.push(rejected_batch);
+    session.push(kept_batch);
+    let streamed = session.finish();
+    assert_eq!(streamed, one_shot);
+    assert_eq!(streamed.len(), 1, "only the first licensed copy survives");
+    let dupes: Vec<_> = streamed.rejects_for(RejectReason::Duplicate).collect();
+    assert_eq!(dupes.len(), 2);
+    for dupe in dupes {
+        assert_eq!(
+            dupe.detail.as_deref(),
+            Some("duplicate of kept file #0 (jaccard 1.000)"),
+            "duplicates must reference the dedup stream's first kept file"
+        );
     }
 }
 

@@ -3,12 +3,15 @@
 //! The build runs on the **streaming path**: a concurrent
 //! [`gh_sim::fetch::FetchEngine`] clones repositories from a worker pool and
 //! hands each one's files off, in deterministic order, into a
-//! [`curation::CurationSession`] *while the scrape is still running* — so
-//! the batch-invariant curation stages overlap the network phase instead of
-//! waiting for the full bank. Both halves are individually
-//! property-tested to be byte-identical to their serial equivalents, and
-//! [`scrape_and_curate`] is tested to match the serial
-//! scrape-then-curate composition end to end.
+//! [`curation::CurationSession`] *while the scrape is still running*. Under
+//! the FreeSet policy every curation stage streams — including
+//! de-duplication, which resolves each repository's files against its
+//! persistent kept-index the moment they arrive — so the paper's largest
+//! funnel stage (~62% removal) overlaps the network phase instead of
+//! waiting for the full bank. Both halves are individually property-tested
+//! to be byte-identical to their serial equivalents, and
+//! [`scrape_and_curate`] is tested to match the serial scrape-then-curate
+//! composition end to end.
 
 use curation::{CuratedDataset, CurationPipeline, CurationStage};
 use gh_sim::fetch::{FetchConfig, FetchEngine};
@@ -65,10 +68,12 @@ pub fn build_freeset(config: &FreeSetConfig) -> FreeSetBuild {
 
 /// Builds FreeSet on the streaming path: the concurrent fetch engine clones
 /// repositories from a worker pool and pushes each one's files into a
-/// [`curation::CurationSession`] while the scrape is still in flight. The
-/// bounded handoff queue backpressures the workers against the curation
-/// stages' pace, so *in-flight* scrape buffering stays proportional to the
-/// queue. (The raw file bank is still accumulated alongside the session —
+/// [`curation::CurationSession`] while the scrape is still in flight — all
+/// four FreeSet stages, de-duplication included, run on each batch as it
+/// arrives. The bounded handoff queue backpressures the workers against the
+/// curation stages' pace, so *in-flight* scrape buffering stays proportional
+/// to the queue and the session's residency tracks the kept set. (The raw
+/// file bank is still accumulated alongside the session —
 /// [`FreeSetBuild::scraped`] retains it so every policy comparison can
 /// reuse the same scrape — so peak memory remains corpus-proportional; a
 /// scrape-once-curate-only consumer could drop that accumulation.)
@@ -230,6 +235,20 @@ mod tests {
         assert!(shaped.funnel().is_monotone());
         // Conservation with provenance intact.
         assert_eq!(shaped.len() + shaped.rejects().len(), scraped.len());
+    }
+
+    #[test]
+    fn freeset_streaming_session_dedups_mid_scrape() {
+        // The session used by scrape_and_curate must stream the whole
+        // FreeSet stage list — dedup included — so no stage waits for the
+        // scrape to end.
+        let config = FreeSetConfig::at_scale(&ExperimentScale::tiny());
+        let pipeline = CurationPipeline::new(config.curation.clone());
+        let session = pipeline.session();
+        assert_eq!(
+            session.streaming_stage_count(),
+            pipeline.stage_names().len()
+        );
     }
 
     #[test]

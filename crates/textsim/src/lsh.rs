@@ -8,11 +8,58 @@
 //! pipeline, exact Jaccard).
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::minhash::Signature;
+
+/// Reusable buffers for candidate retrieval.
+///
+/// [`LshIndex::candidates`] (and its sharded sibling) must collect, sort and
+/// de-duplicate the ids colliding with a query — allocating a fresh set and
+/// vector per query. The de-duplication hot loop issues one query per file,
+/// so it keeps one `CandidateScratch` alive and calls
+/// [`LshIndex::candidates_into`] instead; the buffers are cleared, never
+/// freed, between queries.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateScratch {
+    out: Vec<u64>,
+}
+
+impl CandidateScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The candidates produced by the most recent query, ascending and
+    /// unique.
+    pub fn candidates(&self) -> &[u64] {
+        &self.out
+    }
+
+    /// Consumes the scratch, returning the most recent query's candidates.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.out
+    }
+
+    /// Resets the buffer for a new query.
+    pub(crate) fn clear(&mut self) {
+        self.out.clear();
+    }
+
+    /// Appends raw (possibly duplicated) colliding ids.
+    pub(crate) fn extend(&mut self, ids: &[u64]) {
+        self.out.extend_from_slice(ids);
+    }
+
+    /// Sorts and de-duplicates the collected ids.
+    pub(crate) fn finish(&mut self) {
+        self.out.sort_unstable();
+        self.out.dedup();
+    }
+}
 
 /// Banding parameters for an [`LshIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,9 +85,28 @@ impl LshParams {
         }
     }
 
+    /// How far a full-coverage banding's threshold error may exceed the best
+    /// achievable error before a row-discarding banding is preferred instead.
+    /// The S-curve midpoint `(1/b)^(1/r)` is itself only an approximation of
+    /// the effective retrieval threshold, so treating errors within a few
+    /// hundredths as tied buys full use of every computed permutation. Kept
+    /// deliberately small: a higher midpoint lowers candidate-retrieval
+    /// probability for pairs sitting exactly at the target similarity (the
+    /// exact-verification step downstream is unaffected), so the slack must
+    /// stay in the same range as the midpoint approximation error itself.
+    const FULL_COVERAGE_TOLERANCE: f64 = 0.03;
+
     /// Chooses `bands`/`rows` for a signature of `signature_len` positions so
     /// that the S-curve threshold `(1/b)^(1/r)` lands as close as possible to
     /// `target_threshold`.
+    ///
+    /// When `signature_len % rows != 0` the trailing `signature_len - b·r`
+    /// positions take no part in candidate retrieval, wasting permutations
+    /// that were computed for every document. Candidates whose error is tied
+    /// with (within [`Self::FULL_COVERAGE_TOLERANCE`] of) the best therefore
+    /// prefer full coverage: a banding with `bands * rows == signature_len`
+    /// wins unless a row-discarding banding is strictly closer to the target
+    /// by more than the tolerance.
     ///
     /// # Panics
     ///
@@ -53,19 +119,29 @@ impl LshParams {
         );
         let mut best = Self::new(1, signature_len);
         let mut best_err = f64::INFINITY;
+        let mut best_full = best;
+        let mut best_full_err = (best.threshold() - target_threshold).abs();
         for rows in 1..=signature_len {
             let bands = signature_len / rows;
             if bands == 0 {
                 continue;
             }
-            let threshold = (1.0 / bands as f64).powf(1.0 / rows as f64);
-            let err = (threshold - target_threshold).abs();
+            let candidate = Self::new(bands, rows);
+            let err = (candidate.threshold() - target_threshold).abs();
             if err < best_err {
                 best_err = err;
-                best = Self::new(bands, rows);
+                best = candidate;
+            }
+            if bands * rows == signature_len && err < best_full_err {
+                best_full_err = err;
+                best_full = candidate;
             }
         }
-        best
+        if best_full_err <= best_err + Self::FULL_COVERAGE_TOLERANCE {
+            best_full
+        } else {
+            best
+        }
     }
 
     /// The approximate Jaccard threshold at which the probability of becoming
@@ -131,7 +207,9 @@ impl LshIndex {
         self.len == 0
     }
 
-    fn band_key(signature: &Signature, band: usize, rows: usize) -> u64 {
+    /// Hash key of one band of a signature — shared with
+    /// [`crate::ShardedLshIndex`] so both indexes bucket identically.
+    pub(crate) fn band_key(signature: &Signature, band: usize, rows: usize) -> u64 {
         // FNV-1a over the band's signature values.
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -185,17 +263,28 @@ impl LshIndex {
     ///
     /// Panics if the signature is shorter than `bands * rows_per_band`.
     pub fn candidates(&self, signature: &Signature) -> Vec<u64> {
+        let mut scratch = CandidateScratch::new();
+        self.candidates_into(signature, &mut scratch);
+        scratch.into_vec()
+    }
+
+    /// Scratch-buffer variant of [`Self::candidates`]: produces the same
+    /// ids into `scratch` (read them via [`CandidateScratch::candidates`])
+    /// without allocating per query once the buffers have warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn candidates_into(&self, signature: &Signature, scratch: &mut CandidateScratch) {
         let params = self.check_signature(signature);
-        let mut out: HashSet<u64> = HashSet::new();
+        scratch.clear();
         for band in 0..params.bands {
             let key = Self::band_key(signature, band, params.rows_per_band);
             if let Some(ids) = self.buckets[band].get(&key) {
-                out.extend(ids.iter().copied());
+                scratch.extend(ids);
             }
         }
-        let mut v: Vec<u64> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+        scratch.finish();
     }
 }
 
@@ -214,6 +303,54 @@ mod tests {
         let p = LshParams::for_threshold(128, 0.85);
         assert!((p.threshold() - 0.85).abs() < 0.1);
         assert!(p.required_signature_len() <= 128);
+    }
+
+    #[test]
+    fn paper_setup_uses_every_permutation() {
+        // Regression: 128 permutations at the 0.85 threshold used to pick
+        // 9 bands × 14 rows, silently discarding the last 2 signature rows.
+        // Near-tied errors must prefer full coverage (8 × 16 = 128).
+        let p = LshParams::for_threshold(128, 0.85);
+        assert_eq!(
+            p.required_signature_len(),
+            128,
+            "chose {} bands × {} rows, wasting {} of 128 permutations",
+            p.bands,
+            p.rows_per_band,
+            128 - p.bands * p.rows_per_band
+        );
+    }
+
+    #[test]
+    fn awkward_signature_lengths_may_still_discard_rows() {
+        // A prime length has no useful full factorisation; the search must
+        // fall back to the closest row-discarding banding rather than pick
+        // the degenerate 1-band or 1-row layouts.
+        let p = LshParams::for_threshold(127, 0.85);
+        assert!((p.threshold() - 0.85).abs() < 0.05);
+        assert!(p.bands > 1 && p.rows_per_band > 1);
+    }
+
+    #[test]
+    fn candidates_into_matches_candidates() {
+        let hasher = MinHasher::new(128, 23);
+        let params = LshParams::for_threshold(128, 0.85);
+        let mut index = LshIndex::new(params);
+        let texts = [
+            "module a(input x, output y); assign y = ~x; endmodule",
+            "module a(input x, output y); assign y = ~x; endmodule",
+            "module fifo(input clk, input rst); reg [7:0] mem [0:15]; endmodule",
+            "module uart(input clk, output txd); reg [3:0] s; endmodule",
+        ];
+        for (i, t) in texts.iter().enumerate() {
+            index.insert(i as u64, &sig(&hasher, t));
+        }
+        let mut scratch = CandidateScratch::new();
+        for t in &texts {
+            let signature = sig(&hasher, t);
+            index.candidates_into(&signature, &mut scratch);
+            assert_eq!(scratch.candidates(), index.candidates(&signature));
+        }
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! A sharded LSH index for streaming, bounded-memory de-duplication.
+//!
+//! [`crate::LshIndex`] keeps one bucket map per band; at corpus scale those
+//! maps grow without bound and can only live in one allocation arena. A
+//! [`ShardedLshIndex`] routes every `(band, bucket key)` pair to one of `n`
+//! shards by the bucket key's value — *merge-free* sharding: a bucket lives
+//! in exactly one shard, so no cross-shard reconciliation is ever needed and
+//! the candidate set for any query is byte-identical to the unsharded
+//! index's, whatever the shard count. Shards are the unit a bounded-memory
+//! engine can account, compact or (future work) spill to disk independently.
+//!
+//! The index also exposes the incremental [`ShardedLshIndex::insert_or_match`]
+//! primitive the streaming de-duplicator is built on: verify a query against
+//! the colliding documents in ascending-id order and either report the first
+//! confirmed match or insert the query as a newly kept document.
+
+use std::collections::HashMap;
+
+use crate::lsh::{CandidateScratch, LshIndex, LshParams};
+use crate::minhash::Signature;
+
+/// Default shard count: enough shards that per-shard residency is a useful
+/// accounting unit at realistic corpus sizes, few enough that empty-shard
+/// overhead stays negligible for small inputs.
+pub const DEFAULT_LSH_SHARDS: usize = 16;
+
+/// An LSH index whose buckets are partitioned across shards by band hash.
+///
+/// Functionally equivalent to [`LshIndex`] — same banding, same bucket keys,
+/// identical candidate sets — but the bucket space is split into independent
+/// shards so memory can be tracked (and eventually spilled) per shard.
+///
+/// # Example
+///
+/// ```
+/// use textsim::{char_shingles, LshParams, MinHasher, ShardedLshIndex};
+///
+/// let hasher = MinHasher::new(128, 7);
+/// let params = LshParams::for_threshold(128, 0.85);
+/// let mut index = ShardedLshIndex::new(params);
+///
+/// let a = hasher.signature(&char_shingles("module m(input a); assign y = a; endmodule", 5));
+/// index.insert(1, &a);
+/// let dup = hasher.signature(&char_shingles("module m(input a); assign y = a; endmodule", 5));
+/// assert!(index.candidates(&dup).contains(&1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedLshIndex {
+    params: LshParams,
+    /// One bucket map per shard, keyed by `(band, band key)`. Keying by the
+    /// pair (rather than the salted key alone) keeps the semantics exactly
+    /// those of the unsharded index's per-band maps.
+    shards: Vec<HashMap<(u32, u64), Vec<u64>>>,
+    len: usize,
+}
+
+/// The outcome of [`ShardedLshIndex::insert_or_match`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InsertOrMatch {
+    /// No colliding document verified as a match; the query was inserted.
+    Inserted,
+    /// A previously inserted document matched: `(id, similarity)` of the
+    /// first (lowest-id) confirmed match. The query was *not* inserted.
+    Matched(u64, f64),
+}
+
+impl ShardedLshIndex {
+    /// Creates an empty index with [`DEFAULT_LSH_SHARDS`] shards.
+    pub fn new(params: LshParams) -> Self {
+        Self::with_shards(params, DEFAULT_LSH_SHARDS)
+    }
+
+    /// Creates an empty index with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn with_shards(params: LshParams, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard count must be positive");
+        Self {
+            params,
+            shards: vec![HashMap::new(); shard_count],
+            len: 0,
+        }
+    }
+
+    /// The banding parameters.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Number of shards the bucket space is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of inserted documents.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no documents have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of occupied buckets in each shard — the residency profile a
+    /// bounded-memory engine accounts against.
+    pub fn shard_bucket_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(HashMap::len).collect()
+    }
+
+    /// Deterministic shard routing: Fibonacci-hash the (already salted) band
+    /// key so consecutive keys spread evenly whatever the shard count.
+    fn shard_of(&self, key: u64) -> usize {
+        let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (mixed % self.shards.len() as u64) as usize
+    }
+
+    fn check_signature(&self, signature: &Signature) {
+        assert!(
+            signature.len() >= self.params.required_signature_len(),
+            "signature has {} positions but the index requires at least {}",
+            signature.len(),
+            self.params.required_signature_len()
+        );
+    }
+
+    /// Inserts a document id with its signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn insert(&mut self, id: u64, signature: &Signature) {
+        self.check_signature(signature);
+        for band in 0..self.params.bands {
+            let key = LshIndex::band_key(signature, band, self.params.rows_per_band);
+            let shard = self.shard_of(key);
+            self.shards[shard]
+                .entry((band as u32, key))
+                .or_default()
+                .push(id);
+        }
+        self.len += 1;
+    }
+
+    /// Returns the ids of all documents sharing at least one band with
+    /// `signature`, ascending and unique — byte-identical to
+    /// [`LshIndex::candidates`] over the same insertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn candidates(&self, signature: &Signature) -> Vec<u64> {
+        let mut scratch = CandidateScratch::new();
+        self.candidates_into(signature, &mut scratch);
+        scratch.into_vec()
+    }
+
+    /// Scratch-buffer variant of [`Self::candidates`], for hot loops issuing
+    /// one query per document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn candidates_into(&self, signature: &Signature, scratch: &mut CandidateScratch) {
+        self.check_signature(signature);
+        scratch.clear();
+        for band in 0..self.params.bands {
+            let key = LshIndex::band_key(signature, band, self.params.rows_per_band);
+            let shard = self.shard_of(key);
+            if let Some(ids) = self.shards[shard].get(&(band as u32, key)) {
+                scratch.extend(ids);
+            }
+        }
+        scratch.finish();
+    }
+
+    /// The incremental de-duplication primitive: retrieves the documents
+    /// colliding with `signature`, verifies each in ascending-id order with
+    /// `verify` (which returns `Some(similarity)` to confirm a match), and
+    /// either reports the first confirmed match or inserts `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    pub fn insert_or_match(
+        &mut self,
+        id: u64,
+        signature: &Signature,
+        scratch: &mut CandidateScratch,
+        mut verify: impl FnMut(u64) -> Option<f64>,
+    ) -> InsertOrMatch {
+        self.candidates_into(signature, scratch);
+        for &candidate in scratch.candidates() {
+            if let Some(similarity) = verify(candidate) {
+                return InsertOrMatch::Matched(candidate, similarity);
+            }
+        }
+        self.insert(id, signature);
+        InsertOrMatch::Inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+    use crate::shingle::char_shingles;
+
+    fn sig(hasher: &MinHasher, text: &str) -> Signature {
+        hasher.signature(&char_shingles(text, 5))
+    }
+
+    fn corpus() -> Vec<String> {
+        (0..40)
+            .map(|i| {
+                if i % 4 == 0 {
+                    "module dup(input a, output y); assign y = a; endmodule".to_string()
+                } else {
+                    format!("module m{i}(input a{i}, output y{i}); assign y{i} = a{i} ^ {i}'d1; endmodule")
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_candidates_match_unsharded_for_any_shard_count() {
+        let hasher = MinHasher::new(128, 77);
+        let params = LshParams::for_threshold(128, 0.85);
+        let texts = corpus();
+        let mut reference = LshIndex::new(params);
+        for (i, t) in texts.iter().enumerate() {
+            reference.insert(i as u64, &sig(&hasher, t));
+        }
+        for shard_count in [1, 2, 7, 16, 64] {
+            let mut index = ShardedLshIndex::with_shards(params, shard_count);
+            for (i, t) in texts.iter().enumerate() {
+                index.insert(i as u64, &sig(&hasher, t));
+            }
+            assert_eq!(index.len(), reference.len());
+            assert_eq!(index.shard_count(), shard_count);
+            for t in &texts {
+                let signature = sig(&hasher, t);
+                assert_eq!(
+                    index.candidates(&signature),
+                    reference.candidates(&signature),
+                    "candidate sets diverged at {shard_count} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_spread_across_shards() {
+        let hasher = MinHasher::new(128, 5);
+        let params = LshParams::for_threshold(128, 0.85);
+        let mut index = ShardedLshIndex::with_shards(params, 8);
+        for (i, t) in corpus().iter().enumerate() {
+            index.insert(i as u64, &sig(&hasher, t));
+        }
+        let counts = index.shard_bucket_counts();
+        assert_eq!(counts.len(), 8);
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        assert!(occupied > 1, "all buckets landed in one shard: {counts:?}");
+        assert!(counts.iter().sum::<usize>() > 0, "no buckets recorded");
+    }
+
+    #[test]
+    fn insert_or_match_finds_first_confirmed_duplicate() {
+        let hasher = MinHasher::new(128, 9);
+        let params = LshParams::for_threshold(128, 0.85);
+        let mut index = ShardedLshIndex::new(params);
+        let mut scratch = CandidateScratch::new();
+        let text = "module dup(input a, output y); assign y = a; endmodule";
+        let s = sig(&hasher, text);
+        assert_eq!(
+            index.insert_or_match(0, &s, &mut scratch, |_| None),
+            InsertOrMatch::Inserted
+        );
+        assert_eq!(index.len(), 1);
+        // Second identical document: candidate 0 verifies as a duplicate.
+        let outcome = index.insert_or_match(1, &s, &mut scratch, |id| (id == 0).then_some(1.0));
+        assert_eq!(outcome, InsertOrMatch::Matched(0, 1.0));
+        assert_eq!(index.len(), 1, "matched documents must not be inserted");
+        // Verification veto: if the verifier rejects every candidate, the
+        // document is kept even though LSH retrieved collisions.
+        let outcome = index.insert_or_match(2, &s, &mut scratch, |_| None);
+        assert_eq!(outcome, InsertOrMatch::Inserted);
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let params = LshParams::new(8, 16);
+        let _ = ShardedLshIndex::with_shards(params, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature has")]
+    fn short_signature_rejected() {
+        let params = LshParams::new(16, 8);
+        let mut index = ShardedLshIndex::new(params);
+        let hasher = MinHasher::new(32, 1);
+        index.insert(1, &sig(&hasher, "module m; endmodule"));
+    }
+}
