@@ -1,23 +1,54 @@
 //! Benchmarks the de-duplication engine — the paper's single largest funnel
-//! stage (§III-D2, ~62% removal under FreeSet) — in its three execution
-//! shapes: one-shot serial, one-shot parallel (batch signature fan-out), and
-//! streamed per-batch against the persistent kept-index. Also records the
-//! streaming engine's kept-set residency as `FFH-METRIC` lines so later PRs
-//! can track both the time and the memory trajectory.
+//! stage (§III-D2, ~62% removal under FreeSet) — in its execution shapes:
+//! one-shot serial, one-shot parallel (batch signature fan-out), streamed
+//! per-batch against the persistent kept-index, and streamed with a
+//! spill-to-disk residency budget. Also records the engine's exact-hash
+//! short-circuit rate and kept-state residency as `FFH-METRIC` lines so
+//! later PRs can track the time, work-avoided and memory trajectories.
+//!
+//! With `FFH_BENCH_FAST=1` only the tiny-scale artefact/metric pass runs
+//! (no Criterion timing loops) — CI uses this to fail the build if the
+//! expected `FFH-METRIC` lines ever disappear.
 
-use bench::{print_artifact, print_metric, timing_scale};
+use bench::{fast_mode, print_artifact, print_metric, timing_scale};
 use criterion::{black_box, Criterion};
-use curation::{DedupConfig, Deduplicator, ExecutionMode};
+use curation::{DedupConfig, DedupOutcome, DedupSpillConfig, Deduplicator, ExecutionMode};
 use freeset::config::{ExperimentScale, FreeSetConfig};
 use freeset::corpus::ScrapedCorpus;
 
-/// The batch size the streamed variant pushes — roughly one repository's
+/// The batch size the streamed variants push — roughly one repository's
 /// worth of files at the bench scales.
 const STREAM_BATCH: usize = 32;
+
+/// The spill policy the bounded-residency variant demonstrates: a quarter of
+/// the shards resident at any time.
+const SPILL_SHARDS: usize = 16;
+const SPILL_BUDGET: usize = 4;
 
 fn corpus_texts(scale: &ExperimentScale) -> Vec<String> {
     let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(scale));
     scraped.files.into_iter().map(|f| f.content).collect()
+}
+
+fn spill_config() -> DedupSpillConfig {
+    DedupSpillConfig {
+        shards: SPILL_SHARDS,
+        resident_shards: SPILL_BUDGET,
+        spill_dir: None,
+    }
+}
+
+fn stream_all(
+    mut stream: curation::StreamingDeduplicator,
+    texts: &[String],
+) -> (DedupOutcome, curation::StreamingDedupStats) {
+    let mut merged = DedupOutcome::default();
+    for chunk in texts.chunks(STREAM_BATCH) {
+        let outcome = stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
+        merged.kept.extend(outcome.kept);
+        merged.removed.extend(outcome.removed);
+    }
+    (merged, stream.stats())
 }
 
 fn bench_modes(c: &mut Criterion, label: &str, texts: &[String]) {
@@ -44,55 +75,88 @@ fn bench_modes(c: &mut Criterion, label: &str, texts: &[String]) {
     });
     group.bench_function("streamed_batches", |b| {
         b.iter(|| {
-            let mut stream = dedup.streaming();
-            let mut kept = 0usize;
-            for chunk in texts.chunks(STREAM_BATCH) {
-                kept += stream
-                    .push_texts_with_mode(black_box(chunk), ExecutionMode::Parallel)
-                    .kept
-                    .len();
-            }
-            black_box(kept)
+            let (outcome, _) = stream_all(dedup.streaming(), black_box(texts));
+            black_box(outcome.kept.len())
+        })
+    });
+    group.bench_function("streamed_spill_budgeted", |b| {
+        b.iter(|| {
+            let (outcome, _) = stream_all(
+                dedup.streaming_with_spill(&spill_config()),
+                black_box(texts),
+            );
+            black_box(outcome.kept.len())
+        })
+    });
+    // The full signature path, for the exact-hash fast-path headroom.
+    let no_exact = Deduplicator::new(DedupConfig {
+        exact_prededup: false,
+        ..Default::default()
+    });
+    group.bench_function("streamed_no_exact_prededup", |b| {
+        b.iter(|| {
+            let (outcome, _) = stream_all(no_exact.streaming(), black_box(texts));
+            black_box(outcome.kept.len())
         })
     });
     group.finish();
 }
 
 /// Regenerates the residency/equivalence artefact at one scale and emits the
-/// trajectory metrics.
+/// trajectory metrics. Asserts the bounded-memory contract on every run:
+/// spill-budgeted output byte-identical to the unbounded engine, peak
+/// resident shards inside the budget.
 fn report_scale(label: &str, texts: &[String]) {
     let dedup = Deduplicator::new(DedupConfig::default());
     let one_shot = dedup.dedup_texts_with_mode(texts, ExecutionMode::Parallel);
-    let mut stream = dedup.streaming();
-    let mut streamed_kept = 0usize;
-    let mut streamed_removed = 0usize;
-    for chunk in texts.chunks(STREAM_BATCH) {
-        let outcome = stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
-        streamed_kept += outcome.kept.len();
-        streamed_removed += outcome.removed.len();
-    }
-    assert_eq!(streamed_kept, one_shot.kept.len());
-    assert_eq!(streamed_removed, one_shot.removed.len());
+    let (streamed, stats) = stream_all(dedup.streaming(), texts);
+    assert_eq!(streamed, one_shot, "streamed dedup diverged from one-shot");
 
-    let stats = stream.stats();
-    // What a corpus-buffering implementation would have had to hold: every
-    // pushed document's shingles at once (the old finish()-time dedup).
-    let corpus_hashes = stats.pushed_hashes;
+    // The bounded-residency run: identical output, capped peak residency.
+    let (spilled, spill_stats) = stream_all(dedup.streaming_with_spill(&spill_config()), texts);
+    assert_eq!(spilled, one_shot, "spill-budgeted dedup diverged");
+    assert!(
+        spill_stats.peak_resident_shards <= SPILL_BUDGET,
+        "peak resident shards {} exceeded the budget {SPILL_BUDGET}",
+        spill_stats.peak_resident_shards
+    );
+    assert!(
+        spill_stats.peak_resident_kept_hashes < spill_stats.kept_hashes,
+        "kept-hash residency was never bounded"
+    );
+
+    // What the engine would have built without the exact-hash fast path.
+    let no_exact = Deduplicator::new(DedupConfig {
+        exact_prededup: false,
+        ..Default::default()
+    });
+    let (full, full_stats) = stream_all(no_exact.streaming(), texts);
+    assert_eq!(
+        full, one_shot,
+        "disabling exact pre-dedup changed the outcome"
+    );
+
+    let exact_hit_rate = stats.exact_hits as f64 / stats.pushed.max(1) as f64;
     print_artifact(
         &format!("Streaming dedup at scale `{label}`"),
         &format!(
             "{} files pushed in batches of {STREAM_BATCH}: {} kept, {} removed ({:.1}% removal) — identical to one-shot\n\
-             kept-set residency: {} hashes across {} kept docs; peak batch working set {} hashes\n\
-             corpus-buffering equivalent would hold {} hashes ({:.1}x the streamed peak)",
+             exact-hash pre-dedup: {} of {} pushes short-circuited ({:.1}%); signature work {} hashes vs {} without the fast path\n\
+             kept state: {} hashes across {} kept docs; spill budget {SPILL_BUDGET}/{SPILL_SHARDS} shards caps peak residency at {} hashes ({} spills, {} reloads), byte-identical output",
             stats.pushed,
-            streamed_kept,
-            streamed_removed,
-            100.0 * streamed_removed as f64 / stats.pushed.max(1) as f64,
+            streamed.kept.len(),
+            streamed.removed.len(),
+            100.0 * streamed.removed.len() as f64 / stats.pushed.max(1) as f64,
+            stats.exact_hits,
+            stats.pushed,
+            100.0 * exact_hit_rate,
+            stats.pushed_hashes,
+            full_stats.pushed_hashes,
             stats.kept_hashes,
             stats.kept_docs,
-            stats.peak_batch_hashes,
-            corpus_hashes,
-            corpus_hashes as f64 / (stats.kept_hashes + stats.peak_batch_hashes).max(1) as f64,
+            spill_stats.peak_resident_kept_hashes,
+            spill_stats.shard_spills,
+            spill_stats.shard_reloads,
         ),
     );
     print_metric(
@@ -126,24 +190,74 @@ fn report_scale(label: &str, texts: &[String]) {
     print_metric(
         "bench_dedup",
         label,
-        "corpus_hashes_one_shot",
-        corpus_hashes as f64,
+        "exact_hit_rate",
+        exact_hit_rate,
+        "fraction",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "signature_hashes_built",
+        stats.pushed_hashes as f64,
         "hashes",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "signature_hashes_without_exact",
+        full_stats.pushed_hashes as f64,
+        "hashes",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "peak_resident_shards",
+        spill_stats.peak_resident_shards as f64,
+        "shards",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "peak_resident_hashes",
+        spill_stats.peak_resident_kept_hashes as f64,
+        "hashes",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "shard_spills",
+        spill_stats.shard_spills as f64,
+        "events",
+    );
+    print_metric(
+        "bench_dedup",
+        label,
+        "shard_reloads",
+        spill_stats.shard_reloads as f64,
+        "events",
     );
 }
 
 fn main() {
     // One scrape per scale, shared by the artefact report and the timing
     // loops.
-    let scales = [
-        ("tiny", timing_scale()),
-        ("small", ExperimentScale::small()),
-    ];
+    let scales: Vec<(&str, ExperimentScale)> = if fast_mode() {
+        vec![("tiny", timing_scale())]
+    } else {
+        vec![
+            ("tiny", timing_scale()),
+            ("small", ExperimentScale::small()),
+        ]
+    };
     let mut criterion = Criterion::default().configure_from_args();
     for (label, scale) in &scales {
         let texts = corpus_texts(scale);
         report_scale(label, &texts);
-        bench_modes(&mut criterion, label, &texts);
+        if !fast_mode() {
+            bench_modes(&mut criterion, label, &texts);
+        }
     }
-    criterion.final_summary();
+    if !fast_mode() {
+        criterion.final_summary();
+    }
 }

@@ -24,6 +24,17 @@ pub fn timing_scale() -> ExperimentScale {
     ExperimentScale::tiny()
 }
 
+/// Whether the harness runs in fast (smoke) mode: regenerate artefacts and
+/// `FFH-METRIC` lines at the tiny scale only and skip the Criterion timing
+/// loops. CI sets `FFH_BENCH_FAST=1` to check the metric contract on every
+/// push without paying for timings that would be noise on shared runners.
+pub fn fast_mode() -> bool {
+    matches!(
+        std::env::var("FFH_BENCH_FAST").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
 /// Prints a regenerated artefact with a banner, so `cargo bench` output
 /// doubles as the experiment log.
 pub fn print_artifact(title: &str, body: &str) {

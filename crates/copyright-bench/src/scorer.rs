@@ -10,7 +10,9 @@ use crate::reference::CopyrightedReference;
 /// similarity over code-token term vectors (the paper's §III-A metric).
 ///
 /// Reference vectors are precomputed once so that scoring a completion is a
-/// single pass over the reference set.
+/// single pass over the reference set, and the tokenizer is built once and
+/// stored — scoring thousands of completions is the benchmark's hot loop,
+/// and it must not reconstruct per-call state.
 ///
 /// # Example
 ///
@@ -27,6 +29,7 @@ use crate::reference::CopyrightedReference;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimilarityScorer {
+    tokenizer: CodeTokenizer,
     reference_vectors: Vec<TermVector>,
 }
 
@@ -39,7 +42,10 @@ impl SimilarityScorer {
             .iter()
             .map(|f| TermVector::from_text(&tokenizer, &f.code))
             .collect();
-        Self { reference_vectors }
+        Self {
+            tokenizer,
+            reference_vectors,
+        }
     }
 
     /// Number of reference files the scorer compares against.
@@ -49,8 +55,7 @@ impl SimilarityScorer {
 
     /// Cosine similarity of `completion` against one reference file.
     pub fn similarity_to(&self, completion: &str, reference_index: usize) -> f64 {
-        let tokenizer = CodeTokenizer::default();
-        let v = TermVector::from_text(&tokenizer, &strip_comments(completion));
+        let v = TermVector::from_text(&self.tokenizer, &strip_comments(completion));
         self.reference_vectors
             .get(reference_index)
             .map(|r| cosine_similarity_vectors(&v, r))
@@ -60,8 +65,7 @@ impl SimilarityScorer {
     /// The maximum cosine similarity of `completion` over the whole reference
     /// set, with the index of the best-matching file.
     pub fn max_similarity(&self, completion: &str) -> (f64, Option<usize>) {
-        let tokenizer = CodeTokenizer::default();
-        let v = TermVector::from_text(&tokenizer, &strip_comments(completion));
+        let v = TermVector::from_text(&self.tokenizer, &strip_comments(completion));
         let mut best = (0.0, None);
         for (i, r) in self.reference_vectors.iter().enumerate() {
             let score = cosine_similarity_vectors(&v, r);
@@ -119,6 +123,24 @@ mod tests {
         let scorer = SimilarityScorer::new(&reference());
         assert_eq!(scorer.similarity_to("module m; endmodule", 99), 0.0);
         assert!(scorer.similarity_to("module m; endmodule", 0) < 0.5);
+    }
+
+    #[test]
+    fn scoring_is_stateless_across_repeated_calls() {
+        // Regression: the scorer used to rebuild its tokenizer on every
+        // call; now it stores one. Repeated scoring must stay bit-identical
+        // (the stored tokenizer accumulates no state).
+        let r = reference();
+        let scorer = SimilarityScorer::new(&r);
+        let completion = &r.files()[0].code;
+        let first = scorer.max_similarity(completion);
+        for _ in 0..5 {
+            assert_eq!(scorer.max_similarity(completion), first);
+            assert_eq!(
+                scorer.similarity_to(completion, 0),
+                scorer.similarity_to(completion, 0)
+            );
+        }
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub mod syntax_filter;
 
 pub use copyright::{CopyrightDetector, CopyrightFinding};
 pub use dedup::{
-    DedupConfig, DedupOutcome, Deduplicator, StreamingDedupStats, StreamingDeduplicator,
+    DedupConfig, DedupOutcome, DedupSpillConfig, Deduplicator, StreamingDedupStats,
+    StreamingDeduplicator,
 };
 pub use funnel::{FunnelStats, StageCount};
 pub use intake::CurationSession;

@@ -13,7 +13,7 @@ use gh_sim::ExtractedFile;
 use serde::{Deserialize, Serialize};
 
 use crate::copyright::CopyrightDetector;
-use crate::dedup::DedupConfig;
+use crate::dedup::{DedupConfig, DedupSpillConfig};
 use crate::funnel::FunnelStats;
 use crate::intake::CurationSession;
 use crate::license_filter::LicenseFilter;
@@ -50,6 +50,10 @@ pub struct CurationConfig {
     pub max_file_chars: Option<usize>,
     /// De-duplication parameters.
     pub dedup: DedupConfig,
+    /// Optional spill-to-disk policy bounding the de-duplicator's resident
+    /// kept state (`None` keeps everything in memory; the outcome is
+    /// byte-identical either way).
+    pub dedup_spill: Option<DedupSpillConfig>,
     /// Dataset structure produced by the policy.
     pub structure: DatasetStructure,
     /// Whether the policy augments the corpus with synthetic/LLM-generated
@@ -69,6 +73,7 @@ impl CurationConfig {
             check_syntax: true,
             max_file_chars: None,
             dedup: DedupConfig::default(),
+            dedup_spill: None,
             structure: DatasetStructure::ContinualPretraining,
             augmented: false,
         }
@@ -84,6 +89,7 @@ impl CurationConfig {
             check_syntax: false,
             max_file_chars: None,
             dedup: DedupConfig::default(),
+            dedup_spill: None,
             structure: DatasetStructure::ContinualPretraining,
             augmented: false,
         }
@@ -275,7 +281,10 @@ impl CurationPipeline {
             stages.push(Box::new(LengthCapStage::new(cap)));
         }
         if self.config.deduplicate {
-            stages.push(Box::new(DedupStage::new(self.config.dedup)));
+            stages.push(Box::new(DedupStage::with_spill(
+                self.config.dedup,
+                self.config.dedup_spill.clone(),
+            )));
         }
         if self.config.check_syntax {
             stages.push(Box::new(SyntaxStage::new()));

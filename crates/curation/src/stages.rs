@@ -7,7 +7,7 @@
 //! interface with provenance-tagged rejections.
 
 use crate::copyright::CopyrightDetector;
-use crate::dedup::{DedupConfig, Deduplicator, StreamingDeduplicator};
+use crate::dedup::{DedupConfig, DedupSpillConfig, Deduplicator, StreamingDeduplicator};
 use crate::license_filter::LicenseFilter;
 use crate::stage::{
     stage_names, CurationStage, FileBatch, RejectReason, StageOutcome, StageStream, StageStreaming,
@@ -98,19 +98,39 @@ impl CurationStage for LengthCapStage {
 #[derive(Debug, Clone)]
 pub struct DedupStage {
     dedup: Deduplicator,
+    spill: Option<DedupSpillConfig>,
 }
 
 impl DedupStage {
-    /// Stage with the given de-duplication parameters.
+    /// Stage with the given de-duplication parameters, fully resident.
     pub fn new(config: DedupConfig) -> Self {
+        Self::with_spill(config, None)
+    }
+
+    /// Stage whose kept state spills to disk under the given policy (the
+    /// outcome is byte-identical to the resident stage for any policy).
+    pub fn with_spill(config: DedupConfig, spill: Option<DedupSpillConfig>) -> Self {
         Self {
             dedup: Deduplicator::new(config),
+            spill,
         }
     }
 
     /// The wrapped de-duplicator.
     pub fn deduplicator(&self) -> &Deduplicator {
         &self.dedup
+    }
+
+    /// The spill policy, if one is configured.
+    pub fn spill_config(&self) -> Option<&DedupSpillConfig> {
+        self.spill.as_ref()
+    }
+
+    fn open_engine(&self) -> StreamingDeduplicator {
+        match &self.spill {
+            None => self.dedup.streaming(),
+            Some(policy) => self.dedup.streaming_with_spill(policy),
+        }
     }
 }
 
@@ -120,11 +140,11 @@ impl CurationStage for DedupStage {
     }
 
     fn apply(&self, batch: FileBatch) -> StageOutcome {
-        DedupStream::new(self.dedup.streaming()).push(batch)
+        DedupStream::new(self.open_engine()).push(batch)
     }
 
     fn open_stream(&self) -> StageStreaming {
-        StageStreaming::Stateful(Box::new(DedupStream::new(self.dedup.streaming())))
+        StageStreaming::Stateful(Box::new(DedupStream::new(self.open_engine())))
     }
 }
 

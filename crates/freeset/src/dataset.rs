@@ -277,6 +277,24 @@ mod tests {
     }
 
     #[test]
+    fn spill_bounded_build_matches_the_resident_build() {
+        // The full plumbing: FreeSetConfig → CurationConfig.dedup_spill →
+        // DedupStage → StreamingDeduplicator. Bounding residency to 2 of 8
+        // shards must not change a single byte of the built dataset.
+        let scale = ExperimentScale::tiny();
+        let reference = build_freeset(&FreeSetConfig::at_scale(&scale));
+        let spilled = build_freeset(&FreeSetConfig::at_scale(&scale).with_dedup_spill(
+            curation::DedupSpillConfig {
+                shards: 8,
+                resident_shards: 2,
+                spill_dir: None,
+            },
+        ));
+        assert_eq!(spilled.scraped.files, reference.scraped.files);
+        assert_eq!(spilled.dataset, reference.dataset);
+    }
+
+    #[test]
     fn streaming_build_is_deterministic_across_seeds_and_runs() {
         let config = FreeSetConfig::at_scale(&ExperimentScale::tiny());
         let a = scrape_and_curate(&config, &FetchConfig::with_workers(3).with_seed(1));

@@ -65,6 +65,7 @@ impl ZooEntry {
                     check_syntax: false,
                     max_file_chars: None,
                     dedup: Default::default(),
+                    dedup_spill: None,
                     structure: DatasetStructure::ContinualPretraining,
                     augmented: false,
                 },
@@ -88,6 +89,7 @@ impl ZooEntry {
                     check_syntax: true,
                     max_file_chars: None,
                     dedup: Default::default(),
+                    dedup_spill: None,
                     structure: DatasetStructure::InstructionTuning,
                     augmented: true,
                 },
@@ -111,6 +113,7 @@ impl ZooEntry {
                     check_syntax: true,
                     max_file_chars: Some(2096),
                     dedup: Default::default(),
+                    dedup_spill: None,
                     structure: DatasetStructure::InstructionTuning,
                     augmented: true,
                 },
@@ -134,6 +137,7 @@ impl ZooEntry {
                     check_syntax: true,
                     max_file_chars: None,
                     dedup: Default::default(),
+                    dedup_spill: None,
                     structure: DatasetStructure::InstructionTuning,
                     augmented: true,
                 },
@@ -157,6 +161,7 @@ impl ZooEntry {
                     check_syntax: true,
                     max_file_chars: None,
                     dedup: Default::default(),
+                    dedup_spill: None,
                     structure: DatasetStructure::InstructionTuning,
                     augmented: true,
                 },

@@ -175,7 +175,7 @@ impl LanguageModel for AdaptedModel {
         let base = self.base.counts().score(context, token);
         let adapted = self.adapter.score(context, token);
         ((1.0 - self.weight) * base + self.weight * adapted)
-            .max(1e-10)
+            .max(crate::ngram::UNSEEN_SCORE_FLOOR)
             .ln()
     }
 }

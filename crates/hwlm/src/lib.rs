@@ -52,7 +52,7 @@ pub mod tokenizer;
 
 pub use adapter::{AdaptedModel, ContinualPretrainConfig};
 pub use model::{Distribution, LanguageModel, TrainConfig};
-pub use ngram::{NgramCounts, NgramModel};
+pub use ngram::{NgramCounts, NgramModel, UNSEEN_SCORE_FLOOR};
 pub use perplexity::perplexity;
 pub use quant::QuantizedModel;
 pub use sampler::SamplerConfig;

@@ -152,11 +152,12 @@ pub trait LanguageModel {
         "model"
     }
 
-    /// Log-probability (natural log) of `token` following `context`, with a
-    /// small floor so unseen events stay finite.
+    /// Log-probability (natural log) of `token` following `context`, clamped
+    /// to [`crate::UNSEEN_SCORE_FLOOR`] so unseen events stay finite and
+    /// score identically across every scoring path.
     fn log_prob(&self, context: &[TokenId], token: TokenId) -> f64 {
         let p = self.distribution(context).probability(token);
-        p.max(1e-10).ln()
+        p.max(crate::ngram::UNSEEN_SCORE_FLOOR).ln()
     }
 
     /// Generates up to `max_new_tokens` token ids continuing `prompt`.

@@ -7,6 +7,16 @@ use serde::{Deserialize, Serialize};
 use crate::model::{Distribution, LanguageModel, TrainConfig};
 use crate::tokenizer::{HdlTokenizer, TokenId};
 
+/// Probability floor for events no backoff level has observed.
+///
+/// One constant shared by every scoring path — [`NgramCounts::score`]
+/// bottoms out at this value and [`NgramModel::log_prob`] clamps to it
+/// before taking the log, so an unseen token contributes exactly
+/// `UNSEEN_SCORE_FLOOR.ln()` nats wherever it is scored. (The two paths
+/// used to clamp at different floors, 1e-9 vs 1e-10, which made perplexity
+/// and per-token scores disagree on unseen events.)
+pub const UNSEEN_SCORE_FLOOR: f64 = 1e-9;
+
 /// Counts for one observed context.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 struct ContextEntry {
@@ -125,7 +135,7 @@ impl NgramCounts {
             }
             discount *= self.backoff;
         }
-        1e-9
+        UNSEEN_SCORE_FLOOR
     }
 }
 
@@ -209,7 +219,10 @@ impl LanguageModel for NgramModel {
     }
 
     fn log_prob(&self, context: &[TokenId], token: TokenId) -> f64 {
-        self.counts.score(context, token).max(1e-10).ln()
+        self.counts
+            .score(context, token)
+            .max(UNSEEN_SCORE_FLOOR)
+            .ln()
     }
 }
 
@@ -315,6 +328,29 @@ mod tests {
         let seen = ids[3];
         let unseen = model.tokenizer().vocab().id("xor2");
         assert!(model.log_prob(context, seen) > model.log_prob(context, unseen));
+    }
+
+    #[test]
+    fn unseen_tokens_score_consistently_between_score_and_log_prob() {
+        // Regression: `NgramCounts::score` used to floor at 1e-9 while
+        // `NgramModel::log_prob` clamped at 1e-10, so the two paths
+        // disagreed about how improbable an unseen token is.
+        let model = NgramModel::train(&corpus(), &TrainConfig::default());
+        let ids = model.tokenizer().encode("assign y = a & b ;");
+        let context = &ids[..3];
+        // A token id far outside anything the vocabulary assigned.
+        let unseen: TokenId = 1_000_003;
+        let score = model.counts().score(context, unseen);
+        assert_eq!(score, UNSEEN_SCORE_FLOOR);
+        assert_eq!(model.log_prob(context, unseen), score.ln());
+        assert_eq!(model.log_prob(context, unseen), UNSEEN_SCORE_FLOOR.ln());
+        // Seen continuations are unaffected by the floor.
+        let seen = ids[3];
+        assert!(model.log_prob(context, seen) > UNSEEN_SCORE_FLOOR.ln());
+        assert!(
+            (model.log_prob(context, seen) - model.counts().score(context, seen).ln()).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -45,6 +45,16 @@ impl CandidateScratch {
     }
 
     /// Resets the buffer for a new query.
+    ///
+    /// Public so that external band-at-a-time query drivers (the spill-aware
+    /// de-duplicator walks bands one shard at a time, making shards resident
+    /// as it goes) can bracket a sequence of
+    /// [`crate::ShardedLshIndex::collect_band`] calls: `begin`, collect every
+    /// band, then [`Self::finish`].
+    pub fn begin(&mut self) {
+        self.out.clear();
+    }
+
     pub(crate) fn clear(&mut self) {
         self.out.clear();
     }
@@ -54,8 +64,10 @@ impl CandidateScratch {
         self.out.extend_from_slice(ids);
     }
 
-    /// Sorts and de-duplicates the collected ids.
-    pub(crate) fn finish(&mut self) {
+    /// Sorts and de-duplicates the collected ids, ending a query started with
+    /// [`Self::begin`]. Internal retrieval calls this automatically; it is
+    /// public for external band-at-a-time drivers.
+    pub fn finish(&mut self) {
         self.out.sort_unstable();
         self.out.dedup();
     }

@@ -7,17 +7,34 @@
 //! in exactly one shard, so no cross-shard reconciliation is ever needed and
 //! the candidate set for any query is byte-identical to the unsharded
 //! index's, whatever the shard count. Shards are the unit a bounded-memory
-//! engine can account, compact or (future work) spill to disk independently.
+//! engine accounts, compacts or spills to disk independently.
 //!
-//! The index also exposes the incremental [`ShardedLshIndex::insert_or_match`]
+//! The index exposes the incremental [`ShardedLshIndex::insert_or_match`]
 //! primitive the streaming de-duplicator is built on: verify a query against
 //! the colliding documents in ascending-id order and either report the first
 //! confirmed match or insert the query as a newly kept document.
+//!
+//! # Spill mechanics
+//!
+//! Each shard can be detached into a deterministic byte serialization
+//! ([`ShardedLshIndex::evict_shard`]) and re-attached later
+//! ([`ShardedLshIndex::restore_shard`]); a non-resident shard occupies no
+//! memory beyond its `Option` slot. The index itself enforces no residency
+//! policy — that belongs to the engine driving it (see
+//! `curation::StreamingDeduplicator`), which walks queries and insertions
+//! *band by band* with [`ShardedLshIndex::shard_for_band`],
+//! [`ShardedLshIndex::collect_band`] and [`ShardedLshIndex::insert_band`],
+//! making each band's shard resident just before touching it, so at most
+//! one shard needs to be loaded at a time and a resident-shard budget of 1
+//! is already sufficient for byte-identical operation.
 
 use std::collections::HashMap;
 
 use crate::lsh::{CandidateScratch, LshIndex, LshParams};
 use crate::minhash::Signature;
+
+/// One shard's bucket map: inserted ids keyed by `(band, band key)`.
+type ShardBuckets = HashMap<(u32, u64), Vec<u64>>;
 
 /// Default shard count: enough shards that per-shard residency is a useful
 /// accounting unit at realistic corpus sizes, few enough that empty-shard
@@ -28,7 +45,7 @@ pub const DEFAULT_LSH_SHARDS: usize = 16;
 ///
 /// Functionally equivalent to [`LshIndex`] — same banding, same bucket keys,
 /// identical candidate sets — but the bucket space is split into independent
-/// shards so memory can be tracked (and eventually spilled) per shard.
+/// shards so memory can be tracked and spilled per shard.
 ///
 /// # Example
 ///
@@ -49,8 +66,13 @@ pub struct ShardedLshIndex {
     params: LshParams,
     /// One bucket map per shard, keyed by `(band, band key)`. Keying by the
     /// pair (rather than the salted key alone) keeps the semantics exactly
-    /// those of the unsharded index's per-band maps.
-    shards: Vec<HashMap<(u32, u64), Vec<u64>>>,
+    /// those of the unsharded index's per-band maps. `None` marks a shard
+    /// that has been evicted ([`Self::evict_shard`]) and whose bytes the
+    /// caller is holding (typically on disk).
+    shards: Vec<Option<ShardBuckets>>,
+    /// Occupied-bucket count per shard, maintained across evictions so the
+    /// residency profile stays reportable while a shard is cold.
+    bucket_counts: Vec<usize>,
     len: usize,
 }
 
@@ -62,6 +84,30 @@ pub enum InsertOrMatch {
     /// A previously inserted document matched: `(id, similarity)` of the
     /// first (lowest-id) confirmed match. The query was *not* inserted.
     Matched(u64, f64),
+}
+
+/// Appends one little-endian `u64` to a byte stream — the framing primitive
+/// the shard serializer is built on, public so spill engines embedding
+/// shard streams in their own files use the same framing.
+pub fn write_u64_le(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Reads one little-endian `u64` at `*offset`, advancing it — the inverse
+/// of [`write_u64_le`].
+///
+/// # Panics
+///
+/// Panics if fewer than 8 bytes remain.
+pub fn read_u64_le(bytes: &[u8], offset: &mut usize) -> u64 {
+    let end = *offset + 8;
+    let value = u64::from_le_bytes(
+        bytes[*offset..end]
+            .try_into()
+            .expect("shard byte stream truncated"),
+    );
+    *offset = end;
+    value
 }
 
 impl ShardedLshIndex {
@@ -79,7 +125,8 @@ impl ShardedLshIndex {
         assert!(shard_count > 0, "shard count must be positive");
         Self {
             params,
-            shards: vec![HashMap::new(); shard_count],
+            shards: vec![Some(HashMap::new()); shard_count],
+            bucket_counts: vec![0; shard_count],
             len: 0,
         }
     }
@@ -105,9 +152,25 @@ impl ShardedLshIndex {
     }
 
     /// Number of occupied buckets in each shard — the residency profile a
-    /// bounded-memory engine accounts against.
+    /// bounded-memory engine accounts against. Maintained across evictions:
+    /// a spilled shard still reports the bucket count it will have once
+    /// restored.
     pub fn shard_bucket_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(HashMap::len).collect()
+        self.bucket_counts.clone()
+    }
+
+    /// Whether `shard` currently holds its bucket map in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_is_resident(&self, shard: usize) -> bool {
+        self.shards[shard].is_some()
+    }
+
+    /// Number of shards currently resident in memory.
+    pub fn resident_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_some()).count()
     }
 
     /// Deterministic shard routing: Fibonacci-hash the (already salted) band
@@ -126,21 +189,143 @@ impl ShardedLshIndex {
         );
     }
 
+    fn check_band(&self, band: usize) {
+        assert!(
+            band < self.params.bands,
+            "band {band} out of range for {} bands",
+            self.params.bands
+        );
+    }
+
+    fn resident(&self, shard: usize) -> &ShardBuckets {
+        self.shards[shard]
+            .as_ref()
+            .unwrap_or_else(|| panic!("shard {shard} is spilled; restore it before accessing"))
+    }
+
+    /// The shard holding `signature`'s bucket for `band` — where a
+    /// band-at-a-time driver must ensure residency before calling
+    /// [`Self::collect_band`] or [`Self::insert_band`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is too short or `band` is out of range.
+    pub fn shard_for_band(&self, signature: &Signature, band: usize) -> usize {
+        self.check_signature(signature);
+        self.check_band(band);
+        self.shard_of(LshIndex::band_key(
+            signature,
+            band,
+            self.params.rows_per_band,
+        ))
+    }
+
+    /// Serializes `shard`'s bucket map into a deterministic byte stream
+    /// (entries ascending by `(band, key)`) and drops it from memory. The
+    /// caller owns the bytes — typically writing them to disk — and brings
+    /// the shard back with [`Self::restore_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is already spilled or out of range.
+    pub fn evict_shard(&mut self, shard: usize) -> Vec<u8> {
+        let map = self.shards[shard]
+            .take()
+            .unwrap_or_else(|| panic!("shard {shard} is already spilled"));
+        let mut entries: Vec<((u32, u64), Vec<u64>)> = map.into_iter().collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let mut out = Vec::new();
+        write_u64_le(&mut out, entries.len() as u64);
+        for ((band, key), ids) in &entries {
+            write_u64_le(&mut out, u64::from(*band));
+            write_u64_le(&mut out, *key);
+            write_u64_le(&mut out, ids.len() as u64);
+            for id in ids {
+                write_u64_le(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Re-attaches a shard from bytes produced by [`Self::evict_shard`].
+    /// Restoring then querying is byte-identical to never having evicted:
+    /// bucket contents, id order within each bucket, and therefore candidate
+    /// sets are all preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is still resident, out of range, or the bytes are
+    /// malformed.
+    pub fn restore_shard(&mut self, shard: usize, bytes: &[u8]) {
+        assert!(
+            self.shards[shard].is_none(),
+            "shard {shard} is already resident"
+        );
+        let mut offset = 0usize;
+        let entry_count = read_u64_le(bytes, &mut offset) as usize;
+        let mut map = HashMap::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let band = read_u64_le(bytes, &mut offset) as u32;
+            let key = read_u64_le(bytes, &mut offset);
+            let id_count = read_u64_le(bytes, &mut offset) as usize;
+            let mut ids = Vec::with_capacity(id_count);
+            for _ in 0..id_count {
+                ids.push(read_u64_le(bytes, &mut offset));
+            }
+            map.insert((band, key), ids);
+        }
+        assert_eq!(offset, bytes.len(), "trailing bytes after shard stream");
+        assert_eq!(
+            map.len(),
+            self.bucket_counts[shard],
+            "restored shard {shard} bucket count diverged from the accounting"
+        );
+        self.shards[shard] = Some(map);
+    }
+
     /// Inserts a document id with its signature.
     ///
     /// # Panics
     ///
-    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    /// Panics if the signature is shorter than `bands * rows_per_band` or a
+    /// touched shard is spilled.
     pub fn insert(&mut self, id: u64, signature: &Signature) {
         self.check_signature(signature);
         for band in 0..self.params.bands {
-            let key = LshIndex::band_key(signature, band, self.params.rows_per_band);
-            let shard = self.shard_of(key);
-            self.shards[shard]
-                .entry((band as u32, key))
-                .or_default()
-                .push(id);
+            self.insert_band(id, signature, band);
         }
+        self.commit_insert();
+    }
+
+    /// Inserts `id` into the bucket of one band only — the spill-aware
+    /// driver's primitive: make the band's shard resident, insert, move on.
+    /// After inserting into *every* band, call [`Self::commit_insert`] to
+    /// count the document. `insert` is exactly that loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is too short, `band` is out of range, or the
+    /// band's shard is spilled.
+    pub fn insert_band(&mut self, id: u64, signature: &Signature, band: usize) {
+        self.check_signature(signature);
+        self.check_band(band);
+        let key = LshIndex::band_key(signature, band, self.params.rows_per_band);
+        let shard = self.shard_of(key);
+        let bucket = self.shards[shard]
+            .as_mut()
+            .unwrap_or_else(|| panic!("shard {shard} is spilled; restore it before accessing"))
+            .entry((band as u32, key))
+            .or_default();
+        let new_bucket = bucket.is_empty();
+        bucket.push(id);
+        if new_bucket {
+            self.bucket_counts[shard] += 1;
+        }
+    }
+
+    /// Counts one document as inserted, after its id has been pushed into
+    /// every band with [`Self::insert_band`].
+    pub fn commit_insert(&mut self) {
         self.len += 1;
     }
 
@@ -150,7 +335,8 @@ impl ShardedLshIndex {
     ///
     /// # Panics
     ///
-    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    /// Panics if the signature is shorter than `bands * rows_per_band` or a
+    /// touched shard is spilled.
     pub fn candidates(&self, signature: &Signature) -> Vec<u64> {
         let mut scratch = CandidateScratch::new();
         self.candidates_into(signature, &mut scratch);
@@ -162,18 +348,35 @@ impl ShardedLshIndex {
     ///
     /// # Panics
     ///
-    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    /// Panics if the signature is shorter than `bands * rows_per_band` or a
+    /// touched shard is spilled.
     pub fn candidates_into(&self, signature: &Signature, scratch: &mut CandidateScratch) {
         self.check_signature(signature);
         scratch.clear();
         for band in 0..self.params.bands {
-            let key = LshIndex::band_key(signature, band, self.params.rows_per_band);
-            let shard = self.shard_of(key);
-            if let Some(ids) = self.shards[shard].get(&(band as u32, key)) {
-                scratch.extend(ids);
-            }
+            self.collect_band(signature, band, scratch);
         }
         scratch.finish();
+    }
+
+    /// Appends the colliding ids of one band into `scratch` (no clear, no
+    /// sort) — the spill-aware driver's retrieval primitive. Bracket a full
+    /// query with [`CandidateScratch::begin`] and [`CandidateScratch::finish`]
+    /// around one call per band; the result is byte-identical to
+    /// [`Self::candidates_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is too short, `band` is out of range, or the
+    /// band's shard is spilled.
+    pub fn collect_band(&self, signature: &Signature, band: usize, scratch: &mut CandidateScratch) {
+        self.check_signature(signature);
+        self.check_band(band);
+        let key = LshIndex::band_key(signature, band, self.params.rows_per_band);
+        let shard = self.shard_of(key);
+        if let Some(ids) = self.resident(shard).get(&(band as u32, key)) {
+            scratch.extend(ids);
+        }
     }
 
     /// The incremental de-duplication primitive: retrieves the documents
@@ -183,7 +386,8 @@ impl ShardedLshIndex {
     ///
     /// # Panics
     ///
-    /// Panics if the signature is shorter than `bands * rows_per_band`.
+    /// Panics if the signature is shorter than `bands * rows_per_band` or a
+    /// touched shard is spilled.
     pub fn insert_or_match(
         &mut self,
         id: u64,
@@ -288,6 +492,91 @@ mod tests {
         let outcome = index.insert_or_match(2, &s, &mut scratch, |_| None);
         assert_eq!(outcome, InsertOrMatch::Inserted);
         assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn evict_restore_roundtrip_preserves_candidates_and_accounting() {
+        let hasher = MinHasher::new(128, 13);
+        let params = LshParams::for_threshold(128, 0.85);
+        let texts = corpus();
+        let mut reference = ShardedLshIndex::with_shards(params, 8);
+        let mut index = ShardedLshIndex::with_shards(params, 8);
+        for (i, t) in texts.iter().enumerate() {
+            reference.insert(i as u64, &sig(&hasher, t));
+            index.insert(i as u64, &sig(&hasher, t));
+        }
+        let counts_before = index.shard_bucket_counts();
+        // Evict every shard, hold the bytes, restore in a scrambled order.
+        let bytes: Vec<Vec<u8>> = (0..8).map(|s| index.evict_shard(s)).collect();
+        assert_eq!(index.resident_shard_count(), 0);
+        assert!(!index.shard_is_resident(3));
+        // Accounting survives eviction.
+        assert_eq!(index.shard_bucket_counts(), counts_before);
+        for s in [5, 0, 7, 2, 1, 6, 4, 3] {
+            index.restore_shard(s, &bytes[s]);
+        }
+        assert_eq!(index.resident_shard_count(), 8);
+        assert_eq!(index.shard_bucket_counts(), counts_before);
+        for t in &texts {
+            let signature = sig(&hasher, t);
+            assert_eq!(
+                index.candidates(&signature),
+                reference.candidates(&signature),
+                "candidates diverged after an evict/restore roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn band_at_a_time_query_and_insert_match_the_one_shot_paths() {
+        let hasher = MinHasher::new(128, 21);
+        let params = LshParams::for_threshold(128, 0.85);
+        let texts = corpus();
+        let mut reference = ShardedLshIndex::with_shards(params, 8);
+        let mut index = ShardedLshIndex::with_shards(params, 8);
+        for (i, t) in texts.iter().enumerate() {
+            let signature = sig(&hasher, t);
+            reference.insert(i as u64, &signature);
+            for band in 0..params.bands {
+                // The driver would ensure residency here, one shard at a time.
+                let shard = index.shard_for_band(&signature, band);
+                assert!(shard < index.shard_count());
+                index.insert_band(i as u64, &signature, band);
+            }
+            index.commit_insert();
+        }
+        assert_eq!(index.len(), reference.len());
+        let mut scratch = CandidateScratch::new();
+        for t in &texts {
+            let signature = sig(&hasher, t);
+            scratch.begin();
+            for band in 0..params.bands {
+                index.collect_band(&signature, band, &mut scratch);
+            }
+            scratch.finish();
+            assert_eq!(scratch.candidates(), reference.candidates(&signature));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is spilled")]
+    fn querying_a_spilled_shard_panics() {
+        let hasher = MinHasher::new(128, 9);
+        let params = LshParams::for_threshold(128, 0.85);
+        let mut index = ShardedLshIndex::with_shards(params, 1);
+        let s = sig(&hasher, "module m(input a); assign y = a; endmodule");
+        index.insert(0, &s);
+        let _ = index.evict_shard(0);
+        let _ = index.candidates(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "already spilled")]
+    fn double_eviction_panics() {
+        let params = LshParams::new(8, 16);
+        let mut index = ShardedLshIndex::with_shards(params, 2);
+        let _ = index.evict_shard(1);
+        let _ = index.evict_shard(1);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   literals and operator/punctuation tokens, which is what the cosine and
 //!   shingling machinery uses so that `a+b` and `a + b` compare equal.
 
+use serde::{Deserialize, Serialize};
+
 /// A strategy for splitting a text into comparable tokens.
 ///
 /// Implementations should be cheap to construct and stateless; they are used
@@ -70,7 +72,7 @@ impl Tokenizer for WordTokenizer {
 }
 
 /// Options controlling [`CodeTokenizer`] behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CodeTokenizerOptions {
     /// Lower-case identifiers before emitting them (defaults to `true` so
     /// that renamed-but-identical code still matches strongly).
@@ -105,7 +107,7 @@ impl Default for CodeTokenizerOptions {
 /// let spaced = tok.tokenize("assign y = a & b ;");
 /// assert_eq!(dense, spaced);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CodeTokenizer {
     options: CodeTokenizerOptions,
 }

@@ -42,7 +42,7 @@ pub mod problem;
 pub mod runner;
 pub mod suite;
 
-pub use passk::pass_at_k;
+pub use passk::{mean_pass_at_k, pass_at_k};
 pub use problem::{Problem, ProblemFamily};
 pub use runner::{EvalConfig, EvalReport, ProblemResult, Runner};
 pub use suite::ProblemSuite;

@@ -42,12 +42,28 @@ pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
 
 /// Averages pass@k over a set of problems given `(n, c)` per problem.
 ///
+/// An empty result set yields [`f64::NAN`]: there is no mean over zero
+/// problems, and silently reporting `0.0` would make an eval harness that
+/// lost its problem set indistinguishable from a model that failed every
+/// problem. NaN propagates loudly through downstream arithmetic and
+/// formatting instead of masquerading as a 0% score; callers that want a
+/// policy for the empty case must choose one explicitly.
+///
 /// # Panics
 ///
 /// Panics under the same conditions as [`pass_at_k`] for any entry.
+///
+/// # Example
+///
+/// ```
+/// use verilogeval::mean_pass_at_k;
+///
+/// assert_eq!(mean_pass_at_k(&[(10, 10), (10, 0)], 1), 0.5);
+/// assert!(mean_pass_at_k(&[], 1).is_nan());
+/// ```
 pub fn mean_pass_at_k(results: &[(usize, usize)], k: usize) -> f64 {
     if results.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     results
         .iter()
@@ -111,6 +127,16 @@ mod tests {
     fn mean_is_averaged_over_problems() {
         let results = vec![(10, 10), (10, 0)];
         assert!((mean_pass_at_k(&results, 1) - 0.5).abs() < 1e-12);
-        assert_eq!(mean_pass_at_k(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn empty_eval_set_is_nan_not_a_zero_percent_model() {
+        // Regression: an empty result set used to report 0.0, which read as
+        // "the model solved nothing" when the truth was "nothing was
+        // evaluated".
+        assert!(mean_pass_at_k(&[], 1).is_nan());
+        assert!(mean_pass_at_k(&[], 7).is_nan());
+        // One real result flips it back to a number.
+        assert_eq!(mean_pass_at_k(&[(5, 5)], 1), 1.0);
     }
 }
