@@ -120,6 +120,7 @@ fn sweep_quantization(scraped: &ScrapedCorpus) -> String {
             ks: vec![1, 5],
             temperatures: vec![0.2, 0.8],
             max_new_tokens: 200,
+            lint_gate: true,
             seed: 21,
         },
     );

@@ -1,0 +1,240 @@
+//! Benchmarks the semantic lint engine as a curation stage: throughput
+//! (files/sec, serial vs parallel), per-rule hit rates over a corpus
+//! salted with planted defects, and the reject fraction under both the
+//! FreeSet default policy (error severity only) and the strict policy
+//! (warnings too). Every run re-asserts the stage contracts: parallel
+//! output identical to serial, and every rule in the catalogue firing on
+//! its planted defect.
+//!
+//! With `FFH_BENCH_FAST=1` only the tiny-scale artefact/metric pass runs
+//! (no Criterion timing loops) — CI uses this to fail the build if any
+//! per-rule `FFH-METRIC` hit-rate line ever disappears.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bench::{fast_mode, print_artifact, print_metric, timing_scale};
+use criterion::{black_box, Criterion};
+use curation::{CurationStage, ExecutionMode, FileBatch, LintRejectPolicy, LintStage};
+use freeset::config::{ExperimentScale, FreeSetConfig};
+use freeset::corpus::ScrapedCorpus;
+use gh_sim::{DefectKind, ExtractedFile, License};
+use verilog::RuleId;
+
+/// How many copies of each planted defect the corpus is salted with —
+/// enough that every rule's hit count is visibly non-zero without the
+/// defects dominating the scraped files.
+const DEFECT_COPIES: usize = 3;
+
+/// A defect file shaped like a scraped one, so it flows through the stage
+/// exactly as corpus traffic does.
+fn defect_file(kind: DefectKind, copy: usize) -> ExtractedFile {
+    let name = format!("planted_{}_{copy}", kind.tag());
+    ExtractedFile {
+        repo_id: u64::MAX - copy as u64,
+        repo_full_name: format!("planted/{}", kind.tag()),
+        owner: "planted".into(),
+        repo_license: License::Mit,
+        created_year: 2021,
+        path: format!("{name}.v"),
+        content: kind.source(&name),
+    }
+}
+
+/// The scraped corpus at `scale`, salted with [`DEFECT_COPIES`] instances
+/// of every [`DefectKind`] so each lint rule has real traffic to hit.
+fn salted_corpus(scale: &ExperimentScale) -> Vec<ExtractedFile> {
+    let scraped = ScrapedCorpus::build(&FreeSetConfig::at_scale(scale));
+    let mut files = scraped.files;
+    for copy in 0..DEFECT_COPIES {
+        for kind in DefectKind::ALL {
+            files.push(defect_file(kind, copy));
+        }
+    }
+    files
+}
+
+fn apply(
+    stage: &LintStage,
+    files: &[ExtractedFile],
+    mode: ExecutionMode,
+) -> curation::StageOutcome {
+    stage.apply(FileBatch::new(files.to_vec(), mode))
+}
+
+/// Per-category reject tallies of one stage outcome.
+fn category_counts(outcome: &curation::StageOutcome) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for reject in &outcome.rejected {
+        if let Some(category) = &reject.category {
+            *counts.entry(category.clone()).or_insert(0usize) += 1;
+        }
+    }
+    counts
+}
+
+/// Regenerates the lint artefact at one scale and emits the metric lines.
+/// Asserts the stage contracts on every run: serial and parallel outcomes
+/// identical, every rule firing on its planted defects, strict policy
+/// rejecting at least as much as the default.
+fn report_scale(label: &str, files: &[ExtractedFile]) {
+    let strict = LintStage::new(LintRejectPolicy::strict());
+    let default = LintStage::default();
+    let total = files.len();
+
+    let serial_start = Instant::now();
+    let serial = apply(&strict, files, ExecutionMode::Serial);
+    let serial_secs = serial_start.elapsed().as_secs_f64();
+    let parallel_start = Instant::now();
+    let parallel = apply(&strict, files, ExecutionMode::Parallel);
+    let parallel_secs = parallel_start.elapsed().as_secs_f64();
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "parallel lint diverged from serial"
+    );
+
+    let hits = category_counts(&serial);
+    for rule in RuleId::ALL {
+        assert!(
+            hits.get(rule.id()).copied().unwrap_or(0) >= DEFECT_COPIES,
+            "rule {} missed its planted defects",
+            rule.id()
+        );
+    }
+
+    let default_outcome = apply(&default, files, ExecutionMode::Parallel);
+    assert!(
+        default_outcome.rejected.len() <= serial.rejected.len(),
+        "the default policy rejected more than the strict policy"
+    );
+
+    let strict_fraction = serial.rejected.len() as f64 / total.max(1) as f64;
+    let default_fraction = default_outcome.rejected.len() as f64 / total.max(1) as f64;
+    print_artifact(
+        &format!("Semantic lint at scale `{label}`"),
+        &format!(
+            "{total} files linted ({} planted defects across {} rules): strict policy rejects {} ({:.1}%), default error-only policy rejects {} ({:.1}%)\n\
+             serial pass {:.0} files/sec, parallel pass {:.0} files/sec — outcomes byte-identical\n\
+             per-rule hits: {}",
+            DEFECT_COPIES * DefectKind::ALL.len(),
+            RuleId::ALL.len(),
+            serial.rejected.len(),
+            100.0 * strict_fraction,
+            default_outcome.rejected.len(),
+            100.0 * default_fraction,
+            total as f64 / serial_secs.max(f64::EPSILON),
+            total as f64 / parallel_secs.max(f64::EPSILON),
+            hits.iter()
+                .map(|(rule, n)| format!("{rule}={n}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ),
+    );
+
+    print_metric("bench_lint", label, "files_linted", total as f64, "files");
+    print_metric(
+        "bench_lint",
+        label,
+        "serial_files_per_sec",
+        total as f64 / serial_secs.max(f64::EPSILON),
+        "files_per_sec",
+    );
+    print_metric(
+        "bench_lint",
+        label,
+        "parallel_files_per_sec",
+        total as f64 / parallel_secs.max(f64::EPSILON),
+        "files_per_sec",
+    );
+    print_metric(
+        "bench_lint",
+        label,
+        "reject_fraction_strict",
+        strict_fraction,
+        "fraction",
+    );
+    print_metric(
+        "bench_lint",
+        label,
+        "reject_fraction_default",
+        default_fraction,
+        "fraction",
+    );
+    for rule in RuleId::ALL {
+        let count = hits.get(rule.id()).copied().unwrap_or(0);
+        print_metric(
+            "bench_lint",
+            label,
+            &format!("hits_{}", rule.metric_key()),
+            count as f64,
+            "files",
+        );
+        print_metric(
+            "bench_lint",
+            label,
+            &format!("hit_rate_{}", rule.metric_key()),
+            count as f64 / total.max(1) as f64,
+            "fraction",
+        );
+    }
+}
+
+fn bench_modes(c: &mut Criterion, label: &str, files: &[ExtractedFile]) {
+    let strict = LintStage::new(LintRejectPolicy::strict());
+    let default = LintStage::default();
+    let mut group = c.benchmark_group(format!("lint_{label}"));
+    group.sample_size(10);
+    group.bench_function("strict_serial", |b| {
+        b.iter(|| {
+            black_box(
+                apply(&strict, black_box(files), ExecutionMode::Serial)
+                    .kept
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("strict_parallel", |b| {
+        b.iter(|| {
+            black_box(
+                apply(&strict, black_box(files), ExecutionMode::Parallel)
+                    .kept
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("default_parallel", |b| {
+        b.iter(|| {
+            black_box(
+                apply(&default, black_box(files), ExecutionMode::Parallel)
+                    .kept
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    // One salted scrape per scale, shared by the artefact report and the
+    // timing loops.
+    let scales: Vec<(&str, ExperimentScale)> = if fast_mode() {
+        vec![("tiny", timing_scale())]
+    } else {
+        vec![
+            ("tiny", timing_scale()),
+            ("small", ExperimentScale::small()),
+        ]
+    };
+    let mut criterion = Criterion::default().configure_from_args();
+    for (label, scale) in &scales {
+        let files = salted_corpus(scale);
+        report_scale(label, &files);
+        if !fast_mode() {
+            bench_modes(&mut criterion, label, &files);
+        }
+    }
+    if !fast_mode() {
+        criterion.final_summary();
+    }
+}

@@ -32,6 +32,7 @@ fn bench_eval(c: &mut Criterion) {
             ks: vec![1, 2],
             temperatures: vec![0.2],
             max_new_tokens: 120,
+            lint_gate: true,
             seed: 3,
         },
     );

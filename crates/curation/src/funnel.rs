@@ -25,12 +25,25 @@ pub struct StageCount {
     pub entering: usize,
     /// Files surviving the stage.
     pub surviving: usize,
+    /// Per-category removal counts, sorted by category name — e.g. the lint
+    /// stage's per-rule reject counts, keyed by kebab-case rule id. Empty
+    /// for stages that do not categorise their rejections.
+    pub categories: Vec<(String, usize)>,
 }
 
 impl StageCount {
     /// Files the stage removed.
     pub fn removed(&self) -> usize {
         self.entering.saturating_sub(self.surviving)
+    }
+
+    /// Files removed under a named category (0 when the stage recorded no
+    /// such category).
+    pub fn removed_in_category(&self, category: &str) -> usize {
+        self.categories
+            .iter()
+            .find(|(name, _)| name == category)
+            .map_or(0, |(_, count)| *count)
     }
 
     /// Fraction of the stage's input that survived (1.0 for an empty input).
@@ -78,11 +91,26 @@ impl FunnelStats {
     /// Records a stage's survivor count. The stage's input count is the
     /// previous stage's survivor count (or the initial size).
     pub fn record(&mut self, stage: &str, surviving: usize) {
+        self.record_with_categories(stage, surviving, Vec::new());
+    }
+
+    /// Records a stage's survivor count together with per-category removal
+    /// counts (see [`StageCount::categories`]). Categories are stored
+    /// sorted by name so funnels compare bytewise regardless of the order
+    /// rejections were tallied in.
+    pub fn record_with_categories(
+        &mut self,
+        stage: &str,
+        surviving: usize,
+        mut categories: Vec<(String, usize)>,
+    ) {
         let entering = self.final_count();
+        categories.sort();
         self.stages.push(StageCount {
             stage: stage.to_string(),
             entering,
             surviving,
+            categories,
         });
     }
 

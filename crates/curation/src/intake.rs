@@ -171,7 +171,11 @@ impl<'p> CurationSession<'p> {
         // The streaming prefix: fold the per-batch tallies into the funnel.
         let tallies = std::mem::take(&mut self.tallies);
         for (index, mut tally) in tallies.into_iter().enumerate() {
-            funnel.record(self.stage_at(index).name(), tally.surviving);
+            funnel.record_with_categories(
+                self.stage_at(index).name(),
+                tally.surviving,
+                reject_categories(&tally.rejects),
+            );
             debug_assert_eq!(
                 funnel.stages().last().map(|s| s.entering),
                 Some(tally.entering),
@@ -185,12 +189,31 @@ impl<'p> CurationSession<'p> {
             let stage = self.stage_at(index);
             let mut outcome = stage.apply(FileBatch::new(files, self.pipeline.mode()));
             restamp(stage, &mut outcome);
-            funnel.record(stage.name(), outcome.kept.len());
+            funnel.record_with_categories(
+                stage.name(),
+                outcome.kept.len(),
+                reject_categories(&outcome.rejected),
+            );
             rejects.extend(outcome.rejected);
             files = outcome.kept;
         }
         self.pipeline.assemble_dataset(files, funnel, rejects)
     }
+}
+
+/// Folds a stage's categorised rejections into sorted `(category, count)`
+/// rows for the funnel. Stages that never categorise produce an empty list.
+/// Because the rows are derived from the rejection list itself, streamed
+/// and one-shot runs — whose rejection lists are identical — get identical
+/// category counts.
+fn reject_categories(rejects: &[RejectedFile]) -> Vec<(String, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for reject in rejects {
+        if let Some(category) = &reject.category {
+            *counts.entry(category.clone()).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
 }
 
 /// Stamps every rejection with the stage's canonical name so provenance

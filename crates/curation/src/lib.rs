@@ -18,7 +18,12 @@
 //! 4. **Syntax filtering** ([`SyntaxStage`] over [`SyntaxFilter`]): files
 //!    that do not lex/parse are removed (unresolved cross-file module
 //!    references are tolerated).
-//! 5. **Per-file copyright filtering** ([`CopyrightStage`] over
+//! 5. **Semantic lint filtering** ([`LintStage`] over [`verilog::lint`]):
+//!    files whose static analysis findings reach the policy's severity
+//!    threshold (by default, error-severity findings such as combinational
+//!    loops or multiply-driven nets) are removed, with the offending rule
+//!    id recorded as the rejection's category.
+//! 6. **Per-file copyright filtering** ([`CopyrightStage`] over
 //!    [`CopyrightDetector`]): header comments are scanned for
 //!    proprietary-copyright keyword combinations so that protected files
 //!    hidden inside "open-source" repositories are removed.
@@ -59,6 +64,7 @@ pub mod dedup;
 pub mod funnel;
 pub mod intake;
 pub mod license_filter;
+pub mod lint_stage;
 pub mod pipeline;
 pub mod report;
 pub mod stage;
@@ -73,6 +79,7 @@ pub use dedup::{
 pub use funnel::{FunnelStats, StageCount};
 pub use intake::CurationSession;
 pub use license_filter::LicenseFilter;
+pub use lint_stage::{LintRejectPolicy, LintStage};
 pub use pipeline::{
     CuratedDataset, CuratedFile, CurationConfig, CurationPipeline, DatasetStructure,
 };

@@ -17,6 +17,7 @@ use crate::dedup::{DedupConfig, DedupSpillConfig};
 use crate::funnel::FunnelStats;
 use crate::intake::CurationSession;
 use crate::license_filter::LicenseFilter;
+use crate::lint_stage::{LintRejectPolicy, LintStage};
 use crate::stage::{CurationStage, ExecutionMode, RejectReason, RejectedFile};
 use crate::stages::{CopyrightStage, DedupStage, LengthCapStage, LicenseStage, SyntaxStage};
 
@@ -45,6 +46,10 @@ pub struct CurationConfig {
     pub deduplicate: bool,
     /// Whether to drop files that fail the syntax check.
     pub check_syntax: bool,
+    /// Semantic lint policy: when set, files whose lint findings reach the
+    /// policy's severity threshold are dropped (with the offending rule id
+    /// recorded as the rejection's category). `None` disables the stage.
+    pub lint: Option<LintRejectPolicy>,
     /// Optional maximum file length in characters (CodeV-style truncation of
     /// the corpus; `None` keeps everything).
     pub max_file_chars: Option<usize>,
@@ -71,6 +76,7 @@ impl CurationConfig {
             check_file_copyright: true,
             deduplicate: true,
             check_syntax: true,
+            lint: Some(LintRejectPolicy::default()),
             max_file_chars: None,
             dedup: DedupConfig::default(),
             dedup_spill: None,
@@ -87,6 +93,7 @@ impl CurationConfig {
             check_file_copyright: false,
             deduplicate: false,
             check_syntax: false,
+            lint: None,
             max_file_chars: None,
             dedup: DedupConfig::default(),
             dedup_spill: None,
@@ -203,7 +210,7 @@ impl CuratedDataset {
 /// assert_eq!(pipeline.config().name, "FreeSet");
 /// assert_eq!(
 ///     pipeline.stage_names(),
-///     vec!["license filter", "deduplication", "syntax filter", "copyright filter"],
+///     vec!["license filter", "deduplication", "syntax filter", "lint filter", "copyright filter"],
 /// );
 /// ```
 pub struct CurationPipeline {
@@ -217,7 +224,7 @@ pub struct CurationPipeline {
 impl CurationPipeline {
     /// Creates a pipeline whose stage list mirrors the policy's toggles, in
     /// the paper's order: license filter → (length filter) → de-duplication →
-    /// syntax check → per-file copyright check.
+    /// syntax check → (semantic lint) → per-file copyright check.
     pub fn new(config: CurationConfig) -> Self {
         Self {
             config,
@@ -288,6 +295,9 @@ impl CurationPipeline {
         }
         if self.config.check_syntax {
             stages.push(Box::new(SyntaxStage::new()));
+        }
+        if let Some(policy) = &self.config.lint {
+            stages.push(Box::new(LintStage::new(policy.clone())));
         }
         if self.config.check_file_copyright {
             stages.push(Box::new(CopyrightStage::new(

@@ -40,6 +40,10 @@ pub enum RejectReason {
     Duplicate,
     /// The file does not lex/parse.
     Syntax,
+    /// The file parses but fails the semantic lint policy (see
+    /// [`crate::LintStage`]; the offending rule id is recorded in
+    /// [`RejectedFile::category`]).
+    Lint,
     /// The file's header carries proprietary-copyright language.
     Copyright,
 }
@@ -54,6 +58,11 @@ pub struct RejectedFile {
     pub stage: String,
     /// The reject reason.
     pub reason: RejectReason,
+    /// Optional machine-readable sub-category of the reason — e.g. the
+    /// kebab-case lint rule id ("comb-loop") that condemned the file. The
+    /// funnel folds these into per-rule counts
+    /// ([`crate::StageCount::categories`]).
+    pub category: Option<String>,
     /// Optional human-readable detail.
     pub detail: Option<String>,
 }
@@ -168,10 +177,24 @@ impl StageOutcome {
         reason: RejectReason,
         detail: Option<String>,
     ) {
+        self.reject_with_category(file, stage, reason, None, detail);
+    }
+
+    /// Records a rejection carrying a machine-readable sub-category (e.g.
+    /// the lint rule id).
+    pub fn reject_with_category(
+        &mut self,
+        file: ExtractedFile,
+        stage: &str,
+        reason: RejectReason,
+        category: Option<String>,
+        detail: Option<String>,
+    ) {
         self.rejected.push(RejectedFile {
             file,
             stage: stage.to_string(),
             reason,
+            category,
             detail,
         });
     }
@@ -266,6 +289,8 @@ pub mod stage_names {
     pub const DEDUP: &str = "deduplication";
     /// Syntax check.
     pub const SYNTAX: &str = "syntax filter";
+    /// Semantic lint check.
+    pub const LINT: &str = "lint filter";
     /// Per-file copyright check.
     pub const COPYRIGHT: &str = "copyright filter";
 }

@@ -1,11 +1,13 @@
 //! Syntax filtering stage (§III-D2) — the Icarus Verilog stand-in.
 
-use serde::{Deserialize, Serialize};
 use verilog::SyntaxChecker;
 
 /// Removes files with syntax errors, tolerating unresolved references to
 /// modules defined in other files (exactly the paper's policy: "only
 /// syntax-specific errors were identified and removed").
+///
+/// The checker is built once at construction and shared across every file
+/// the filter judges, so batch stages pay the setup cost a single time.
 ///
 /// # Example
 ///
@@ -17,20 +19,35 @@ use verilog::SyntaxChecker;
 /// assert!(!filter.passes("module m(input a output y); assign y = a; endmodule"));
 /// assert!(filter.passes("module top(input a); other_block u0(.x(a)); endmodule"));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyntaxFilter {
-    _private: (),
+    checker: SyntaxChecker,
+}
+
+impl Default for SyntaxFilter {
+    // Explicit: the derived default would use `SyntaxChecker::default()`,
+    // which does not require a module per file the way `new()` does.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SyntaxFilter {
     /// Creates a syntax filter.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            checker: SyntaxChecker::new(),
+        }
+    }
+
+    /// The shared checker.
+    pub fn checker(&self) -> &SyntaxChecker {
+        &self.checker
     }
 
     /// Whether the file passes the syntax check.
     pub fn passes(&self, content: &str) -> bool {
-        SyntaxChecker::new().is_valid(content)
+        self.checker.is_valid(content)
     }
 
     /// Partitions contents into `(passing, failing)` index lists.
@@ -70,6 +87,14 @@ mod tests {
     fn comment_only_files_fail() {
         let filter = SyntaxFilter::new();
         assert!(!filter.passes("// just a comment"));
+    }
+
+    #[test]
+    fn default_construction_keeps_the_module_requirement() {
+        // Regression: `SyntaxStage::default()` builds its filter via
+        // `Default`, which must match `new()`'s policy exactly.
+        assert!(!SyntaxFilter::default().passes("// just a comment"));
+        assert_eq!(SyntaxFilter::default(), SyntaxFilter::new());
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn corpus(repos: usize, seed: u64) -> Vec<ExtractedFile> {
 }
 
 /// An arbitrary stage-subset policy: every toggle combination plus an
-/// optional length cap.
+/// optional length cap and an optional lint policy (default or strict).
 fn policy_strategy() -> impl Strategy<Value = CurationConfig> {
     (
         any::<bool>(),
@@ -33,13 +33,19 @@ fn policy_strategy() -> impl Strategy<Value = CurationConfig> {
         any::<bool>(),
         any::<bool>(),
         prop_oneof![Just(0usize), 200usize..2_000],
+        prop_oneof![
+            Just(None),
+            Just(Some(curation::LintRejectPolicy::default())),
+            Just(Some(curation::LintRejectPolicy::strict())),
+        ],
     )
-        .prop_map(|(license, copyright, dedup, syntax, cap)| {
+        .prop_map(|(license, copyright, dedup, syntax, cap, lint)| {
             let mut config = CurationConfig::unfiltered("Arbitrary");
             config.check_repository_license = license;
             config.check_file_copyright = copyright;
             config.deduplicate = dedup;
             config.check_syntax = syntax;
+            config.lint = lint;
             config.max_file_chars = (cap > 0).then_some(cap);
             config
         })
@@ -82,6 +88,7 @@ proptest! {
         let enabled_copyright = policy.check_file_copyright;
         let enabled_dedup = policy.deduplicate;
         let enabled_syntax = policy.check_syntax;
+        let enabled_lint = policy.lint.is_some();
         let enabled_cap = policy.max_file_chars.is_some();
         let dataset = CurationPipeline::new(policy).run(files);
 
@@ -95,6 +102,7 @@ proptest! {
                 RejectReason::LengthCap => enabled_cap,
                 RejectReason::Duplicate => enabled_dedup,
                 RejectReason::Syntax => enabled_syntax,
+                RejectReason::Lint => enabled_lint,
                 RejectReason::Copyright => enabled_copyright,
             };
             prop_assert!(allowed, "reason {:?} from disabled stage {}", reject.reason, reject.stage);
@@ -165,7 +173,7 @@ proptest! {
         let pipeline = CurationPipeline::new(CurationConfig::freeset());
         let one_shot = pipeline.run(files.clone());
         let mut session = pipeline.session();
-        prop_assert_eq!(session.streaming_stage_count(), 4,
+        prop_assert_eq!(session.streaming_stage_count(), 5,
             "every FreeSet stage — dedup included — must stream");
         let mut remaining = files.as_slice();
         while !remaining.is_empty() {
@@ -181,6 +189,81 @@ proptest! {
         prop_assert_eq!(session.pushed(), files.len());
         let streamed = session.finish();
         prop_assert_eq!(&streamed, &one_shot);
+    }
+
+    #[test]
+    fn lint_stage_is_batch_and_mode_invariant(
+        rotation in 0usize..40,
+        batch_size in 1usize..13,
+        strict in any::<bool>(),
+    ) {
+        // A corpus salted with every planted semantic defect plus clean
+        // files, in an arbitrary rotation: a lint-only pipeline must produce
+        // byte-identical output serial vs parallel and one-shot vs streamed
+        // under any batch split.
+        let clean =
+            "module ok(input a, input b, output y); assign y = a & b; endmodule";
+        let mut files: Vec<ExtractedFile> = gh_sim::DefectKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                handmade_file(
+                    i,
+                    gh_sim::License::Mit,
+                    &kind.source(&format!("bad_{}", kind.tag())),
+                )
+            })
+            .chain((100..108).map(|i| handmade_file(i, gh_sim::License::Mit, clean)))
+            .collect();
+        let pivot = rotation % files.len();
+        files.rotate_left(pivot);
+
+        let mut config = CurationConfig::unfiltered("LintOnly");
+        config.lint = Some(if strict {
+            curation::LintRejectPolicy::strict()
+        } else {
+            curation::LintRejectPolicy::default()
+        });
+        let serial = CurationPipeline::new(config.clone())
+            .with_mode(ExecutionMode::Serial)
+            .run(files.clone());
+        let parallel = CurationPipeline::new(config.clone())
+            .with_mode(ExecutionMode::Parallel)
+            .run(files.clone());
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+
+        let pipeline = CurationPipeline::new(config);
+        let mut session = pipeline.session();
+        prop_assert_eq!(session.streaming_stage_count(), 1,
+            "the lint stage is batch-invariant and must stream");
+        for chunk in files.chunks(batch_size) {
+            session.push(chunk.to_vec());
+        }
+        let streamed = session.finish();
+        prop_assert_eq!(&streamed, &serial);
+        prop_assert_eq!(format!("{streamed:?}"), format!("{serial:?}"));
+
+        // The funnel's per-rule categories are exactly the reject list's
+        // category multiset, and every planted defect of rejectable
+        // severity is caught.
+        let lint_count = streamed.rejects_for(RejectReason::Lint).count();
+        let stage = streamed.funnel().stage("lint filter").expect("lint ran");
+        prop_assert_eq!(stage.removed(), lint_count);
+        let tallied: usize = stage.categories.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(tallied, lint_count);
+        if strict {
+            prop_assert_eq!(lint_count, gh_sim::DefectKind::ALL.len());
+        } else {
+            prop_assert!(lint_count > 0, "error-severity defects must be rejected");
+        }
+        for (category, count) in &stage.categories {
+            let matching = streamed
+                .rejects_for(RejectReason::Lint)
+                .filter(|r| r.category.as_deref() == Some(category.as_str()))
+                .count();
+            prop_assert_eq!(matching, *count);
+        }
     }
 }
 
@@ -200,11 +283,11 @@ fn handmade_file(i: usize, license: gh_sim::License, content: &str) -> Extracted
 fn freeset_session_streams_every_stage_including_dedup() {
     let pipeline = CurationPipeline::new(CurationConfig::freeset());
     let session = pipeline.session();
-    assert_eq!(pipeline.stage_names().len(), 4);
+    assert_eq!(pipeline.stage_names().len(), 5);
     assert_eq!(
         session.streaming_stage_count(),
-        4,
-        "license, dedup, syntax and copyright must all run per batch"
+        5,
+        "license, dedup, syntax, lint and copyright must all run per batch"
     );
 }
 

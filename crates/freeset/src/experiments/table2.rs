@@ -322,6 +322,7 @@ mod tests {
                 ks: vec![1, 3, 6],
                 temperatures: vec![0.2, 0.8],
                 max_new_tokens: 200,
+                lint_gate: true,
                 seed: 9,
             },
         )

@@ -63,6 +63,7 @@ impl ZooEntry {
                     check_file_copyright: false,
                     deduplicate: true,
                     check_syntax: false,
+                    lint: None,
                     max_file_chars: None,
                     dedup: Default::default(),
                     dedup_spill: None,
@@ -87,6 +88,7 @@ impl ZooEntry {
                     check_file_copyright: false,
                     deduplicate: true,
                     check_syntax: true,
+                    lint: None,
                     max_file_chars: None,
                     dedup: Default::default(),
                     dedup_spill: None,
@@ -111,6 +113,7 @@ impl ZooEntry {
                     check_file_copyright: false,
                     deduplicate: true,
                     check_syntax: true,
+                    lint: None,
                     max_file_chars: Some(2096),
                     dedup: Default::default(),
                     dedup_spill: None,
@@ -135,6 +138,7 @@ impl ZooEntry {
                     check_file_copyright: false,
                     deduplicate: true,
                     check_syntax: true,
+                    lint: None,
                     max_file_chars: None,
                     dedup: Default::default(),
                     dedup_spill: None,
@@ -159,6 +163,7 @@ impl ZooEntry {
                     check_file_copyright: false,
                     deduplicate: true,
                     check_syntax: true,
+                    lint: None,
                     max_file_chars: None,
                     dedup: Default::default(),
                     dedup_spill: None,

@@ -52,5 +52,5 @@ pub use fetch::{FetchBatch, FetchConfig, FetchEngine, FetchStats};
 pub use license::License;
 pub use repo::{ExtractedFile, FileKind, Repository, SourceFile};
 pub use scraper::{ScrapeOutput, ScrapeReport, Scraper, ScraperConfig};
-pub use synth::{DesignKind, GeneratedDesign, SynthConfig, Synthesizer};
+pub use synth::{DefectKind, DesignKind, GeneratedDesign, SynthConfig, Synthesizer};
 pub use universe::{Universe, UniverseConfig, UniverseStats};

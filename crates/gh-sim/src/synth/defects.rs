@@ -1,0 +1,243 @@
+//! Known-bad design variants for exercising the semantic lint engine.
+//!
+//! Each [`DefectKind`] plants exactly one class of semantic defect in an
+//! otherwise clean, syntactically valid module. The sources are used to
+//! validate rule sensitivity (each lint rule must catch its planted defect
+//! — and only that defect), and to salt synthetic corpora with realistic
+//! broken files for the curation funnel's lint stage to reject.
+
+use serde::{Deserialize, Serialize};
+
+/// A deliberately planted semantic defect.
+///
+/// Every variant maps onto exactly one lint rule (see
+/// [`DefectKind::expected_rule`]); the generated source triggers that rule
+/// once and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefectKind {
+    /// References an identifier that is never declared.
+    UndeclaredIdent,
+    /// Declares the same wire twice.
+    RedeclaredIdent,
+    /// Declares a net that is driven but never read.
+    UnusedSignal,
+    /// Connects a named port the child module does not have.
+    UnknownPort,
+    /// Instantiates positionally with the wrong number of connections.
+    PortCountMismatch,
+    /// Leaves a child input port unconnected.
+    UnconnectedPort,
+    /// Connects a child output to a non-lvalue expression.
+    PortDirectionMismatch,
+    /// Drives one net from two continuous assignments.
+    MultiplyDriven,
+    /// Declares an output port and never drives it.
+    UndrivenOutput,
+    /// Assigns one reg from two different always blocks.
+    RegMultiAlways,
+    /// Assigns a wide value into a narrow net.
+    WidthMismatch,
+    /// Builds a combinational feedback loop through two assigns.
+    CombLoop,
+    /// Reads a signal missing from a level sensitivity list.
+    IncompleteSensitivity,
+    /// Leaves a target unassigned on a path of a combinational `if`.
+    IncompleteIf,
+    /// Leaves a `case` without a default and without full coverage.
+    IncompleteCase,
+    /// Uses a blocking assignment under an edge trigger.
+    BlockingInSequential,
+    /// Uses a non-blocking assignment in a combinational block.
+    NonblockingInComb,
+}
+
+impl DefectKind {
+    /// Every defect kind, in a stable order.
+    pub const ALL: [DefectKind; 17] = [
+        DefectKind::UndeclaredIdent,
+        DefectKind::RedeclaredIdent,
+        DefectKind::UnusedSignal,
+        DefectKind::UnknownPort,
+        DefectKind::PortCountMismatch,
+        DefectKind::UnconnectedPort,
+        DefectKind::PortDirectionMismatch,
+        DefectKind::MultiplyDriven,
+        DefectKind::UndrivenOutput,
+        DefectKind::RegMultiAlways,
+        DefectKind::WidthMismatch,
+        DefectKind::CombLoop,
+        DefectKind::IncompleteSensitivity,
+        DefectKind::IncompleteIf,
+        DefectKind::IncompleteCase,
+        DefectKind::BlockingInSequential,
+        DefectKind::NonblockingInComb,
+    ];
+
+    /// The kebab-case id of the lint rule this defect must trigger
+    /// (matching [`verilog::lint::RuleId::id`]).
+    pub fn expected_rule(&self) -> &'static str {
+        match self {
+            DefectKind::UndeclaredIdent => "undeclared-ident",
+            DefectKind::RedeclaredIdent => "redeclared-ident",
+            DefectKind::UnusedSignal => "unused-signal",
+            DefectKind::UnknownPort => "unknown-port",
+            DefectKind::PortCountMismatch => "port-count-mismatch",
+            DefectKind::UnconnectedPort => "unconnected-port",
+            DefectKind::PortDirectionMismatch => "port-direction-mismatch",
+            DefectKind::MultiplyDriven => "multiply-driven",
+            DefectKind::UndrivenOutput => "undriven-output",
+            DefectKind::RegMultiAlways => "reg-multi-always",
+            DefectKind::WidthMismatch => "width-mismatch",
+            DefectKind::CombLoop => "comb-loop",
+            DefectKind::IncompleteSensitivity => "incomplete-sensitivity",
+            DefectKind::IncompleteIf | DefectKind::IncompleteCase => "inferred-latch",
+            DefectKind::BlockingInSequential => "blocking-in-sequential",
+            DefectKind::NonblockingInComb => "nonblocking-in-comb",
+        }
+    }
+
+    /// A short lowercase tag for file and module names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DefectKind::UndeclaredIdent => "undeclared",
+            DefectKind::RedeclaredIdent => "redeclared",
+            DefectKind::UnusedSignal => "unused",
+            DefectKind::UnknownPort => "unknown_port",
+            DefectKind::PortCountMismatch => "port_count",
+            DefectKind::UnconnectedPort => "unconnected",
+            DefectKind::PortDirectionMismatch => "port_dir",
+            DefectKind::MultiplyDriven => "multi_drive",
+            DefectKind::UndrivenOutput => "undriven",
+            DefectKind::RegMultiAlways => "multi_always",
+            DefectKind::WidthMismatch => "width",
+            DefectKind::CombLoop => "comb_loop",
+            DefectKind::IncompleteSensitivity => "sensitivity",
+            DefectKind::IncompleteIf => "latch_if",
+            DefectKind::IncompleteCase => "latch_case",
+            DefectKind::BlockingInSequential => "blocking_seq",
+            DefectKind::NonblockingInComb => "nonblocking_comb",
+        }
+    }
+
+    /// Generates a syntactically valid module named `name` containing this
+    /// defect and no other.
+    pub fn source(&self, name: &str) -> String {
+        match self {
+            DefectKind::UndeclaredIdent => format!(
+                "module {name}(input a, output y);\n\
+                 \tassign y = a & ghost;\n\
+                 endmodule\n"
+            ),
+            DefectKind::RedeclaredIdent => format!(
+                "module {name}(input a, output y);\n\
+                 \twire t;\n\
+                 \twire t;\n\
+                 \tassign t = a;\n\
+                 \tassign y = t;\n\
+                 endmodule\n"
+            ),
+            DefectKind::UnusedSignal => format!(
+                "module {name}(input a, output y);\n\
+                 \twire dead_net;\n\
+                 \tassign dead_net = a;\n\
+                 \tassign y = a;\n\
+                 endmodule\n"
+            ),
+            DefectKind::UnknownPort => format!(
+                "module {name}_sub(input i, output o);\n\
+                 \tassign o = ~i;\n\
+                 endmodule\n\
+                 module {name}(input a, output y);\n\
+                 \t{name}_sub u0(.i(a), .o(y), .bogus(a));\n\
+                 endmodule\n"
+            ),
+            DefectKind::PortCountMismatch => format!(
+                "module {name}_sub(input i, output o);\n\
+                 \tassign o = ~i;\n\
+                 endmodule\n\
+                 module {name}(input a, output y);\n\
+                 \tassign y = a;\n\
+                 \t{name}_sub u0(a);\n\
+                 endmodule\n"
+            ),
+            DefectKind::UnconnectedPort => format!(
+                "module {name}_sub(input i, output o);\n\
+                 \tassign o = ~i;\n\
+                 endmodule\n\
+                 module {name}(output y);\n\
+                 \t{name}_sub u0(.o(y));\n\
+                 endmodule\n"
+            ),
+            DefectKind::PortDirectionMismatch => format!(
+                "module {name}_sub(input i, output o);\n\
+                 \tassign o = ~i;\n\
+                 endmodule\n\
+                 module {name}(input a, input b, output y);\n\
+                 \tassign y = a;\n\
+                 \t{name}_sub u0(.i(a), .o(a & b));\n\
+                 endmodule\n"
+            ),
+            DefectKind::MultiplyDriven => format!(
+                "module {name}(input a, output y);\n\
+                 \tassign y = a;\n\
+                 \tassign y = ~a;\n\
+                 endmodule\n"
+            ),
+            DefectKind::UndrivenOutput => format!(
+                "module {name}(input a, output y, output z);\n\
+                 \tassign y = a;\n\
+                 endmodule\n"
+            ),
+            DefectKind::RegMultiAlways => format!(
+                "module {name}(input clk, input d, output reg q);\n\
+                 \talways @(posedge clk) q <= d;\n\
+                 \talways @(posedge clk) q <= ~d;\n\
+                 endmodule\n"
+            ),
+            DefectKind::WidthMismatch => format!(
+                "module {name}(input [7:0] a, output [3:0] y);\n\
+                 \tassign y = a;\n\
+                 endmodule\n"
+            ),
+            DefectKind::CombLoop => format!(
+                "module {name}(input a, output y);\n\
+                 \twire x;\n\
+                 \tassign x = y & a;\n\
+                 \tassign y = ~x;\n\
+                 endmodule\n"
+            ),
+            DefectKind::IncompleteSensitivity => format!(
+                "module {name}(input a, input b, output reg y);\n\
+                 \talways @(a) y = a & b;\n\
+                 endmodule\n"
+            ),
+            DefectKind::IncompleteIf => format!(
+                "module {name}(input en, input d, output reg q);\n\
+                 \talways @* begin\n\
+                 \t\tif (en) q = d;\n\
+                 \tend\n\
+                 endmodule\n"
+            ),
+            DefectKind::IncompleteCase => format!(
+                "module {name}(input [1:0] sel, input a, input b, output reg y);\n\
+                 \talways @* begin\n\
+                 \t\tcase (sel)\n\
+                 \t\t\t2'd0: y = a;\n\
+                 \t\t\t2'd1: y = b;\n\
+                 \t\tendcase\n\
+                 \tend\n\
+                 endmodule\n"
+            ),
+            DefectKind::BlockingInSequential => format!(
+                "module {name}(input clk, input d, output reg q);\n\
+                 \talways @(posedge clk) q = d;\n\
+                 endmodule\n"
+            ),
+            DefectKind::NonblockingInComb => format!(
+                "module {name}(input a, output reg y);\n\
+                 \talways @* y <= a;\n\
+                 endmodule\n"
+            ),
+        }
+    }
+}

@@ -9,8 +9,11 @@
 //! structurally meaningful data.
 
 mod combinational;
+pub mod defects;
 mod protocol;
 mod sequential;
+
+pub use defects::DefectKind;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

@@ -39,6 +39,7 @@ pub mod ast;
 pub mod comments;
 pub mod interp;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod sim;
 pub mod syntax;
@@ -50,6 +51,7 @@ pub use ast::{
 };
 pub use comments::{extract_header_comment, extract_modules, strip_comments};
 pub use lexer::{LexError, Lexer};
+pub use lint::{LintConfig, LintDiagnostic, Linter, RuleId, Severity};
 pub use parser::{ParseError, Parser};
 pub use sim::{Simulator, TestVector, Testbench, VectorOutcome};
 pub use syntax::{SyntaxChecker, SyntaxError, SyntaxReport};

@@ -1,0 +1,68 @@
+//! Pass 2 — driver analysis.
+//!
+//! Uses the per-net [`super::model::DriveInfo`] summaries to find nets with
+//! conflicting drivers, outputs nothing drives, and regs written from more
+//! than one `always` block.
+
+use crate::ast::PortDirection;
+
+use super::model::SymbolKind;
+use super::{diag, LintDiagnostic, ModuleModel, RuleId};
+
+pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for name in &model.symbol_order {
+        let info = &model.symbols[name];
+        if info.kind != SymbolKind::Net {
+            continue;
+        }
+        let Some(drive) = model.drives.get(name) else {
+            // Nothing drives the net at all.
+            if info.direction == Some(PortDirection::Output) {
+                out.push(undriven(name));
+            }
+            continue;
+        };
+        // Conflicting drivers. Partial continuous drives (different slices
+        // of one bus) are legal and stay unflagged; two whole-net
+        // continuous drivers, or a continuous driver next to procedural
+        // assignments, always conflict.
+        let continuous = drive.continuous_whole;
+        if continuous >= 2 {
+            out.push(diag(
+                RuleId::MultiplyDriven,
+                format!("net '{name}'"),
+                format!("'{name}' has {continuous} whole-net continuous drivers"),
+            ));
+        } else if continuous == 1 && !drive.always_blocks.is_empty() {
+            out.push(diag(
+                RuleId::MultiplyDriven,
+                format!("net '{name}'"),
+                format!("'{name}' is driven both continuously and from an always block"),
+            ));
+        }
+        // Reg written from several always blocks.
+        if drive.always_blocks.len() >= 2 {
+            out.push(diag(
+                RuleId::RegMultiAlways,
+                format!("net '{name}'"),
+                format!(
+                    "'{name}' is assigned in {} different always blocks",
+                    drive.always_blocks.len()
+                ),
+            ));
+        }
+        // Undriven outputs (unresolved-instance connections count as
+        // drivers, keeping multi-file designs quiet).
+        if info.direction == Some(PortDirection::Output) && !drive.is_driven() {
+            out.push(undriven(name));
+        }
+    }
+}
+
+fn undriven(name: &str) -> LintDiagnostic {
+    diag(
+        RuleId::UndrivenOutput,
+        format!("port '{name}'"),
+        format!("output port '{name}' is never driven"),
+    )
+}

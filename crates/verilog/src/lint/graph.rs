@@ -1,0 +1,299 @@
+//! Pass 4 — net-dependency graph analysis.
+//!
+//! Builds a dependency graph over the module's combinational logic
+//! (continuous assignments plus non-edge-triggered `always` blocks) and
+//! runs Tarjan's SCC algorithm over it: any strongly connected component
+//! of more than one net — or a net depending on itself — is a
+//! combinational loop. Edge-triggered `always` blocks contribute no edges
+//! (a flip-flop breaks the cycle), and reads of values assigned earlier in
+//! the same block (the blocking-assignment accumulator idiom) are not
+//! dependencies.
+//!
+//! The same traversal records each level-sensitive block's external read
+//! set for incomplete-sensitivity-list detection.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Expr, Statement};
+
+use super::model::{lvalue_targets, SymbolKind};
+use super::{diag, LintDiagnostic, ModuleModel, RuleId};
+
+type Edges = BTreeMap<String, BTreeSet<String>>;
+
+pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    let mut edges: Edges = BTreeMap::new();
+    // Continuous assignments: target depends on every RHS read and every
+    // selector read of the target itself.
+    for (target, value) in &model.continuous_assigns {
+        let mut deps: BTreeSet<String> = value.referenced_idents().into_iter().collect();
+        collect_selector_reads(target, &mut deps);
+        for (name, _) in lvalue_targets(target) {
+            edges.entry(name).or_default().extend(deps.iter().cloned());
+        }
+    }
+    // Combinational always blocks.
+    for (index, block) in model.always_blocks.iter().enumerate() {
+        if block.sensitivity.is_edge_triggered() {
+            continue;
+        }
+        let mut walker = CombWalker::default();
+        walker.walk(&block.body, &mut edges);
+        // Incomplete sensitivity only applies to explicit level lists —
+        // `@*` is complete by definition.
+        if !block.sensitivity.star && !block.sensitivity.entries.is_empty() {
+            let listed: BTreeSet<&str> = block
+                .sensitivity
+                .entries
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .collect();
+            let missing: Vec<String> = walker
+                .external_reads
+                .iter()
+                .filter(|name| !listed.contains(name.as_str()))
+                .filter(|name| {
+                    model
+                        .symbols
+                        .get(*name)
+                        .is_some_and(|s| s.kind == SymbolKind::Net)
+                })
+                .cloned()
+                .collect();
+            if !missing.is_empty() {
+                out.push(diag(
+                    RuleId::IncompleteSensitivity,
+                    format!("always #{index}"),
+                    format!(
+                        "sensitivity list misses signals the block reads: {}",
+                        missing.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    // Cycles.
+    for scc in tarjan(&edges) {
+        let is_loop = scc.len() > 1
+            || edges
+                .get(&scc[0])
+                .is_some_and(|deps| deps.contains(&scc[0]));
+        if is_loop {
+            let mut members = scc.clone();
+            members.sort();
+            out.push(diag(
+                RuleId::CombLoop,
+                format!("net '{}'", members[0]),
+                format!("combinational loop through: {}", members.join(" -> ")),
+            ));
+        }
+    }
+}
+
+fn collect_selector_reads(target: &Expr, out: &mut BTreeSet<String>) {
+    match target {
+        Expr::Ident(_) => {}
+        Expr::Index { base, index } => {
+            out.extend(index.referenced_idents());
+            collect_selector_reads(base, out);
+        }
+        Expr::Slice { base, msb, lsb } => {
+            out.extend(msb.referenced_idents());
+            out.extend(lsb.referenced_idents());
+            collect_selector_reads(base, out);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                collect_selector_reads(p, out);
+            }
+        }
+        other => out.extend(other.referenced_idents()),
+    }
+}
+
+/// Walks one combinational block, tracking blocking-assigned names so that
+/// accumulator reads (`count = count + x` after `count = 0`) are not
+/// counted as external dependencies.
+#[derive(Default)]
+struct CombWalker {
+    /// Names definitely assigned (by blocking assignment) before the
+    /// current point.
+    assigned: BTreeSet<String>,
+    /// Control-context reads (conditions of enclosing if/case/for).
+    context: Vec<Vec<String>>,
+    /// Every external read the block performs.
+    external_reads: BTreeSet<String>,
+}
+
+impl CombWalker {
+    fn walk(&mut self, statement: &Statement, edges: &mut Edges) {
+        match statement {
+            Statement::Block(stmts) => {
+                for s in stmts {
+                    self.walk(s, edges);
+                }
+            }
+            Statement::Blocking { target, value } | Statement::NonBlocking { target, value } => {
+                let mut deps: BTreeSet<String> = value.referenced_idents().into_iter().collect();
+                collect_selector_reads(target, &mut deps);
+                for ctx in &self.context {
+                    deps.extend(ctx.iter().cloned());
+                }
+                deps.retain(|d| !self.assigned.contains(d));
+                self.external_reads.extend(deps.iter().cloned());
+                for (name, whole) in lvalue_targets(target) {
+                    edges
+                        .entry(name.clone())
+                        .or_default()
+                        .extend(deps.iter().cloned());
+                    // Only blocking assignments make the value visible to
+                    // later reads in the same block.
+                    if whole && matches!(statement, Statement::Blocking { .. }) {
+                        self.assigned.insert(name);
+                    }
+                }
+            }
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                self.push_context(condition);
+                let before = self.assigned.clone();
+                self.walk(then_branch, edges);
+                let after_then = std::mem::replace(&mut self.assigned, before.clone());
+                match else_branch {
+                    Some(e) => {
+                        self.walk(e, edges);
+                        let after_else = std::mem::take(&mut self.assigned);
+                        self.assigned = after_then.intersection(&after_else).cloned().collect();
+                    }
+                    None => self.assigned = before,
+                }
+                self.context.pop();
+            }
+            Statement::Case { subject, arms, .. } => {
+                self.push_context(subject);
+                let before = self.assigned.clone();
+                let has_default = arms.iter().any(|a| a.labels.is_empty());
+                let mut intersection: Option<BTreeSet<String>> = None;
+                for arm in arms {
+                    for label in &arm.labels {
+                        let reads: Vec<String> = label
+                            .referenced_idents()
+                            .into_iter()
+                            .filter(|d| !before.contains(d))
+                            .collect();
+                        self.external_reads.extend(reads);
+                    }
+                    self.assigned = before.clone();
+                    self.walk(&arm.body, edges);
+                    let after = std::mem::take(&mut self.assigned);
+                    intersection = Some(match intersection {
+                        None => after,
+                        Some(acc) => acc.intersection(&after).cloned().collect(),
+                    });
+                }
+                self.assigned = if has_default {
+                    intersection.unwrap_or(before)
+                } else {
+                    before
+                };
+                self.context.pop();
+            }
+            Statement::For {
+                init,
+                condition,
+                step,
+                body,
+            } => {
+                self.walk(init, edges);
+                self.push_context(condition);
+                self.walk(body, edges);
+                self.walk(step, edges);
+                self.context.pop();
+            }
+            Statement::SystemCall { .. } | Statement::Empty => {}
+        }
+    }
+
+    fn push_context(&mut self, condition: &Expr) {
+        let reads: Vec<String> = condition.referenced_idents();
+        self.external_reads.extend(
+            reads
+                .iter()
+                .filter(|d| !self.assigned.contains(*d))
+                .cloned(),
+        );
+        self.context.push(reads);
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm over the dependency
+/// graph. Deterministic: nodes are visited in sorted order.
+fn tarjan(edges: &Edges) -> Vec<Vec<String>> {
+    struct State<'e> {
+        edges: &'e Edges,
+        index: usize,
+        indices: BTreeMap<&'e str, usize>,
+        lowlinks: BTreeMap<&'e str, usize>,
+        on_stack: BTreeSet<&'e str>,
+        stack: Vec<&'e str>,
+        sccs: Vec<Vec<String>>,
+    }
+
+    impl<'e> State<'e> {
+        fn connect(&mut self, node: &'e str) {
+            self.indices.insert(node, self.index);
+            self.lowlinks.insert(node, self.index);
+            self.index += 1;
+            self.stack.push(node);
+            self.on_stack.insert(node);
+            if let Some(deps) = self.edges.get(node) {
+                for dep in deps {
+                    // Only follow dependencies that are themselves driven
+                    // combinationally (graph keys); everything else cannot
+                    // be part of a cycle.
+                    if !self.edges.contains_key(dep.as_str()) {
+                        continue;
+                    }
+                    if !self.indices.contains_key(dep.as_str()) {
+                        self.connect(dep);
+                        let low = self.lowlinks[dep.as_str()].min(self.lowlinks[node]);
+                        self.lowlinks.insert(node, low);
+                    } else if self.on_stack.contains(dep.as_str()) {
+                        let low = self.indices[dep.as_str()].min(self.lowlinks[node]);
+                        self.lowlinks.insert(node, low);
+                    }
+                }
+            }
+            if self.lowlinks[node] == self.indices[node] {
+                let mut component = Vec::new();
+                while let Some(top) = self.stack.pop() {
+                    self.on_stack.remove(top);
+                    component.push(top.to_string());
+                    if top == node {
+                        break;
+                    }
+                }
+                self.sccs.push(component);
+            }
+        }
+    }
+
+    let mut state = State {
+        edges,
+        index: 0,
+        indices: BTreeMap::new(),
+        lowlinks: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        sccs: Vec::new(),
+    };
+    for node in edges.keys() {
+        if !state.indices.contains_key(node.as_str()) {
+            state.connect(node);
+        }
+    }
+    state.sccs
+}

@@ -1,0 +1,233 @@
+//! Pass 5 — latch inference and assignment-discipline checks.
+//!
+//! In a combinational `always` block every target must be assigned on every
+//! path, or the synthesiser infers a transparent latch. The pass computes
+//! may-assign (any path) and definite-assign (all paths) sets per block and
+//! reports the difference. Alongside it enforces the standard discipline:
+//! nonblocking (`<=`) in clocked blocks, blocking (`=`) in combinational
+//! ones — loop counters (`integer`/`genvar`) and `for` bookkeeping are
+//! exempt, since `i = i + 1` is idiomatic even under an edge trigger.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Statement;
+
+use super::model::SymbolKind;
+use super::{diag, LintDiagnostic, ModuleModel, RuleId};
+
+pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for (index, block) in model.always_blocks.iter().enumerate() {
+        let locus = format!("always #{index}");
+        if block.sensitivity.is_edge_triggered() {
+            let mut offenders = BTreeSet::new();
+            blocking_targets(&block.body, false, &mut offenders);
+            for name in offenders {
+                let exempt = model
+                    .symbols
+                    .get(&name)
+                    .is_some_and(|s| s.is_integer || s.kind != SymbolKind::Net);
+                if !exempt {
+                    out.push(diag(
+                        RuleId::BlockingInSequential,
+                        format!("{locus}, net '{name}'"),
+                        format!("blocking assignment to '{name}' in an edge-triggered block"),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Combinational block: nonblocking misuse.
+        let mut nonblocking = BTreeSet::new();
+        nonblocking_targets(&block.body, &mut nonblocking);
+        for name in &nonblocking {
+            if model
+                .symbols
+                .get(name)
+                .is_some_and(|s| s.kind == SymbolKind::Net && !s.is_integer)
+            {
+                out.push(diag(
+                    RuleId::NonblockingInComb,
+                    format!("{locus}, net '{name}'"),
+                    format!("nonblocking assignment to '{name}' in a combinational block"),
+                ));
+            }
+        }
+        // Latch inference (only for blocks with a real combinational
+        // trigger: `@*` or a level sensitivity list).
+        if !block.sensitivity.star && block.sensitivity.entries.is_empty() {
+            continue;
+        }
+        let mut may = BTreeSet::new();
+        may_assign(&block.body, &mut may);
+        let definite = definite_assign(model, &block.body);
+        for name in may.difference(&definite) {
+            if model
+                .symbols
+                .get(name)
+                .is_some_and(|s| s.kind == SymbolKind::Net && !s.is_integer)
+            {
+                out.push(diag(
+                    RuleId::InferredLatch,
+                    format!("{locus}, net '{name}'"),
+                    format!(
+                        "'{name}' is not assigned on every path through the block; \
+                         a latch is inferred"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Collects targets of blocking assignments, skipping `for` init/step
+/// bookkeeping.
+fn blocking_targets(statement: &Statement, in_for_header: bool, out: &mut BTreeSet<String>) {
+    match statement {
+        Statement::Block(stmts) => {
+            for s in stmts {
+                blocking_targets(s, in_for_header, out);
+            }
+        }
+        Statement::Blocking { target, .. } if !in_for_header => {
+            out.extend(
+                super::model::lvalue_targets(target)
+                    .into_iter()
+                    .map(|(n, _)| n),
+            );
+        }
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            blocking_targets(then_branch, in_for_header, out);
+            if let Some(e) = else_branch {
+                blocking_targets(e, in_for_header, out);
+            }
+        }
+        Statement::Case { arms, .. } => {
+            for arm in arms {
+                blocking_targets(&arm.body, in_for_header, out);
+            }
+        }
+        Statement::For {
+            init, step, body, ..
+        } => {
+            blocking_targets(init, true, out);
+            blocking_targets(step, true, out);
+            blocking_targets(body, in_for_header, out);
+        }
+        _ => {}
+    }
+}
+
+/// Collects targets of nonblocking assignments.
+fn nonblocking_targets(statement: &Statement, out: &mut BTreeSet<String>) {
+    super::width::walk_statements(statement, &mut |s| {
+        if let Statement::NonBlocking { target, .. } = s {
+            out.extend(
+                super::model::lvalue_targets(target)
+                    .into_iter()
+                    .map(|(n, _)| n),
+            );
+        }
+    });
+}
+
+/// Every name the block might assign (whole or partial, either kind).
+fn may_assign(statement: &Statement, out: &mut BTreeSet<String>) {
+    super::width::walk_statements(statement, &mut |s| {
+        if let Statement::Blocking { target, .. } | Statement::NonBlocking { target, .. } = s {
+            out.extend(
+                super::model::lvalue_targets(target)
+                    .into_iter()
+                    .map(|(n, _)| n),
+            );
+        }
+    });
+}
+
+/// Names assigned on *every* path through the statement. Only whole-net
+/// assignments count — a bit-select assignment never fully covers the net.
+fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<String> {
+    match statement {
+        Statement::Block(stmts) => {
+            let mut acc = BTreeSet::new();
+            for s in stmts {
+                acc.extend(definite_assign(model, s));
+            }
+            acc
+        }
+        Statement::Blocking { target, .. } | Statement::NonBlocking { target, .. } => {
+            super::model::lvalue_targets(target)
+                .into_iter()
+                .filter(|(_, whole)| *whole)
+                .map(|(n, _)| n)
+                .collect()
+        }
+        Statement::If {
+            then_branch,
+            else_branch: Some(e),
+            ..
+        } => {
+            let a = definite_assign(model, then_branch);
+            let b = definite_assign(model, e);
+            a.intersection(&b).cloned().collect()
+        }
+        // No else: nothing is definitely assigned.
+        Statement::If { .. } => BTreeSet::new(),
+        Statement::Case { subject, arms, .. } => {
+            if arms.is_empty() {
+                return BTreeSet::new();
+            }
+            let covers_all = arms.iter().any(|a| a.labels.is_empty())
+                || case_fully_covered(model, subject, arms);
+            if !covers_all {
+                return BTreeSet::new();
+            }
+            let mut iter = arms.iter().map(|a| definite_assign(model, &a.body));
+            let first = iter.next().unwrap_or_default();
+            iter.fold(first, |acc, next| {
+                acc.intersection(&next).cloned().collect()
+            })
+        }
+        // The loop body is assumed to execute at least once — synthesisable
+        // `for` loops have static bounds, and an empty-range loop that never
+        // assigns is a different defect.
+        Statement::For {
+            init, step, body, ..
+        } => {
+            let mut acc = definite_assign(model, init);
+            acc.extend(definite_assign(model, step));
+            acc.extend(definite_assign(model, body));
+            acc
+        }
+        _ => BTreeSet::new(),
+    }
+}
+
+/// Whether a `case` without a default still enumerates every value of its
+/// subject: all labels constant-fold, are distinct, and count `2^width`.
+fn case_fully_covered(
+    model: &ModuleModel<'_>,
+    subject: &crate::ast::Expr,
+    arms: &[crate::ast::CaseArm],
+) -> bool {
+    let Some(width) = super::width::infer_width(model, subject) else {
+        return false;
+    };
+    if width > 16 {
+        return false;
+    }
+    let needed = 1u64 << width;
+    let mut seen = BTreeSet::new();
+    for arm in arms {
+        for label in &arm.labels {
+            let Some(value) = super::model::const_eval(label, &model.params) else {
+                return false;
+            };
+            seen.insert(value);
+        }
+    }
+    seen.len() as u64 == needed
+}

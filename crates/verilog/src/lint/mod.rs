@@ -1,0 +1,425 @@
+//! Semantic lint engine: rule-based static analysis over parsed [`Module`]
+//! ASTs.
+//!
+//! The curation funnel's syntax filter only asks "does it parse?". This
+//! module asks the next question — "is it *plausible* hardware?" — with five
+//! analysis passes over the AST:
+//!
+//! 1. **Scope analysis** ([`scope`]): symbol resolution over ports, nets,
+//!    parameters and genvars; undeclared/unused/redeclared identifiers and
+//!    unknown, unconnected or direction-mismatched instance ports.
+//! 2. **Driver analysis** ([`drivers`]): multiply-driven nets, undriven
+//!    outputs, and regs assigned from multiple `always` blocks.
+//! 3. **Width inference** ([`width`]): bit-width inference over [`Expr`]
+//!    with parameter constant-folding; truncating assignments, width-unsafe
+//!    port connections and unsized literals in concatenations.
+//! 4. **Dependency graph** ([`graph`]): a net-dependency graph over the
+//!    combinational logic with Tarjan SCC detection for combinational
+//!    loops, plus incomplete sensitivity lists.
+//! 5. **Procedural style** ([`latch`]): latch inference (incomplete
+//!    `if`/`case` in combinational `always`) and blocking/non-blocking
+//!    assignment misuse by edge kind.
+//!
+//! Every rule is catalogued in [`RuleId`] with a stable kebab-case id and a
+//! default [`Severity`]; diagnostics are deterministic — the same source
+//! always yields the same [`LintDiagnostic`] list in the same order.
+//!
+//! Like [`crate::SyntaxChecker`], the linter tolerates references to modules
+//! defined in other files: instance-port rules only fire for instances whose
+//! target module is defined in the same source, and connections to
+//! unresolved instances conservatively count as both reads and drives.
+//!
+//! # Example
+//!
+//! ```
+//! use verilog::lint::{Linter, RuleId};
+//!
+//! let diags = Linter::new()
+//!     .lint_source("module m(input a, output y);\nassign y = a;\nassign y = ~a;\nendmodule")
+//!     .unwrap();
+//! assert!(diags.iter().any(|d| d.rule == RuleId::MultiplyDriven));
+//! ```
+
+mod drivers;
+mod graph;
+mod latch;
+mod model;
+mod scope;
+mod width;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::Module;
+use crate::parser::{ParseError, Parser};
+
+pub(crate) use model::ModuleModel;
+
+/// How serious a diagnostic is.
+///
+/// Ordered: `Info < Warning < Error`, so severity thresholds can be
+/// expressed with comparisons.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Informational note; never worth rejecting a file over.
+    Info,
+    /// Suspicious but simulatable construct.
+    #[default]
+    Warning,
+    /// Semantically broken hardware (would not synthesise or simulate
+    /// meaningfully).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable identifier of one lint rule.
+///
+/// The enum order is the reporting order: diagnostics are sorted by module,
+/// then rule, then locus, which keeps output deterministic and stable across
+/// releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// An identifier is read or driven but never declared.
+    UndeclaredIdent,
+    /// A net or variable is declared twice.
+    RedeclaredIdent,
+    /// A declared signal is never read.
+    UnusedSignal,
+    /// A named connection targets a port the instantiated module lacks.
+    UnknownPort,
+    /// A positional instantiation's connection count differs from the
+    /// instantiated module's port count.
+    PortCountMismatch,
+    /// An input port of an instantiated module is left unconnected.
+    UnconnectedPort,
+    /// An instance output drives something that cannot be driven.
+    PortDirectionMismatch,
+    /// A net has more than one driver.
+    MultiplyDriven,
+    /// An output port is never driven.
+    UndrivenOutput,
+    /// A reg is assigned from more than one `always` block.
+    RegMultiAlways,
+    /// An assignment or connection changes bit width in a lossy or
+    /// ambiguous way.
+    WidthMismatch,
+    /// Combinational logic feeds back on itself.
+    CombLoop,
+    /// A level-sensitive `always` reads signals missing from its
+    /// sensitivity list.
+    IncompleteSensitivity,
+    /// A combinational `always` leaves a target unassigned on some path,
+    /// inferring a latch.
+    InferredLatch,
+    /// A blocking assignment inside an edge-triggered `always`.
+    BlockingInSequential,
+    /// A non-blocking assignment inside a combinational `always`.
+    NonblockingInComb,
+}
+
+impl RuleId {
+    /// Every rule, in reporting order.
+    pub const ALL: [RuleId; 16] = [
+        RuleId::UndeclaredIdent,
+        RuleId::RedeclaredIdent,
+        RuleId::UnusedSignal,
+        RuleId::UnknownPort,
+        RuleId::PortCountMismatch,
+        RuleId::UnconnectedPort,
+        RuleId::PortDirectionMismatch,
+        RuleId::MultiplyDriven,
+        RuleId::UndrivenOutput,
+        RuleId::RegMultiAlways,
+        RuleId::WidthMismatch,
+        RuleId::CombLoop,
+        RuleId::IncompleteSensitivity,
+        RuleId::InferredLatch,
+        RuleId::BlockingInSequential,
+        RuleId::NonblockingInComb,
+    ];
+
+    /// The stable kebab-case rule id (used in configs, provenance
+    /// categories and metric names).
+    pub fn id(&self) -> &'static str {
+        match self {
+            RuleId::UndeclaredIdent => "undeclared-ident",
+            RuleId::RedeclaredIdent => "redeclared-ident",
+            RuleId::UnusedSignal => "unused-signal",
+            RuleId::UnknownPort => "unknown-port",
+            RuleId::PortCountMismatch => "port-count-mismatch",
+            RuleId::UnconnectedPort => "unconnected-port",
+            RuleId::PortDirectionMismatch => "port-direction-mismatch",
+            RuleId::MultiplyDriven => "multiply-driven",
+            RuleId::UndrivenOutput => "undriven-output",
+            RuleId::RegMultiAlways => "reg-multi-always",
+            RuleId::WidthMismatch => "width-mismatch",
+            RuleId::CombLoop => "comb-loop",
+            RuleId::IncompleteSensitivity => "incomplete-sensitivity",
+            RuleId::InferredLatch => "inferred-latch",
+            RuleId::BlockingInSequential => "blocking-in-sequential",
+            RuleId::NonblockingInComb => "nonblocking-in-comb",
+        }
+    }
+
+    /// The rule id with `-` replaced by `_` — a metric-safe key for
+    /// FFH-METRIC lines.
+    pub fn metric_key(&self) -> String {
+        self.id().replace('-', "_")
+    }
+
+    /// The severity the rule fires at unless a policy overrides it.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            RuleId::UndeclaredIdent
+            | RuleId::UnknownPort
+            | RuleId::PortCountMismatch
+            | RuleId::PortDirectionMismatch
+            | RuleId::MultiplyDriven
+            | RuleId::CombLoop => Severity::Error,
+            RuleId::RedeclaredIdent
+            | RuleId::UnusedSignal
+            | RuleId::UnconnectedPort
+            | RuleId::UndrivenOutput
+            | RuleId::RegMultiAlways
+            | RuleId::WidthMismatch
+            | RuleId::IncompleteSensitivity
+            | RuleId::InferredLatch
+            | RuleId::BlockingInSequential
+            | RuleId::NonblockingInComb => Severity::Warning,
+        }
+    }
+
+    /// One-line description of what the rule detects.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            RuleId::UndeclaredIdent => "identifier referenced but never declared",
+            RuleId::RedeclaredIdent => "net or variable declared more than once",
+            RuleId::UnusedSignal => "declared signal is never read",
+            RuleId::UnknownPort => "named connection to a port the module does not have",
+            RuleId::PortCountMismatch => "positional connection count differs from port count",
+            RuleId::UnconnectedPort => "instance input port left unconnected",
+            RuleId::PortDirectionMismatch => "instance output drives a non-drivable expression",
+            RuleId::MultiplyDriven => "net has more than one driver",
+            RuleId::UndrivenOutput => "output port is never driven",
+            RuleId::RegMultiAlways => "reg assigned from more than one always block",
+            RuleId::WidthMismatch => "assignment or connection loses or leaves ambiguous bits",
+            RuleId::CombLoop => "combinational logic feeds back on itself",
+            RuleId::IncompleteSensitivity => "level-sensitive always misses signals it reads",
+            RuleId::InferredLatch => "combinational always leaves a target unassigned on some path",
+            RuleId::BlockingInSequential => "blocking assignment in edge-triggered always",
+            RuleId::NonblockingInComb => "non-blocking assignment in combinational always",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// One finding of the lint engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintDiagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Severity after any config overrides.
+    pub severity: Severity,
+    /// Name of the module the finding is in.
+    pub module: String,
+    /// What the finding is anchored to — a net, port, instance or always
+    /// block (e.g. `"net 'y'"`, `"always #2"`).
+    pub locus: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {} ({}): {}",
+            self.severity, self.rule, self.module, self.locus, self.message
+        )
+    }
+}
+
+/// Configuration of a [`Linter`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LintConfig {
+    /// Rule ids (kebab-case, see [`RuleId::id`]) that never fire.
+    pub disabled_rules: Vec<String>,
+}
+
+impl LintConfig {
+    /// Whether a rule is enabled under this config.
+    pub fn is_enabled(&self, rule: RuleId) -> bool {
+        !self.disabled_rules.iter().any(|r| r == rule.id())
+    }
+}
+
+/// The rule-based semantic analysis engine.
+///
+/// Cheap to construct and reusable across files; all analysis state is
+/// per-call.
+#[derive(Debug, Clone, Default)]
+pub struct Linter {
+    config: LintConfig,
+}
+
+impl Linter {
+    /// A linter with every rule enabled at its default severity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A linter with the given configuration.
+    pub fn with_config(config: LintConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Parses `source` and lints every module in it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the source does not parse — syntax comes
+    /// first; lint rules only apply to well-formed ASTs.
+    pub fn lint_source(&self, source: &str) -> Result<Vec<LintDiagnostic>, ParseError> {
+        let modules = Parser::parse_source(source)?;
+        Ok(self.lint_modules(&modules))
+    }
+
+    /// Lints a set of modules that share one source file (instances are
+    /// resolved against the set; references to modules outside it are
+    /// tolerated).
+    pub fn lint_modules(&self, modules: &[Module]) -> Vec<LintDiagnostic> {
+        let mut diagnostics = Vec::new();
+        for module in modules {
+            let model = ModuleModel::build(module, modules);
+            let mut module_diags = Vec::new();
+            scope::check(&model, &mut module_diags);
+            drivers::check(&model, &mut module_diags);
+            width::check(&model, &mut module_diags);
+            graph::check(&model, &mut module_diags);
+            latch::check(&model, &mut module_diags);
+            module_diags.retain(|d| self.config.is_enabled(d.rule));
+            // Deterministic order: rule, then locus, then message — the
+            // passes already run in a fixed order, this pins ties.
+            module_diags.sort_by(|a, b| {
+                (a.rule, &a.locus, &a.message).cmp(&(b.rule, &b.locus, &b.message))
+            });
+            diagnostics.extend(module_diags.into_iter().map(|mut d| {
+                d.module = module.name.clone();
+                d
+            }));
+        }
+        diagnostics
+    }
+
+    /// The most severe severity among `diagnostics` (`None` when empty).
+    pub fn max_severity(diagnostics: &[LintDiagnostic]) -> Option<Severity> {
+        diagnostics.iter().map(|d| d.severity).max()
+    }
+}
+
+/// Convenience: a diagnostic with the rule's default severity.
+pub(crate) fn diag(
+    rule: RuleId,
+    locus: impl Into<String>,
+    message: impl Into<String>,
+) -> LintDiagnostic {
+    LintDiagnostic {
+        rule,
+        severity: rule.default_severity(),
+        module: String::new(),
+        locus: locus.into(),
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_kebab_case() {
+        let mut seen = std::collections::HashSet::new();
+        for rule in RuleId::ALL {
+            assert!(seen.insert(rule.id()), "duplicate rule id {}", rule.id());
+            assert!(rule
+                .id()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-'));
+            assert!(!rule.summary().is_empty());
+        }
+        assert_eq!(seen.len(), RuleId::ALL.len());
+    }
+
+    #[test]
+    fn metric_keys_use_underscores() {
+        assert_eq!(RuleId::CombLoop.metric_key(), "comb_loop");
+        assert_eq!(RuleId::WidthMismatch.metric_key(), "width_mismatch");
+    }
+
+    #[test]
+    fn disabled_rules_never_fire() {
+        let source = "module m(input a, output y);\nassign y = a;\nassign y = ~a;\nendmodule";
+        let all = Linter::new().lint_source(source).unwrap();
+        assert!(all.iter().any(|d| d.rule == RuleId::MultiplyDriven));
+        let muted = Linter::with_config(LintConfig {
+            disabled_rules: vec!["multiply-driven".into()],
+        })
+        .lint_source(source)
+        .unwrap();
+        assert!(muted.iter().all(|d| d.rule != RuleId::MultiplyDriven));
+    }
+
+    #[test]
+    fn clean_module_has_no_diagnostics() {
+        let source = "module m(input a, input b, output y);\nassign y = a & b;\nendmodule";
+        assert!(Linter::new().lint_source(source).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lint_source_propagates_parse_errors() {
+        assert!(Linter::new().lint_source("not verilog").is_err());
+    }
+
+    #[test]
+    fn diagnostics_render_their_parts() {
+        let d = LintDiagnostic {
+            rule: RuleId::CombLoop,
+            severity: Severity::Error,
+            module: "m".into(),
+            locus: "net 'y'".into(),
+            message: "cycle".into(),
+        };
+        let text = d.to_string();
+        assert!(text.contains("comb-loop"));
+        assert!(text.contains("error"));
+        assert!(text.contains("net 'y'"));
+    }
+}

@@ -1,0 +1,701 @@
+//! The shared semantic model the lint passes analyse: a symbol table with
+//! folded parameter values, resolved instances, and per-net drive/read
+//! summaries.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::ast::{
+    AlwaysBlock, Expr, Module, ModuleItem, Net, NetKind, PortDirection, Range, Statement,
+};
+
+/// What a name in the module's scope refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SymbolKind {
+    /// A declared net, variable or port.
+    Net,
+    /// A `parameter`/`localparam`.
+    Param,
+    /// A `genvar`.
+    Genvar,
+}
+
+/// One entry of the symbol table.
+#[derive(Debug, Clone)]
+pub(crate) struct SymbolInfo {
+    pub kind: SymbolKind,
+    /// Port direction if the symbol is a port.
+    pub direction: Option<PortDirection>,
+    /// Whether the symbol is a variable (`reg`/`integer`).
+    pub is_reg: bool,
+    /// Whether the symbol is specifically an `integer` (loop counter).
+    pub is_integer: bool,
+    /// Whether the symbol has an unpacked (memory) dimension.
+    pub is_array: bool,
+    /// Packed width in bits when it constant-folds.
+    pub width: Option<u32>,
+    /// Non-ANSI direction declarations seen for a port name.
+    pub port_dir_decls: usize,
+    /// Data-type (`wire`/`reg`/…) declarations seen.
+    pub data_decls: usize,
+}
+
+impl SymbolInfo {
+    fn net(direction: Option<PortDirection>) -> Self {
+        Self {
+            kind: SymbolKind::Net,
+            direction,
+            is_reg: false,
+            is_integer: false,
+            is_array: false,
+            width: None,
+            port_dir_decls: 0,
+            data_decls: 0,
+        }
+    }
+}
+
+/// How a net is driven, accumulated over the whole module.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DriveInfo {
+    /// Whole-net continuous drivers: `assign` statements, net initialisers
+    /// and resolved instance outputs.
+    pub continuous_whole: usize,
+    /// Partial (bit/part-select) continuous drivers.
+    pub continuous_partial: usize,
+    /// Indices (into [`ModuleModel::always_blocks`]) of `always` blocks
+    /// assigning the net.
+    pub always_blocks: BTreeSet<usize>,
+    /// Driven from an `initial` block.
+    pub initial: bool,
+    /// Connected to an instance of a module defined elsewhere — direction
+    /// unknown, so the net may be driven externally.
+    pub maybe_external: bool,
+}
+
+impl DriveInfo {
+    /// Whether anything drives the net at all (conservatively counting
+    /// unresolved-instance connections).
+    pub fn is_driven(&self) -> bool {
+        self.continuous_whole > 0
+            || self.continuous_partial > 0
+            || !self.always_blocks.is_empty()
+            || self.initial
+            || self.maybe_external
+    }
+}
+
+/// A connection of one instance port, classified against the resolved
+/// target module.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedConnection<'a> {
+    pub port_name: String,
+    pub direction: PortDirection,
+    /// Folded width of the child port under the instance's parameter
+    /// overrides.
+    pub port_width: Option<u32>,
+    /// The connected expression (`None` for explicit `.port()`).
+    pub expr: Option<&'a Expr>,
+}
+
+/// One instantiation with its resolution against the sibling modules.
+#[derive(Debug, Clone)]
+pub(crate) struct InstanceModel<'a> {
+    pub instance: &'a crate::ast::Instance,
+    /// The target module when it is defined in the same source.
+    pub target: Option<&'a Module>,
+    /// Classified connections (resolved instances only).
+    pub connections: Vec<ResolvedConnection<'a>>,
+    /// Input ports of the resolved target left without a connection.
+    pub missing_inputs: Vec<String>,
+}
+
+/// The semantic model of one module, shared by every lint pass.
+pub(crate) struct ModuleModel<'a> {
+    pub module: &'a Module,
+    /// Constant-folded parameter values, in declaration order.
+    pub params: HashMap<String, u64>,
+    /// Widths of sized parameter literals (`localparam S = 2'd1` → 2).
+    pub param_widths: HashMap<String, u32>,
+    /// The symbol table.
+    pub symbols: HashMap<String, SymbolInfo>,
+    /// Symbol names in declaration order (deterministic iteration).
+    pub symbol_order: Vec<String>,
+    /// Every `always` block, in source order (generate regions included).
+    pub always_blocks: Vec<&'a AlwaysBlock>,
+    /// Every `initial` body, in source order.
+    pub initial_blocks: Vec<&'a Statement>,
+    /// Continuous assignments (`assign` items and net initialisers), as
+    /// `(target, value)` — initialisers synthesise an `Ident` target.
+    pub continuous_assigns: Vec<(Expr, &'a Expr)>,
+    /// Instantiations with their resolution.
+    pub instances: Vec<InstanceModel<'a>>,
+    /// Names of sibling modules in the same source (including this one).
+    pub sibling_names: BTreeSet<String>,
+    /// Per-net drive summary.
+    pub drives: HashMap<String, DriveInfo>,
+    /// Every identifier read anywhere (RHS, conditions, selects,
+    /// sensitivity lists, system-task arguments, unresolved connections).
+    pub reads: BTreeSet<String>,
+    /// Identifiers read in positions that must resolve to a local symbol
+    /// (excludes system-task arguments, where hierarchical names and
+    /// module references are idiomatic).
+    pub strict_refs: Vec<String>,
+}
+
+impl<'a> ModuleModel<'a> {
+    /// Builds the model for `module`, resolving instances against
+    /// `siblings` (the other modules parsed from the same source).
+    pub fn build(module: &'a Module, siblings: &'a [Module]) -> Self {
+        let sibling_names: BTreeSet<String> = siblings.iter().map(|m| m.name.clone()).collect();
+        let mut model = Self {
+            module,
+            params: HashMap::new(),
+            param_widths: HashMap::new(),
+            symbols: HashMap::new(),
+            symbol_order: Vec::new(),
+            always_blocks: Vec::new(),
+            initial_blocks: Vec::new(),
+            continuous_assigns: Vec::new(),
+            instances: Vec::new(),
+            sibling_names,
+            drives: HashMap::new(),
+            reads: BTreeSet::new(),
+            strict_refs: Vec::new(),
+        };
+        model.collect_symbols();
+        model.collect_items(siblings);
+        model.collect_drives_and_reads();
+        model
+    }
+
+    /// The width of a symbol, if known (scalars are 1 bit wide).
+    pub fn symbol_width(&self, name: &str) -> Option<u32> {
+        if let Some(w) = self.param_widths.get(name) {
+            return Some(*w);
+        }
+        self.symbols.get(name).and_then(|s| match s.kind {
+            SymbolKind::Net => s.width,
+            SymbolKind::Param | SymbolKind::Genvar => None,
+        })
+    }
+
+    fn declare(&mut self, name: &str, info: SymbolInfo) {
+        if !self.symbols.contains_key(name) {
+            self.symbol_order.push(name.to_string());
+        }
+        self.symbols.entry(name.to_string()).or_insert(info);
+    }
+
+    fn collect_symbols(&mut self) {
+        // Ports first (ANSI ranges fold below, after parameters are known —
+        // parameter declarations may appear in the body *after* the header
+        // uses them, but defaults are folded in declaration order, which
+        // matches the synthesisable subset in practice).
+        for port in &self.module.ports {
+            let mut info = SymbolInfo::net(Some(port.direction));
+            info.is_reg = port.is_reg;
+            self.declare(&port.name, info);
+        }
+        // Walk items in source order, folding parameters as they appear so
+        // later ranges can use them.
+        fn walk<'m>(model: &mut ModuleModel<'m>, items: &'m [ModuleItem]) {
+            for item in items {
+                match item {
+                    ModuleItem::Parameter(p) => {
+                        if let Some(v) = const_eval(&p.value, &model.params) {
+                            model.params.insert(p.name.clone(), v);
+                        }
+                        if let Expr::Number { width: Some(w), .. } = p.value {
+                            model.param_widths.insert(p.name.clone(), w);
+                        }
+                        model.declare(
+                            &p.name,
+                            SymbolInfo {
+                                kind: SymbolKind::Param,
+                                direction: None,
+                                is_reg: false,
+                                is_integer: false,
+                                is_array: false,
+                                width: None,
+                                port_dir_decls: 0,
+                                data_decls: 0,
+                            },
+                        );
+                    }
+                    ModuleItem::Declaration(decl) => {
+                        for net in &decl.nets {
+                            model.declare_net(decl.direction, net);
+                        }
+                    }
+                    ModuleItem::Generate(inner) => walk(model, inner),
+                    _ => {}
+                }
+            }
+        }
+        let module = self.module;
+        walk(self, &module.items);
+        // Fold ANSI port ranges now that every parameter default is known.
+        for port in &module.ports {
+            let width = match &port.range {
+                Some(range) => range_width(range, &self.params),
+                None => Some(1),
+            };
+            if let Some(info) = self.symbols.get_mut(&port.name) {
+                if info.width.is_none() {
+                    info.width = width;
+                }
+            }
+        }
+    }
+
+    fn declare_net(&mut self, direction: Option<PortDirection>, net: &Net) {
+        // `integer` is a 32-bit loop/temporary variable in practice; leave
+        // its width unknown so arithmetic on loop counters never warns.
+        let width = if net.kind == NetKind::Integer {
+            None
+        } else {
+            match &net.range {
+                Some(range) => range_width(range, &self.params),
+                None => Some(1),
+            }
+        };
+        if let Some(existing) = self.symbols.get_mut(&net.name) {
+            // Merging a non-ANSI port declaration (or the matching data-type
+            // declaration) into the port symbol.
+            if direction.is_some() {
+                existing.port_dir_decls += 1;
+            } else {
+                existing.data_decls += 1;
+            }
+            if existing.width.is_none() {
+                existing.width = width;
+            }
+            if matches!(net.kind, NetKind::Reg | NetKind::Integer) {
+                existing.is_reg = true;
+            }
+            if net.kind == NetKind::Integer {
+                existing.is_integer = true;
+            }
+            if net.array.is_some() {
+                existing.is_array = true;
+            }
+            return;
+        }
+        let kind = if net.kind == NetKind::Genvar {
+            SymbolKind::Genvar
+        } else {
+            SymbolKind::Net
+        };
+        self.declare(
+            &net.name,
+            SymbolInfo {
+                kind,
+                direction,
+                is_reg: matches!(net.kind, NetKind::Reg | NetKind::Integer),
+                is_integer: net.kind == NetKind::Integer,
+                is_array: net.array.is_some(),
+                width,
+                port_dir_decls: usize::from(direction.is_some()),
+                data_decls: usize::from(direction.is_none()),
+            },
+        );
+    }
+
+    fn collect_items(&mut self, siblings: &'a [Module]) {
+        fn walk<'m>(model: &mut ModuleModel<'m>, items: &'m [ModuleItem], siblings: &'m [Module]) {
+            for item in items {
+                match item {
+                    ModuleItem::ContinuousAssign { target, value } => {
+                        model.continuous_assigns.push((target.clone(), value));
+                    }
+                    ModuleItem::Declaration(decl) => {
+                        for net in &decl.nets {
+                            if let Some(init) = &net.init {
+                                model
+                                    .continuous_assigns
+                                    .push((Expr::Ident(net.name.clone()), init));
+                            }
+                        }
+                    }
+                    ModuleItem::Always(block) => model.always_blocks.push(block),
+                    ModuleItem::Initial(body) => model.initial_blocks.push(body),
+                    ModuleItem::Instance(inst) => {
+                        let target = siblings
+                            .iter()
+                            .find(|m| m.name == inst.module && m.name != model.module.name);
+                        let resolved = resolve_instance(&model.params, inst, target);
+                        model.instances.push(resolved);
+                    }
+                    ModuleItem::Generate(inner) => walk(model, inner, siblings),
+                    _ => {}
+                }
+            }
+        }
+        let module = self.module;
+        walk(self, &module.items, siblings);
+    }
+
+    fn collect_drives_and_reads(&mut self) {
+        // Continuous assignments.
+        let assigns: Vec<(Expr, &'a Expr)> = self.continuous_assigns.clone();
+        for (target, value) in &assigns {
+            self.record_lvalue(target, DriveSite::Continuous);
+            self.record_reads(value, true);
+        }
+        // Always blocks.
+        let blocks = self.always_blocks.clone();
+        for (index, block) in blocks.iter().enumerate() {
+            for (_, signal) in &block.sensitivity.entries {
+                self.reads.insert(signal.clone());
+                self.strict_refs.push(signal.clone());
+            }
+            self.collect_statement(&block.body, DriveSite::Always(index));
+        }
+        // Initial blocks.
+        let initials = self.initial_blocks.clone();
+        for body in initials {
+            self.collect_statement(body, DriveSite::Initial);
+        }
+        // Instance connections.
+        let instances: Vec<InstanceModel<'a>> = self.instances.clone();
+        for inst in &instances {
+            match inst.target {
+                Some(_) => {
+                    for conn in &inst.connections {
+                        let Some(expr) = conn.expr else { continue };
+                        match conn.direction {
+                            PortDirection::Input => self.record_reads(expr, true),
+                            PortDirection::Output | PortDirection::Inout => {
+                                self.record_lvalue(expr, DriveSite::InstanceOutput);
+                                // Selector expressions inside the target
+                                // still read.
+                                self.record_selector_reads(expr);
+                            }
+                        }
+                    }
+                    for (_, value) in &inst.instance.parameter_overrides {
+                        self.record_reads(value, true);
+                    }
+                }
+                None => {
+                    // Unknown direction: every connected ident both reads
+                    // and may be driven externally.
+                    let exprs = inst
+                        .instance
+                        .named_connections
+                        .iter()
+                        .filter_map(|(_, e)| e.as_ref())
+                        .chain(inst.instance.ordered_connections.iter());
+                    for expr in exprs {
+                        self.record_reads(expr, true);
+                        for ident in expr.referenced_idents() {
+                            self.drives.entry(ident).or_default().maybe_external = true;
+                        }
+                    }
+                    for (_, value) in &inst.instance.parameter_overrides {
+                        self.record_reads(value, true);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_statement(&mut self, statement: &'a Statement, site: DriveSite) {
+        match statement {
+            Statement::Block(stmts) => {
+                for s in stmts {
+                    self.collect_statement(s, site);
+                }
+            }
+            Statement::Blocking { target, value } | Statement::NonBlocking { target, value } => {
+                self.record_lvalue(target, site);
+                self.record_selector_reads(target);
+                self.record_reads(value, true);
+            }
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
+                self.record_reads(condition, true);
+                self.collect_statement(then_branch, site);
+                if let Some(e) = else_branch {
+                    self.collect_statement(e, site);
+                }
+            }
+            Statement::Case { subject, arms, .. } => {
+                self.record_reads(subject, true);
+                for arm in arms {
+                    for label in &arm.labels {
+                        self.record_reads(label, true);
+                    }
+                    self.collect_statement(&arm.body, site);
+                }
+            }
+            Statement::For {
+                init,
+                condition,
+                step,
+                body,
+            } => {
+                self.collect_statement(init, site);
+                self.record_reads(condition, true);
+                self.collect_statement(step, site);
+                self.collect_statement(body, site);
+            }
+            Statement::SystemCall { args, .. } => {
+                // Arguments are reads but not strict references: system
+                // tasks legitimately name modules and hierarchical paths
+                // (`$dumpvars(0, tb)`).
+                for arg in args {
+                    self.record_reads(arg, false);
+                }
+            }
+            Statement::Empty => {}
+        }
+    }
+
+    fn record_reads(&mut self, expr: &Expr, strict: bool) {
+        for ident in expr.referenced_idents() {
+            self.reads.insert(ident.clone());
+            if strict {
+                self.strict_refs.push(ident);
+            }
+        }
+    }
+
+    /// Records the reads hidden inside an assignment target: index and
+    /// part-select bound expressions.
+    fn record_selector_reads(&mut self, target: &Expr) {
+        match target {
+            Expr::Ident(_) => {}
+            Expr::Index { base, index } => {
+                self.record_reads(index, true);
+                self.record_selector_reads(base);
+            }
+            Expr::Slice { base, msb, lsb } => {
+                self.record_reads(msb, true);
+                self.record_reads(lsb, true);
+                self.record_selector_reads(base);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    self.record_selector_reads(p);
+                }
+            }
+            // Anything else in target position is not a well-formed lvalue;
+            // treat it as a read so analysis stays conservative.
+            other => self.record_reads(other, true),
+        }
+    }
+
+    fn record_lvalue(&mut self, target: &Expr, site: DriveSite) {
+        for (name, whole) in lvalue_targets(target) {
+            // The target name itself must resolve locally.
+            self.strict_refs.push(name.clone());
+            let drive = self.drives.entry(name).or_default();
+            match site {
+                DriveSite::Continuous | DriveSite::InstanceOutput => {
+                    if whole {
+                        drive.continuous_whole += 1;
+                    } else {
+                        drive.continuous_partial += 1;
+                    }
+                }
+                DriveSite::Always(index) => {
+                    drive.always_blocks.insert(index);
+                }
+                DriveSite::Initial => drive.initial = true,
+            }
+        }
+    }
+}
+
+/// Where a drive was seen.
+#[derive(Debug, Clone, Copy)]
+enum DriveSite {
+    Continuous,
+    InstanceOutput,
+    Always(usize),
+    Initial,
+}
+
+/// Decomposes an assignment target into `(base name, is whole-net)` pairs.
+pub(crate) fn lvalue_targets(target: &Expr) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    fn walk(expr: &Expr, whole: bool, out: &mut Vec<(String, bool)>) {
+        match expr {
+            Expr::Ident(name) => out.push((name.clone(), whole)),
+            Expr::Index { base, .. } | Expr::Slice { base, .. } => walk(base, false, out),
+            Expr::Concat(parts) => {
+                for p in parts {
+                    walk(p, whole, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(target, true, &mut out);
+    out
+}
+
+/// Constant-folds an expression under a parameter environment. Returns
+/// `None` for anything that is not a compile-time constant.
+pub(crate) fn const_eval(expr: &Expr, params: &HashMap<String, u64>) -> Option<u64> {
+    use crate::ast::{BinaryOp, UnaryOp};
+    match expr {
+        Expr::Number { value, .. } => Some(*value),
+        Expr::Ident(name) => params.get(name).copied(),
+        Expr::Unary { op, operand } => {
+            let v = const_eval(operand, params)?;
+            match op {
+                UnaryOp::Plus => Some(v),
+                UnaryOp::Not => Some(u64::from(v == 0)),
+                // Negation/bit-complement produce huge two's-complement
+                // values that are meaningless as widths; refuse to fold.
+                _ => None,
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs, params)?;
+            let b = const_eval(rhs, params)?;
+            match op {
+                BinaryOp::Add => a.checked_add(b),
+                BinaryOp::Sub => a.checked_sub(b),
+                BinaryOp::Mul => a.checked_mul(b),
+                BinaryOp::Div => a.checked_div(b),
+                BinaryOp::Mod => a.checked_rem(b),
+                BinaryOp::Pow => a.checked_pow(u32::try_from(b).ok()?),
+                BinaryOp::Shl | BinaryOp::AShl => a.checked_shl(u32::try_from(b).ok()?),
+                BinaryOp::Shr | BinaryOp::AShr => a.checked_shr(u32::try_from(b).ok()?),
+                BinaryOp::And => Some(a & b),
+                BinaryOp::Or => Some(a | b),
+                BinaryOp::Xor => Some(a ^ b),
+                BinaryOp::Eq => Some(u64::from(a == b)),
+                BinaryOp::Neq => Some(u64::from(a != b)),
+                BinaryOp::Lt => Some(u64::from(a < b)),
+                BinaryOp::Le => Some(u64::from(a <= b)),
+                BinaryOp::Gt => Some(u64::from(a > b)),
+                BinaryOp::Ge => Some(u64::from(a >= b)),
+                _ => None,
+            }
+        }
+        Expr::Ternary {
+            condition,
+            then_expr,
+            else_expr,
+        } => {
+            let c = const_eval(condition, params)?;
+            if c != 0 {
+                const_eval(then_expr, params)
+            } else {
+                const_eval(else_expr, params)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Folds a packed range into its width in bits.
+pub(crate) fn range_width(range: &Range, params: &HashMap<String, u64>) -> Option<u32> {
+    let msb = const_eval(&range.msb, params)?;
+    let lsb = const_eval(&range.lsb, params)?;
+    u32::try_from(msb.abs_diff(lsb) + 1).ok()
+}
+
+/// Resolves one instance against a possible target module: classifies each
+/// connection by the child port's direction and folds the child port widths
+/// under the instance's parameter overrides.
+fn resolve_instance<'a>(
+    parent_params: &HashMap<String, u64>,
+    inst: &'a crate::ast::Instance,
+    target: Option<&'a Module>,
+) -> InstanceModel<'a> {
+    let Some(target_module) = target else {
+        return InstanceModel {
+            instance: inst,
+            target: None,
+            connections: Vec::new(),
+            missing_inputs: Vec::new(),
+        };
+    };
+    // Child parameter environment: defaults, then overrides folded in the
+    // parent's environment.
+    let mut child_params: HashMap<String, u64> = HashMap::new();
+    let mut positional = inst
+        .parameter_overrides
+        .iter()
+        .filter(|(n, _)| n.is_empty());
+    for item in &target_module.items {
+        if let ModuleItem::Parameter(p) = item {
+            if p.local {
+                if let Some(v) = const_eval(&p.value, &child_params) {
+                    child_params.insert(p.name.clone(), v);
+                }
+                continue;
+            }
+            let named = inst
+                .parameter_overrides
+                .iter()
+                .find(|(n, _)| n == &p.name)
+                .map(|(_, v)| v);
+            let by_position = if named.is_none() {
+                positional.next().map(|(_, v)| v)
+            } else {
+                None
+            };
+            let value = match (named, by_position) {
+                (Some(v), _) | (None, Some(v)) => const_eval(v, parent_params),
+                (None, None) => const_eval(&p.value, &child_params),
+            };
+            if let Some(v) = value {
+                child_params.insert(p.name.clone(), v);
+            }
+        }
+    }
+    let port_width = |name: &str| -> Option<u32> {
+        let port = target_module.port(name)?;
+        match &port.range {
+            Some(range) => range_width(range, &child_params),
+            None => Some(1),
+        }
+    };
+    let mut connections = Vec::new();
+    let mut connected: BTreeMap<String, bool> = BTreeMap::new();
+    if !inst.named_connections.is_empty() || inst.ordered_connections.is_empty() {
+        for (port_name, expr) in &inst.named_connections {
+            if let Some(port) = target_module.port(port_name) {
+                connections.push(ResolvedConnection {
+                    port_name: port_name.clone(),
+                    direction: port.direction,
+                    port_width: port_width(port_name),
+                    expr: expr.as_ref(),
+                });
+                connected.insert(port_name.clone(), expr.is_some());
+            }
+        }
+    } else {
+        for (port, expr) in target_module.ports.iter().zip(&inst.ordered_connections) {
+            connections.push(ResolvedConnection {
+                port_name: port.name.clone(),
+                direction: port.direction,
+                port_width: port_width(&port.name),
+                expr: Some(expr),
+            });
+            connected.insert(port.name.clone(), true);
+        }
+    }
+    let missing_inputs = target_module
+        .ports
+        .iter()
+        .filter(|p| p.direction == PortDirection::Input)
+        .filter(|p| !matches!(connected.get(&p.name), Some(true)))
+        .map(|p| p.name.clone())
+        .collect();
+    InstanceModel {
+        instance: inst,
+        target: Some(target_module),
+        connections,
+        missing_inputs,
+    }
+}

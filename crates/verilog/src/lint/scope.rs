@@ -1,0 +1,178 @@
+//! Pass 1 — symbol resolution and scope rules.
+//!
+//! Checks every referenced identifier against the module's symbol table
+//! (undeclared/unused/redeclared) and validates instance connections
+//! against sibling modules (unknown ports, positional arity, unconnected
+//! inputs, outputs driving non-drivable expressions).
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Expr, PortDirection};
+
+use super::model::SymbolKind;
+use super::{diag, LintDiagnostic, ModuleModel, RuleId};
+
+pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    undeclared(model, out);
+    redeclared(model, out);
+    unused(model, out);
+    instances(model, out);
+}
+
+fn undeclared(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    let mut reported = BTreeSet::new();
+    let instance_names: BTreeSet<&str> = model
+        .instances
+        .iter()
+        .map(|i| i.instance.name.as_str())
+        .collect();
+    for name in &model.strict_refs {
+        if model.symbols.contains_key(name)
+            || model.sibling_names.contains(name)
+            || instance_names.contains(name.as_str())
+            || !reported.insert(name.clone())
+        {
+            continue;
+        }
+        out.push(diag(
+            RuleId::UndeclaredIdent,
+            format!("net '{name}'"),
+            format!("'{name}' is referenced but never declared"),
+        ));
+    }
+}
+
+fn redeclared(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for name in &model.symbol_order {
+        let info = &model.symbols[name];
+        // A port legitimately pairs one non-ANSI direction declaration with
+        // one data-type declaration; anything beyond that is a redeclaration.
+        if info.port_dir_decls > 1 || info.data_decls > 1 {
+            out.push(diag(
+                RuleId::RedeclaredIdent,
+                format!("net '{name}'"),
+                format!("'{name}' is declared more than once"),
+            ));
+        }
+    }
+}
+
+fn unused(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for name in &model.symbol_order {
+        let info = &model.symbols[name];
+        if info.kind != SymbolKind::Net {
+            // Parameters and genvars document intent even when unread.
+            continue;
+        }
+        if matches!(
+            info.direction,
+            Some(PortDirection::Output | PortDirection::Inout)
+        ) {
+            // Outputs are read by the parent.
+            continue;
+        }
+        if !model.reads.contains(name) {
+            let what = match info.direction {
+                Some(PortDirection::Input) => "input port",
+                _ => "signal",
+            };
+            out.push(diag(
+                RuleId::UnusedSignal,
+                format!("net '{name}'"),
+                format!("{what} '{name}' is never read"),
+            ));
+        }
+    }
+}
+
+fn instances(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for inst in &model.instances {
+        let Some(target) = inst.target else { continue };
+        let locus = format!("instance '{}'", inst.instance.name);
+        // Named connections to ports the target does not have.
+        for (port_name, _) in &inst.instance.named_connections {
+            if target.port(port_name).is_none() {
+                out.push(diag(
+                    RuleId::UnknownPort,
+                    locus.clone(),
+                    format!(
+                        "connection to '.{port_name}' but module '{}' has no such port",
+                        target.name
+                    ),
+                ));
+            }
+        }
+        // Positional arity.
+        if inst.instance.named_connections.is_empty()
+            && !inst.instance.ordered_connections.is_empty()
+            && inst.instance.ordered_connections.len() != target.ports.len()
+        {
+            out.push(diag(
+                RuleId::PortCountMismatch,
+                locus.clone(),
+                format!(
+                    "{} positional connections but module '{}' has {} ports",
+                    inst.instance.ordered_connections.len(),
+                    target.name,
+                    target.ports.len()
+                ),
+            ));
+        }
+        // Unconnected inputs (missing from the list or explicitly `.p()`).
+        for port_name in &inst.missing_inputs {
+            out.push(diag(
+                RuleId::UnconnectedPort,
+                locus.clone(),
+                format!(
+                    "input port '{port_name}' of module '{}' is unconnected",
+                    target.name
+                ),
+            ));
+        }
+        // Outputs must drive something drivable.
+        for conn in &inst.connections {
+            if !matches!(conn.direction, PortDirection::Output | PortDirection::Inout) {
+                continue;
+            }
+            let Some(expr) = conn.expr else { continue };
+            if !is_drivable(expr) {
+                out.push(diag(
+                    RuleId::PortDirectionMismatch,
+                    locus.clone(),
+                    format!(
+                        "output port '{}' drives an expression that is not an lvalue",
+                        conn.port_name
+                    ),
+                ));
+                continue;
+            }
+            // Driving one of the parent's *input* ports from inside the
+            // parent conflicts with the external driver.
+            for (name, _) in super::model::lvalue_targets(expr) {
+                if let Some(info) = model.symbols.get(&name) {
+                    if info.direction == Some(PortDirection::Input) {
+                        out.push(diag(
+                            RuleId::PortDirectionMismatch,
+                            locus.clone(),
+                            format!(
+                                "output port '{}' drives input port '{name}' of the enclosing module",
+                                conn.port_name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether an expression has lvalue shape (identifier, bit/part select, or
+/// a concatenation of those).
+fn is_drivable(expr: &Expr) -> bool {
+    match expr {
+        Expr::Ident(_) => true,
+        Expr::Index { base, .. } | Expr::Slice { base, .. } => is_drivable(base),
+        Expr::Concat(parts) => parts.iter().all(is_drivable),
+        _ => false,
+    }
+}

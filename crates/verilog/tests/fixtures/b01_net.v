@@ -1,0 +1,41 @@
+// ITC'99 benchmark b01 -- FSM that compares serial flows (gate-level).
+// Flattened to a generic cell library in the style of the synthesised
+// "b01_net.v" netlists shipped with the benchmark suite: a non-ANSI port
+// list, a 3-bit state register built from resettable D flip-flops, and a
+// cloud of two-input gates computing the next-state and output functions.
+module b01 ( clock, reset, line1, line2, outp, overflw );
+  input clock, reset, line1, line2;
+  output outp, overflw;
+  wire [2:0] stato;
+  wire ns0, ns1, ns2, nx_outp, nx_overflw;
+  wire n26, n27, n28, n29, n30, n31, n32, n33;
+  wire n34, n35, n36, n37, n38, n39, n40, n41;
+
+  dff_r r_state_0 ( .d(ns0), .ck(clock), .rst(reset), .q(stato[0]) );
+  dff_r r_state_1 ( .d(ns1), .ck(clock), .rst(reset), .q(stato[1]) );
+  dff_r r_state_2 ( .d(ns2), .ck(clock), .rst(reset), .q(stato[2]) );
+  dff_r r_outp    ( .d(nx_outp), .ck(clock), .rst(reset), .q(outp) );
+  dff_r r_overflw ( .d(nx_overflw), .ck(clock), .rst(reset), .q(overflw) );
+
+  xor2  u26 ( .a(line1), .b(line2), .y(n26) );
+  and2  u27 ( .a(line1), .b(line2), .y(n27) );
+  inv1  u28 ( .a(stato[2]), .y(n28) );
+  inv1  u29 ( .a(stato[1]), .y(n29) );
+  inv1  u30 ( .a(stato[0]), .y(n30) );
+  and2  u31 ( .a(n28), .b(n29), .y(n31) );
+  and2  u32 ( .a(n31), .b(n30), .y(n32) );
+  and2  u33 ( .a(n31), .b(stato[0]), .y(n33) );
+  and2  u34 ( .a(n28), .b(stato[1]), .y(n34) );
+  and2  u35 ( .a(n34), .b(n30), .y(n35) );
+  xor2  u36 ( .a(n26), .b(stato[0]), .y(n36) );
+  and2  u37 ( .a(n27), .b(n32), .y(n37) );
+  or2   u38 ( .a(n37), .b(n33), .y(n38) );
+  and2  u39 ( .a(n38), .b(n36), .y(ns0) );
+  or2   u40 ( .a(n32), .b(n35), .y(n39) );
+  and2  u41 ( .a(n39), .b(n26), .y(ns1) );
+  and2  u42 ( .a(n33), .b(n27), .y(n40) );
+  or2   u43 ( .a(n40), .b(n34), .y(ns2) );
+  and2  u44 ( .a(n36), .b(n38), .y(n41) );
+  or2   u45 ( .a(n41), .b(n35), .y(nx_outp) );
+  and2  u46 ( .a(stato[2]), .b(n27), .y(nx_overflw) );
+endmodule

@@ -78,6 +78,28 @@ impl Problem {
         self.check_source(&self.assemble(completion))
     }
 
+    /// Whether a full module source is *lint-clean*: it parses and the
+    /// semantic lint engine ([`verilog::lint`]) reports no error-severity
+    /// findings. Warnings (style, latch inference, width truncation) do not
+    /// disqualify a candidate.
+    ///
+    /// This is the pre-simulation gate: it judges the candidate's static
+    /// plausibility independently of the testbench, so pass@k can be
+    /// reported with and without lint-clean filtering.
+    pub fn lint_clean(&self, source: &str) -> bool {
+        match verilog::Linter::new().lint_source(source) {
+            Ok(diagnostics) => diagnostics
+                .iter()
+                .all(|d| d.severity < verilog::Severity::Error),
+            Err(_) => false,
+        }
+    }
+
+    /// Lint-checks a model completion (text after the prompt).
+    pub fn lint_clean_completion(&self, completion: &str) -> bool {
+        self.lint_clean(&self.assemble(completion))
+    }
+
     /// Verifies that the golden solution passes its own testbench.
     ///
     /// # Errors
@@ -148,6 +170,21 @@ mod tests {
         assert!(!p.check_completion("assign y = a & b;")); // missing endmodule
         assert!(!p.check_completion("garbage <unk> tokens"));
         assert!(!p.check_completion(""));
+    }
+
+    #[test]
+    fn lint_gate_separates_clean_from_semantically_broken_candidates() {
+        let p = and_problem();
+        // The golden solution is lint-clean.
+        assert!(p.lint_clean(&p.golden_solution));
+        assert!(p.lint_clean_completion("assign y = a & b;\nendmodule"));
+        // A doubly-driven output is an error-severity finding.
+        assert!(!p.lint_clean_completion("assign y = a & b;\nassign y = a;\nendmodule"));
+        // Unparsable candidates are never clean.
+        assert!(!p.lint_clean_completion("garbage <unk> tokens"));
+        // Warning-severity findings do not disqualify: an unused
+        // intermediate wire is tolerated.
+        assert!(p.lint_clean_completion("wire t;\nassign t = a;\nassign y = t & b;\nendmodule"));
     }
 
     #[test]

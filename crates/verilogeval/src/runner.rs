@@ -24,6 +24,13 @@ pub struct EvalConfig {
     /// Maximum number of new tokens per completion (paper: 2 048; the
     /// built-in problems need far fewer).
     pub max_new_tokens: usize,
+    /// Whether to run the semantic lint gate over every candidate before
+    /// simulation. When on, each [`ProblemResult`] records how many samples
+    /// were lint-clean and the report carries
+    /// [`EvalReport::pass_at_k_lint_percent`] — pass@k counting only
+    /// candidates that are both functionally correct *and* lint-clean.
+    /// Functional pass@k is unaffected either way.
+    pub lint_gate: bool,
     /// RNG seed for sampling.
     pub seed: u64,
 }
@@ -35,6 +42,7 @@ impl Default for EvalConfig {
             ks: vec![1, 5, 10],
             temperatures: vec![0.2, 0.8],
             max_new_tokens: 200,
+            lint_gate: true,
             seed: 0xE7A1,
         }
     }
@@ -49,6 +57,12 @@ pub struct ProblemResult {
     pub samples: usize,
     /// Number of functionally correct samples.
     pub correct: usize,
+    /// Number of samples the semantic lint gate judged clean (0 when the
+    /// gate is disabled).
+    pub lint_clean: usize,
+    /// Number of samples both functionally correct and lint-clean (0 when
+    /// the gate is disabled).
+    pub correct_lint_clean: usize,
 }
 
 /// The outcome of evaluating one model on a suite.
@@ -62,12 +76,25 @@ pub struct EvalReport {
     pub per_problem: Vec<ProblemResult>,
     /// `(k, mean pass@k * 100)` rows at the best temperature.
     pub pass_at_k_percent: Vec<(usize, f64)>,
+    /// `(k, mean pass@k * 100)` rows counting only candidates that are both
+    /// functionally correct and lint-clean. Empty when the lint gate is
+    /// disabled.
+    pub pass_at_k_lint_percent: Vec<(usize, f64)>,
 }
 
 impl EvalReport {
     /// Mean pass@k (as a percentage) for a given `k`, if it was evaluated.
     pub fn pass_percent(&self, k: usize) -> Option<f64> {
         self.pass_at_k_percent
+            .iter()
+            .find(|(kk, _)| *kk == k)
+            .map(|(_, v)| *v)
+    }
+
+    /// Mean lint-gated pass@k (as a percentage) for a given `k`, if the
+    /// lint gate ran.
+    pub fn lint_pass_percent(&self, k: usize) -> Option<f64> {
+        self.pass_at_k_lint_percent
             .iter()
             .find(|(kk, _)| *kk == k)
             .map(|(_, v)| *v)
@@ -137,17 +164,29 @@ impl Runner {
         let sampler = SamplerConfig::with_temperature(temperature);
         let prompt = problem.prompt();
         let mut correct = 0;
+        let mut lint_clean = 0;
+        let mut correct_lint_clean = 0;
         for _ in 0..self.config.samples_per_problem {
             let completion =
                 model.generate_text(&prompt, self.config.max_new_tokens, &sampler, rng);
-            if problem.check_completion(&completion) {
+            let source = problem.assemble(&completion);
+            let ok = problem.check_source(&source);
+            if ok {
                 correct += 1;
+            }
+            if self.config.lint_gate && problem.lint_clean(&source) {
+                lint_clean += 1;
+                if ok {
+                    correct_lint_clean += 1;
+                }
             }
         }
         ProblemResult {
             id: problem.id.clone(),
             samples: self.config.samples_per_problem,
             correct,
+            lint_clean,
+            correct_lint_clean,
         }
     }
 
@@ -172,11 +211,25 @@ impl Runner {
                 .iter()
                 .map(|&k| (k, 100.0 * mean_pass_at_k(&nc, k)))
                 .collect();
+            let pass_at_k_lint_percent: Vec<(usize, f64)> = if self.config.lint_gate {
+                let nc_lint: Vec<(usize, usize)> = per_problem
+                    .iter()
+                    .map(|r| (r.samples, r.correct_lint_clean))
+                    .collect();
+                self.config
+                    .ks
+                    .iter()
+                    .map(|&k| (k, 100.0 * mean_pass_at_k(&nc_lint, k)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let report = EvalReport {
                 model: model.name().to_string(),
                 best_temperature: temperature,
                 per_problem,
                 pass_at_k_percent,
+                pass_at_k_lint_percent,
             };
             let better = match &best {
                 None => true,
@@ -280,6 +333,7 @@ mod tests {
             ks: vec![1, 3],
             temperatures: vec![0.2],
             max_new_tokens: 300,
+            lint_gate: true,
             seed: 1,
         };
         let report = Runner::new(suite, config).evaluate(&model);
@@ -296,6 +350,7 @@ mod tests {
             ks: vec![1, 2],
             temperatures: vec![0.8],
             max_new_tokens: 80,
+            lint_gate: true,
             seed: 2,
         };
         let report = Runner::new(suite, config).evaluate(&model);
@@ -311,6 +366,7 @@ mod tests {
             ks: vec![1, 2, 4],
             temperatures: vec![0.2, 0.8],
             max_new_tokens: 60,
+            lint_gate: true,
             seed: 3,
         };
         let report = Runner::new(suite.clone(), config).evaluate(&weak_model());
@@ -330,6 +386,7 @@ mod tests {
                 ks: vec![1],
                 temperatures: vec![0.2],
                 max_new_tokens: 20,
+                lint_gate: true,
                 seed: 4,
             },
         );
@@ -342,6 +399,57 @@ mod tests {
     }
 
     #[test]
+    fn lint_gate_reports_gated_pass_rates() {
+        let suite = ProblemSuite::verilog_eval_human().truncated(4);
+        let config = EvalConfig {
+            samples_per_problem: 3,
+            ks: vec![1, 3],
+            temperatures: vec![0.2],
+            max_new_tokens: 120,
+            lint_gate: true,
+            seed: 7,
+        };
+        let report = Runner::new(suite, config).evaluate(&oracle_model(
+            &ProblemSuite::verilog_eval_human().truncated(4),
+        ));
+        // The gated rows exist for every configured k and can only be
+        // tighter than the functional rows.
+        assert_eq!(report.pass_at_k_lint_percent.len(), 2);
+        for &(k, gated) in &report.pass_at_k_lint_percent {
+            let functional = report.pass_percent(k).unwrap();
+            assert!(
+                gated <= functional + 1e-9,
+                "lint-gated pass@{k} ({gated}) exceeds functional ({functional})"
+            );
+        }
+        for r in &report.per_problem {
+            assert!(r.correct_lint_clean <= r.correct);
+            assert!(r.correct_lint_clean <= r.lint_clean);
+            assert!(r.lint_clean <= r.samples);
+        }
+    }
+
+    #[test]
+    fn disabling_the_lint_gate_skips_lint_entirely() {
+        let suite = ProblemSuite::verilog_eval_human().truncated(2);
+        let config = EvalConfig {
+            samples_per_problem: 2,
+            ks: vec![1],
+            temperatures: vec![0.2],
+            max_new_tokens: 60,
+            lint_gate: false,
+            seed: 8,
+        };
+        let report = Runner::new(suite, config).evaluate(&weak_model());
+        assert!(report.pass_at_k_lint_percent.is_empty());
+        assert!(report.lint_pass_percent(1).is_none());
+        assert!(report
+            .per_problem
+            .iter()
+            .all(|r| r.lint_clean == 0 && r.correct_lint_clean == 0));
+    }
+
+    #[test]
     #[should_panic(expected = "every k must be <= samples_per_problem")]
     fn invalid_k_configuration_panics() {
         let _ = Runner::new(
@@ -351,6 +459,7 @@ mod tests {
                 ks: vec![5],
                 temperatures: vec![0.2],
                 max_new_tokens: 10,
+                lint_gate: true,
                 seed: 0,
             },
         );

@@ -1,0 +1,25 @@
+//! Every golden solution in the built-in suite must be lint-clean: the
+//! eval-side lint gate should never penalise a correct reference design.
+
+use verilog::Linter;
+use verilogeval::ProblemSuite;
+
+#[test]
+fn golden_solutions_are_lint_clean() {
+    let linter = Linter::new();
+    for p in ProblemSuite::verilog_eval_human().problems() {
+        let diags = linter
+            .lint_source(&p.golden_solution)
+            .unwrap_or_else(|e| panic!("golden `{}` does not parse: {e}", p.id));
+        assert!(
+            diags.is_empty(),
+            "golden `{}` has lint findings:\n{}",
+            p.id,
+            diags
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -187,6 +187,7 @@ impl_tuple_strategy! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
 /// Types with a canonical "any value" strategy.

@@ -132,6 +132,7 @@ fn verilogeval_runner_works_with_freev_models() {
             ks: vec![1, 3],
             temperatures: vec![0.2],
             max_new_tokens: 150,
+            lint_gate: true,
             seed: 5,
         },
     );
