@@ -65,6 +65,7 @@ pub mod funnel;
 pub mod intake;
 pub mod license_filter;
 pub mod lint_stage;
+pub mod parse_cache;
 pub mod pipeline;
 pub mod report;
 pub mod stage;
@@ -80,6 +81,7 @@ pub use funnel::{FunnelStats, StageCount};
 pub use intake::CurationSession;
 pub use license_filter::LicenseFilter;
 pub use lint_stage::{LintRejectPolicy, LintStage};
+pub use parse_cache::ParseCache;
 pub use pipeline::{
     CuratedDataset, CuratedFile, CurationConfig, CurationPipeline, DatasetStructure,
 };

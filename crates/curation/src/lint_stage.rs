@@ -11,9 +11,12 @@
 //! it streams through a [`crate::CurationSession`] and its parallel output
 //! is byte-identical to serial output.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use verilog::{LintConfig, LintDiagnostic, Linter, Severity};
 
+use crate::parse_cache::ParseCache;
 use crate::stage::{stage_names, CurationStage, FileBatch, RejectReason, StageOutcome};
 
 /// Which lint findings condemn a file.
@@ -61,6 +64,7 @@ impl LintRejectPolicy {
 pub struct LintStage {
     policy: LintRejectPolicy,
     linter: Linter,
+    cache: Option<Arc<ParseCache>>,
 }
 
 impl LintStage {
@@ -69,7 +73,22 @@ impl LintStage {
         let linter = Linter::with_config(LintConfig {
             disabled_rules: policy.disabled_rules.clone(),
         });
-        Self { policy, linter }
+        Self {
+            policy,
+            linter,
+            cache: None,
+        }
+    }
+
+    /// Stage that reuses parses deposited in `cache` by an upstream
+    /// [`crate::SyntaxStage`] instead of re-parsing — the pipeline's
+    /// parse-once contract. Files absent from the cache (e.g. when the
+    /// stage runs without a syntax filter upstream) are parsed here as a
+    /// fallback.
+    pub fn with_cache(policy: LintRejectPolicy, cache: Arc<ParseCache>) -> Self {
+        let mut stage = Self::new(policy);
+        stage.cache = Some(cache);
+        stage
     }
 
     /// The policy in force.
@@ -80,9 +99,15 @@ impl LintStage {
     /// Judges one file: `None` keeps it, `Some((category, detail))`
     /// rejects it.
     fn verdict(&self, content: &str) -> Option<(String, String)> {
-        let diagnostics = match self.linter.lint_source(content) {
-            Ok(diagnostics) => diagnostics,
-            Err(error) => return Some(("parse-error".into(), format!("does not parse: {error}"))),
+        let cached = self.cache.as_ref().and_then(|cache| cache.take(content));
+        let diagnostics = match cached {
+            Some(parsed) => self.linter.lint_parsed(&parsed),
+            None => match self.linter.lint_source(content) {
+                Ok(diagnostics) => diagnostics,
+                Err(error) => {
+                    return Some(("parse-error".into(), format!("does not parse: {error}")))
+                }
+            },
         };
         let offending: Vec<&LintDiagnostic> = diagnostics
             .iter()

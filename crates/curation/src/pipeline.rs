@@ -18,6 +18,7 @@ use crate::funnel::FunnelStats;
 use crate::intake::CurationSession;
 use crate::license_filter::LicenseFilter;
 use crate::lint_stage::{LintRejectPolicy, LintStage};
+use crate::parse_cache::ParseCache;
 use crate::stage::{CurationStage, ExecutionMode, RejectReason, RejectedFile};
 use crate::stages::{CopyrightStage, DedupStage, LengthCapStage, LicenseStage, SyntaxStage};
 
@@ -293,11 +294,22 @@ impl CurationPipeline {
                 self.config.dedup_spill.clone(),
             )));
         }
+        // When the syntax filter feeds straight into the lint stage, the
+        // pair shares a ParseCache: syntax parses each file exactly once
+        // and lint reuses that parse instead of re-parsing.
+        let parse_cache = (self.config.check_syntax && self.config.lint.is_some())
+            .then(|| std::sync::Arc::new(ParseCache::new()));
         if self.config.check_syntax {
-            stages.push(Box::new(SyntaxStage::new()));
+            stages.push(Box::new(match &parse_cache {
+                Some(cache) => SyntaxStage::with_cache(std::sync::Arc::clone(cache)),
+                None => SyntaxStage::new(),
+            }));
         }
         if let Some(policy) = &self.config.lint {
-            stages.push(Box::new(LintStage::new(policy.clone())));
+            stages.push(Box::new(match parse_cache {
+                Some(cache) => LintStage::with_cache(policy.clone(), cache),
+                None => LintStage::new(policy.clone()),
+            }));
         }
         if self.config.check_file_copyright {
             stages.push(Box::new(CopyrightStage::new(

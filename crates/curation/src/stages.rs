@@ -6,9 +6,14 @@
 //! [`CopyrightDetector`]) and adapts it to the batch-in/outcome-out stage
 //! interface with provenance-tagged rejections.
 
+use std::sync::Arc;
+
+use verilog::ParsedFile;
+
 use crate::copyright::CopyrightDetector;
 use crate::dedup::{DedupConfig, DedupSpillConfig, Deduplicator, StreamingDeduplicator};
 use crate::license_filter::LicenseFilter;
+use crate::parse_cache::ParseCache;
 use crate::stage::{
     stage_names, CurationStage, FileBatch, RejectReason, StageOutcome, StageStream, StageStreaming,
 };
@@ -201,15 +206,44 @@ impl StageStream for DedupStream {
 }
 
 /// Removes files that fail the syntax check ([`stage_names::SYNTAX`]).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Each file is lexed and parsed exactly once via [`verilog::ParsedFile`].
+/// When a [`ParseCache`] is attached ([`SyntaxStage::with_cache`]), the
+/// parsed form of every surviving file is deposited there so a downstream
+/// [`crate::LintStage`] sharing the cache lints without re-parsing — the
+/// pipeline's parse-once contract.
+#[derive(Debug, Clone, Default)]
 pub struct SyntaxStage {
     filter: SyntaxFilter,
+    cache: Option<Arc<ParseCache>>,
 }
 
 impl SyntaxStage {
     /// Stage over the standard syntax checker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stage that deposits the parsed form of every kept file into `cache`.
+    pub fn with_cache(cache: Arc<ParseCache>) -> Self {
+        Self {
+            filter: SyntaxFilter::new(),
+            cache: Some(cache),
+        }
+    }
+
+    /// Whether the file passes; on success the parse is kept for reuse.
+    fn passes(&self, content: &str) -> bool {
+        let Ok(parsed) = ParsedFile::parse(content) else {
+            return false;
+        };
+        if self.filter.checker().check_parsed(&parsed).is_err() {
+            return false;
+        }
+        if let Some(cache) = &self.cache {
+            cache.insert(Arc::new(parsed));
+        }
+        true
     }
 }
 
@@ -220,7 +254,7 @@ impl CurationStage for SyntaxStage {
 
     fn apply(&self, batch: FileBatch) -> StageOutcome {
         batch.partition(stage_names::SYNTAX, RejectReason::Syntax, |f| {
-            self.filter.passes(&f.content)
+            self.passes(&f.content)
         })
     }
 

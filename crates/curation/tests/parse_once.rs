@@ -1,0 +1,112 @@
+//! The pipeline's parse-once contract, asserted with the lexer's global
+//! pass counter: running the syntax filter and the lint stage together
+//! performs exactly one lex + parse per file, and the funnel output is
+//! byte-identical across execution modes and batch splits.
+//!
+//! This file deliberately contains a single `#[test]` — the counter
+//! ([`verilog::lex_passes`]) is process-global, and integration-test
+//! binaries run their tests in parallel threads. One test per binary makes
+//! the deltas exact.
+
+use curation::{CurationConfig, CurationPipeline, ExecutionMode, LintRejectPolicy};
+use gh_sim::{DefectKind, ExtractedFile, License};
+use verilog::lex_passes;
+
+fn file(i: usize, content: String) -> ExtractedFile {
+    ExtractedFile {
+        repo_id: i as u64,
+        repo_full_name: format!("o/r{i}"),
+        owner: "o".into(),
+        repo_license: License::Mit,
+        created_year: 2021,
+        path: format!("f{i}.v"),
+        content,
+    }
+}
+
+/// A corpus mixing clean files, every planted defect (some rejected by the
+/// lint stage, some kept), files that fail the syntax check and files that
+/// do not lex at all.
+fn corpus() -> Vec<ExtractedFile> {
+    let mut files = Vec::new();
+    for i in 0..6 {
+        files.push(file(
+            i,
+            format!(
+                "module clean_{i}(input a, input b, output y);\nassign y = a & b;\nendmodule\n"
+            ),
+        ));
+    }
+    for (j, kind) in DefectKind::ALL.into_iter().enumerate() {
+        files.push(file(100 + j, kind.source(&format!("bad_{}", kind.tag()))));
+    }
+    files.push(file(200, "module broken(".into())); // parse error
+    files.push(file(201, "not verilog at all".into())); // parse error
+    files.push(file(202, "// comment only\n".into())); // parses, no modules
+    files.push(file(203, "module m; \"unterminated".into())); // lex error
+    files
+}
+
+/// Syntax + lint enabled, nothing upstream that would drop files — every
+/// input file reaches the syntax stage.
+fn config() -> CurationConfig {
+    let mut config = CurationConfig::unfiltered("ParseOnce");
+    config.check_syntax = true;
+    config.lint = Some(LintRejectPolicy::default());
+    config
+}
+
+#[test]
+fn syntax_and_lint_together_lex_each_file_exactly_once() {
+    let files = corpus();
+    let total = files.len();
+
+    // Serial one-shot run: the syntax stage lexes each incoming file once;
+    // the lint stage reuses those parses from the shared cache, so the
+    // global pass counter advances by exactly the file count.
+    let before = lex_passes();
+    let serial = CurationPipeline::new(config()).serial().run(files.clone());
+    let serial_passes = lex_passes() - before;
+    assert_eq!(
+        serial_passes as usize, total,
+        "expected one lex pass per file, got {serial_passes} for {total} files"
+    );
+
+    // Same contract in parallel mode.
+    let before = lex_passes();
+    let parallel = CurationPipeline::new(config())
+        .with_mode(ExecutionMode::Parallel)
+        .run(files.clone());
+    let parallel_passes = lex_passes() - before;
+    assert_eq!(parallel_passes as usize, total);
+
+    // Same contract when the corpus arrives as a stream of batches.
+    let split = total / 2;
+    let before = lex_passes();
+    let pipeline = CurationPipeline::new(config());
+    let mut session = pipeline.session();
+    session.push(files[..split].to_vec());
+    session.push(files[split..].to_vec());
+    let streamed = session.finish();
+    let streamed_passes = lex_passes() - before;
+    assert_eq!(streamed_passes as usize, total);
+
+    // All three runs produce byte-identical output: files, funnel and
+    // rejection provenance.
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, streamed);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert_eq!(format!("{serial:?}"), format!("{streamed:?}"));
+
+    // Sanity on the funnel shape: the syntax stage dropped the four
+    // non-parsing/module-free files, and the lint stage rejected the
+    // error-severity defects but no parse failures (those never reach it).
+    let funnel = serial.funnel();
+    assert_eq!(funnel.initial(), total);
+    assert_eq!(funnel.after("syntax filter"), total - 4);
+    assert!(funnel.after("lint filter") < funnel.after("syntax filter"));
+    assert!(serial
+        .rejects()
+        .iter()
+        .all(|r| r.category.as_deref() != Some("parse-error")));
+}

@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::Name;
+
 /// Direction of a module port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PortDirection {
@@ -35,7 +37,7 @@ pub struct Range {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Port {
     /// Port name.
-    pub name: String,
+    pub name: Name,
     /// Direction.
     pub direction: PortDirection,
     /// Packed range, if the port is a vector.
@@ -63,7 +65,7 @@ pub enum NetKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Net {
     /// Name of the net.
-    pub name: String,
+    pub name: Name,
     /// Declaration kind.
     pub kind: NetKind,
     /// Packed range, if any.
@@ -101,7 +103,7 @@ pub enum EdgeKind {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct SensitivityList {
     /// `(edge, signal)` entries.
-    pub entries: Vec<(EdgeKind, String)>,
+    pub entries: Vec<(EdgeKind, Name)>,
     /// Whether the list was `@*` or `@(*)`.
     pub star: bool,
 }
@@ -186,7 +188,7 @@ pub enum Statement {
     /// A system task call such as `$display(...)`; ignored by the interpreter.
     SystemCall {
         /// Task name including the `$`.
-        name: String,
+        name: Name,
         /// Arguments (kept for fidelity, unused).
         args: Vec<Expr>,
     },
@@ -207,7 +209,7 @@ pub struct AlwaysBlock {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Parameter {
     /// Parameter name.
-    pub name: String,
+    pub name: Name,
     /// Default value expression.
     pub value: Expr,
     /// Whether declared `localparam`.
@@ -218,15 +220,15 @@ pub struct Parameter {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Instance {
     /// Name of the instantiated module.
-    pub module: String,
+    pub module: Name,
     /// Instance name.
-    pub name: String,
+    pub name: Name,
     /// Named connections `.port(expr)`; `None` for unconnected `.port()`.
-    pub named_connections: Vec<(String, Option<Expr>)>,
+    pub named_connections: Vec<(Name, Option<Expr>)>,
     /// Ordered (positional) connections, if the named form was not used.
     pub ordered_connections: Vec<Expr>,
     /// Parameter overrides `#(.P(v))`.
-    pub parameter_overrides: Vec<(String, Expr)>,
+    pub parameter_overrides: Vec<(Name, Expr)>,
 }
 
 /// A top-level item inside a module body.
@@ -257,7 +259,7 @@ pub enum ModuleItem {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Module {
     /// Module name.
-    pub name: String,
+    pub name: Name,
     /// Ports in declaration order.
     pub ports: Vec<Port>,
     /// Body items in source order.
@@ -364,7 +366,7 @@ pub enum Expr {
         width: Option<u32>,
     },
     /// An identifier reference.
-    Ident(String),
+    Ident(Name),
     /// A unary operation.
     Unary {
         /// Operator.
@@ -418,7 +420,7 @@ pub enum Expr {
     /// A function or system-function call.
     Call {
         /// Callee name.
-        name: String,
+        name: Name,
         /// Arguments.
         args: Vec<Expr>,
     },
@@ -433,18 +435,18 @@ impl Expr {
     }
 
     /// Convenience constructor for an identifier.
-    pub fn ident(name: impl Into<String>) -> Self {
+    pub fn ident(name: impl Into<Name>) -> Self {
         Expr::Ident(name.into())
     }
 
     /// Collects the names of all identifiers referenced by this expression.
-    pub fn referenced_idents(&self) -> Vec<String> {
+    pub fn referenced_idents(&self) -> Vec<Name> {
         let mut out = Vec::new();
         self.collect_idents(&mut out);
         out
     }
 
-    fn collect_idents(&self, out: &mut Vec<String>) {
+    fn collect_idents(&self, out: &mut Vec<Name>) {
         match self {
             Expr::Ident(name) => out.push(name.clone()),
             Expr::Number { .. } | Expr::StringLit(_) => {}

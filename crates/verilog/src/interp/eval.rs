@@ -139,12 +139,12 @@ impl CompiledModule {
         let mut ports = Vec::new();
         for port in &module.ports {
             let width = range_width(port.range.as_ref(), &parameters)?;
-            signals.insert(port.name.clone(), SignalInfo { width, depth: None });
-            ports.push((port.name.clone(), port.direction, width));
+            signals.insert(port.name.to_string(), SignalInfo { width, depth: None });
+            ports.push((port.name.to_string(), port.direction, width));
         }
 
         let mut compiled = CompiledModule {
-            name: module.name.clone(),
+            name: module.name.to_string(),
             ports,
             signals,
             parameters,
@@ -183,7 +183,7 @@ impl CompiledModule {
                         // unless the body declaration is wider.
                         let entry = self
                             .signals
-                            .entry(net.name.clone())
+                            .entry(net.name.to_string())
                             .or_insert(SignalInfo { width, depth });
                         if width > entry.width {
                             entry.width = width;
@@ -425,10 +425,10 @@ impl CompiledModule {
     ) -> Result<ResolvedTarget, EvalError> {
         match target {
             Expr::Ident(name) => {
-                if self.signals.contains_key(name) {
-                    Ok(ResolvedTarget::Signal(name.clone()))
+                if self.signals.contains_key(name.as_str()) {
+                    Ok(ResolvedTarget::Signal(name.to_string()))
                 } else {
-                    Err(EvalError::UnknownSignal(name.clone()))
+                    Err(EvalError::UnknownSignal(name.to_string()))
                 }
             }
             Expr::Index { base, index } => {
@@ -468,8 +468,8 @@ impl CompiledModule {
         Ok(match target {
             Expr::Ident(name) => {
                 self.signals
-                    .get(name)
-                    .ok_or_else(|| EvalError::UnknownSignal(name.clone()))?
+                    .get(name.as_str())
+                    .ok_or_else(|| EvalError::UnknownSignal(name.to_string()))?
                     .width
             }
             Expr::Index { .. } => 1,
@@ -514,10 +514,10 @@ impl CompiledModule {
             Expr::Ident(name) => {
                 if let Some(v) = state.get(name) {
                     Ok(v)
-                } else if let Some(p) = self.parameters.get(name) {
+                } else if let Some(p) = self.parameters.get(name.as_str()) {
                     Ok(Value::new(*p as u64, 32))
                 } else {
-                    Err(EvalError::UnknownSignal(name.clone()))
+                    Err(EvalError::UnknownSignal(name.to_string()))
                 }
             }
             Expr::Unary { op, operand } => {
@@ -543,11 +543,11 @@ impl CompiledModule {
             Expr::Index { base, index } => {
                 let idx = self.eval_expr(index, state)?.bits();
                 if let Expr::Ident(name) = base.as_ref() {
-                    if let Some(mem) = state.memories.get(name) {
+                    if let Some(mem) = state.memories.get(name.as_str()) {
                         return Ok(mem
                             .get(idx as usize)
                             .copied()
-                            .unwrap_or_else(|| Value::zero(self.signals[name].width)));
+                            .unwrap_or_else(|| Value::zero(self.signals[name.as_str()].width)));
                     }
                 }
                 let base_value = self.eval_expr(base, state)?;
@@ -664,7 +664,7 @@ fn apply_resolved(state: &mut EvalState, target: ResolvedTarget, value: Value) {
 
 fn ident_name(expr: &Expr) -> Result<String, EvalError> {
     match expr {
-        Expr::Ident(name) => Ok(name.clone()),
+        Expr::Ident(name) => Ok(name.to_string()),
         other => Err(EvalError::Unsupported(format!(
             "expected identifier, found {other:?}"
         ))),
@@ -742,7 +742,7 @@ fn collect_parameters(
         match item {
             ModuleItem::Parameter(p) => {
                 let value = const_eval(&p.value, parameters)?;
-                parameters.insert(p.name.clone(), value);
+                parameters.insert(p.name.to_string(), value);
             }
             ModuleItem::Generate(inner) => collect_parameters(inner, parameters)?,
             _ => {}
@@ -773,7 +773,7 @@ pub(crate) fn const_eval(expr: &Expr, parameters: &HashMap<String, i64>) -> Resu
     match expr {
         Expr::Number { value, .. } => Ok(*value as i64),
         Expr::Ident(name) => parameters
-            .get(name)
+            .get(name.as_str())
             .copied()
             .ok_or_else(|| EvalError::Elaboration(format!("unknown parameter `{name}`"))),
         Expr::Unary { op, operand } => {

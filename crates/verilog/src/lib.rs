@@ -37,10 +37,13 @@
 
 pub mod ast;
 pub mod comments;
+pub mod frontend;
+pub mod intern;
 pub mod interp;
 pub mod lexer;
 pub mod lint;
 pub mod parser;
+pub mod reference;
 pub mod sim;
 pub mod syntax;
 pub mod token;
@@ -50,9 +53,11 @@ pub use ast::{
     Port, PortDirection, Range, SensitivityList, Statement, UnaryOp,
 };
 pub use comments::{extract_header_comment, extract_modules, strip_comments};
-pub use lexer::{LexError, Lexer};
+pub use frontend::ParsedFile;
+pub use intern::{Interner, Name, Symbol};
+pub use lexer::{lex_passes, LexError, LexedSource, Lexer};
 pub use lint::{LintConfig, LintDiagnostic, Linter, RuleId, Severity};
 pub use parser::{ParseError, Parser};
 pub use sim::{Simulator, TestVector, Testbench, VectorOutcome};
 pub use syntax::{SyntaxChecker, SyntaxError, SyntaxReport};
-pub use token::{Keyword, Token, TokenKind};
+pub use token::{Keyword, Op, Span, Token, TokenKind};

@@ -15,18 +15,19 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{Expr, Statement};
+use crate::intern::Name;
 
 use super::model::{lvalue_targets, SymbolKind};
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
 
-type Edges = BTreeMap<String, BTreeSet<String>>;
+type Edges = BTreeMap<Name, BTreeSet<Name>>;
 
 pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
     let mut edges: Edges = BTreeMap::new();
     // Continuous assignments: target depends on every RHS read and every
     // selector read of the target itself.
     for (target, value) in &model.continuous_assigns {
-        let mut deps: BTreeSet<String> = value.referenced_idents().into_iter().collect();
+        let mut deps: BTreeSet<Name> = value.referenced_idents().into_iter().collect();
         collect_selector_reads(target, &mut deps);
         for (name, _) in lvalue_targets(target) {
             edges.entry(name).or_default().extend(deps.iter().cloned());
@@ -48,7 +49,7 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
                 .iter()
                 .map(|(_, s)| s.as_str())
                 .collect();
-            let missing: Vec<String> = walker
+            let missing: Vec<Name> = walker
                 .external_reads
                 .iter()
                 .filter(|name| !listed.contains(name.as_str()))
@@ -76,8 +77,8 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
     for scc in tarjan(&edges) {
         let is_loop = scc.len() > 1
             || edges
-                .get(&scc[0])
-                .is_some_and(|deps| deps.contains(&scc[0]));
+                .get(scc[0].as_str())
+                .is_some_and(|deps| deps.contains(scc[0].as_str()));
         if is_loop {
             let mut members = scc.clone();
             members.sort();
@@ -90,7 +91,7 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
     }
 }
 
-fn collect_selector_reads(target: &Expr, out: &mut BTreeSet<String>) {
+fn collect_selector_reads(target: &Expr, out: &mut BTreeSet<Name>) {
     match target {
         Expr::Ident(_) => {}
         Expr::Index { base, index } => {
@@ -118,11 +119,11 @@ fn collect_selector_reads(target: &Expr, out: &mut BTreeSet<String>) {
 struct CombWalker {
     /// Names definitely assigned (by blocking assignment) before the
     /// current point.
-    assigned: BTreeSet<String>,
+    assigned: BTreeSet<Name>,
     /// Control-context reads (conditions of enclosing if/case/for).
-    context: Vec<Vec<String>>,
+    context: Vec<Vec<Name>>,
     /// Every external read the block performs.
-    external_reads: BTreeSet<String>,
+    external_reads: BTreeSet<Name>,
 }
 
 impl CombWalker {
@@ -134,7 +135,7 @@ impl CombWalker {
                 }
             }
             Statement::Blocking { target, value } | Statement::NonBlocking { target, value } => {
-                let mut deps: BTreeSet<String> = value.referenced_idents().into_iter().collect();
+                let mut deps: BTreeSet<Name> = value.referenced_idents().into_iter().collect();
                 collect_selector_reads(target, &mut deps);
                 for ctx in &self.context {
                     deps.extend(ctx.iter().cloned());
@@ -176,10 +177,10 @@ impl CombWalker {
                 self.push_context(subject);
                 let before = self.assigned.clone();
                 let has_default = arms.iter().any(|a| a.labels.is_empty());
-                let mut intersection: Option<BTreeSet<String>> = None;
+                let mut intersection: Option<BTreeSet<Name>> = None;
                 for arm in arms {
                     for label in &arm.labels {
-                        let reads: Vec<String> = label
+                        let reads: Vec<Name> = label
                             .referenced_idents()
                             .into_iter()
                             .filter(|d| !before.contains(d))
@@ -218,7 +219,7 @@ impl CombWalker {
     }
 
     fn push_context(&mut self, condition: &Expr) {
-        let reads: Vec<String> = condition.referenced_idents();
+        let reads: Vec<Name> = condition.referenced_idents();
         self.external_reads.extend(
             reads
                 .iter()

@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 
 use crate::ast::Statement;
+use crate::intern::Name;
 
 use super::model::SymbolKind;
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
@@ -81,7 +82,7 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 
 /// Collects targets of blocking assignments, skipping `for` init/step
 /// bookkeeping.
-fn blocking_targets(statement: &Statement, in_for_header: bool, out: &mut BTreeSet<String>) {
+fn blocking_targets(statement: &Statement, in_for_header: bool, out: &mut BTreeSet<Name>) {
     match statement {
         Statement::Block(stmts) => {
             for s in stmts {
@@ -122,7 +123,7 @@ fn blocking_targets(statement: &Statement, in_for_header: bool, out: &mut BTreeS
 }
 
 /// Collects targets of nonblocking assignments.
-fn nonblocking_targets(statement: &Statement, out: &mut BTreeSet<String>) {
+fn nonblocking_targets(statement: &Statement, out: &mut BTreeSet<Name>) {
     super::width::walk_statements(statement, &mut |s| {
         if let Statement::NonBlocking { target, .. } = s {
             out.extend(
@@ -135,7 +136,7 @@ fn nonblocking_targets(statement: &Statement, out: &mut BTreeSet<String>) {
 }
 
 /// Every name the block might assign (whole or partial, either kind).
-fn may_assign(statement: &Statement, out: &mut BTreeSet<String>) {
+fn may_assign(statement: &Statement, out: &mut BTreeSet<Name>) {
     super::width::walk_statements(statement, &mut |s| {
         if let Statement::Blocking { target, .. } | Statement::NonBlocking { target, .. } = s {
             out.extend(
@@ -149,7 +150,7 @@ fn may_assign(statement: &Statement, out: &mut BTreeSet<String>) {
 
 /// Names assigned on *every* path through the statement. Only whole-net
 /// assignments count — a bit-select assignment never fully covers the net.
-fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<String> {
+fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<Name> {
     match statement {
         Statement::Block(stmts) => {
             let mut acc = BTreeSet::new();

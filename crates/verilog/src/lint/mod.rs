@@ -306,6 +306,13 @@ impl Linter {
         Ok(self.lint_modules(&modules))
     }
 
+    /// Lints an already-parsed file without re-lexing or re-parsing — the
+    /// parse-once path used when a [`crate::ParsedFile`] is shared between
+    /// the syntax filter and the lint engine.
+    pub fn lint_parsed(&self, parsed: &crate::ParsedFile) -> Vec<LintDiagnostic> {
+        self.lint_modules(parsed.modules())
+    }
+
     /// Lints a set of modules that share one source file (instances are
     /// resolved against the set; references to modules outside it are
     /// tolerated).
@@ -326,7 +333,7 @@ impl Linter {
                 (a.rule, &a.locus, &a.message).cmp(&(b.rule, &b.locus, &b.message))
             });
             diagnostics.extend(module_diags.into_iter().map(|mut d| {
-                d.module = module.name.clone();
+                d.module = module.name.to_string();
                 d
             }));
         }

@@ -7,6 +7,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use crate::ast::{
     AlwaysBlock, Expr, Module, ModuleItem, Net, NetKind, PortDirection, Range, Statement,
 };
+use crate::intern::Name;
 
 /// What a name in the module's scope refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +89,7 @@ impl DriveInfo {
 /// target module.
 #[derive(Debug, Clone)]
 pub(crate) struct ResolvedConnection<'a> {
-    pub port_name: String,
+    pub port_name: Name,
     pub direction: PortDirection,
     /// Folded width of the child port under the instance's parameter
     /// overrides.
@@ -106,20 +107,20 @@ pub(crate) struct InstanceModel<'a> {
     /// Classified connections (resolved instances only).
     pub connections: Vec<ResolvedConnection<'a>>,
     /// Input ports of the resolved target left without a connection.
-    pub missing_inputs: Vec<String>,
+    pub missing_inputs: Vec<Name>,
 }
 
 /// The semantic model of one module, shared by every lint pass.
 pub(crate) struct ModuleModel<'a> {
     pub module: &'a Module,
     /// Constant-folded parameter values, in declaration order.
-    pub params: HashMap<String, u64>,
+    pub params: HashMap<Name, u64>,
     /// Widths of sized parameter literals (`localparam S = 2'd1` → 2).
-    pub param_widths: HashMap<String, u32>,
+    pub param_widths: HashMap<Name, u32>,
     /// The symbol table.
-    pub symbols: HashMap<String, SymbolInfo>,
+    pub symbols: HashMap<Name, SymbolInfo>,
     /// Symbol names in declaration order (deterministic iteration).
-    pub symbol_order: Vec<String>,
+    pub symbol_order: Vec<Name>,
     /// Every `always` block, in source order (generate regions included).
     pub always_blocks: Vec<&'a AlwaysBlock>,
     /// Every `initial` body, in source order.
@@ -130,23 +131,23 @@ pub(crate) struct ModuleModel<'a> {
     /// Instantiations with their resolution.
     pub instances: Vec<InstanceModel<'a>>,
     /// Names of sibling modules in the same source (including this one).
-    pub sibling_names: BTreeSet<String>,
+    pub sibling_names: BTreeSet<Name>,
     /// Per-net drive summary.
-    pub drives: HashMap<String, DriveInfo>,
+    pub drives: HashMap<Name, DriveInfo>,
     /// Every identifier read anywhere (RHS, conditions, selects,
     /// sensitivity lists, system-task arguments, unresolved connections).
-    pub reads: BTreeSet<String>,
+    pub reads: BTreeSet<Name>,
     /// Identifiers read in positions that must resolve to a local symbol
     /// (excludes system-task arguments, where hierarchical names and
     /// module references are idiomatic).
-    pub strict_refs: Vec<String>,
+    pub strict_refs: Vec<Name>,
 }
 
 impl<'a> ModuleModel<'a> {
     /// Builds the model for `module`, resolving instances against
     /// `siblings` (the other modules parsed from the same source).
     pub fn build(module: &'a Module, siblings: &'a [Module]) -> Self {
-        let sibling_names: BTreeSet<String> = siblings.iter().map(|m| m.name.clone()).collect();
+        let sibling_names: BTreeSet<Name> = siblings.iter().map(|m| m.name.clone()).collect();
         let mut model = Self {
             module,
             params: HashMap::new(),
@@ -179,11 +180,11 @@ impl<'a> ModuleModel<'a> {
         })
     }
 
-    fn declare(&mut self, name: &str, info: SymbolInfo) {
+    fn declare(&mut self, name: &Name, info: SymbolInfo) {
         if !self.symbols.contains_key(name) {
-            self.symbol_order.push(name.to_string());
+            self.symbol_order.push(name.clone());
         }
-        self.symbols.entry(name.to_string()).or_insert(info);
+        self.symbols.entry(name.clone()).or_insert(info);
     }
 
     fn collect_symbols(&mut self) {
@@ -521,9 +522,9 @@ enum DriveSite {
 }
 
 /// Decomposes an assignment target into `(base name, is whole-net)` pairs.
-pub(crate) fn lvalue_targets(target: &Expr) -> Vec<(String, bool)> {
+pub(crate) fn lvalue_targets(target: &Expr) -> Vec<(Name, bool)> {
     let mut out = Vec::new();
-    fn walk(expr: &Expr, whole: bool, out: &mut Vec<(String, bool)>) {
+    fn walk(expr: &Expr, whole: bool, out: &mut Vec<(Name, bool)>) {
         match expr {
             Expr::Ident(name) => out.push((name.clone(), whole)),
             Expr::Index { base, .. } | Expr::Slice { base, .. } => walk(base, false, out),
@@ -541,7 +542,7 @@ pub(crate) fn lvalue_targets(target: &Expr) -> Vec<(String, bool)> {
 
 /// Constant-folds an expression under a parameter environment. Returns
 /// `None` for anything that is not a compile-time constant.
-pub(crate) fn const_eval(expr: &Expr, params: &HashMap<String, u64>) -> Option<u64> {
+pub(crate) fn const_eval(expr: &Expr, params: &HashMap<Name, u64>) -> Option<u64> {
     use crate::ast::{BinaryOp, UnaryOp};
     match expr {
         Expr::Number { value, .. } => Some(*value),
@@ -597,7 +598,7 @@ pub(crate) fn const_eval(expr: &Expr, params: &HashMap<String, u64>) -> Option<u
 }
 
 /// Folds a packed range into its width in bits.
-pub(crate) fn range_width(range: &Range, params: &HashMap<String, u64>) -> Option<u32> {
+pub(crate) fn range_width(range: &Range, params: &HashMap<Name, u64>) -> Option<u32> {
     let msb = const_eval(&range.msb, params)?;
     let lsb = const_eval(&range.lsb, params)?;
     u32::try_from(msb.abs_diff(lsb) + 1).ok()
@@ -607,7 +608,7 @@ pub(crate) fn range_width(range: &Range, params: &HashMap<String, u64>) -> Optio
 /// connection by the child port's direction and folds the child port widths
 /// under the instance's parameter overrides.
 fn resolve_instance<'a>(
-    parent_params: &HashMap<String, u64>,
+    parent_params: &HashMap<Name, u64>,
     inst: &'a crate::ast::Instance,
     target: Option<&'a Module>,
 ) -> InstanceModel<'a> {
@@ -621,7 +622,7 @@ fn resolve_instance<'a>(
     };
     // Child parameter environment: defaults, then overrides folded in the
     // parent's environment.
-    let mut child_params: HashMap<String, u64> = HashMap::new();
+    let mut child_params: HashMap<Name, u64> = HashMap::new();
     let mut positional = inst
         .parameter_overrides
         .iter()
@@ -661,14 +662,14 @@ fn resolve_instance<'a>(
         }
     };
     let mut connections = Vec::new();
-    let mut connected: BTreeMap<String, bool> = BTreeMap::new();
+    let mut connected: BTreeMap<Name, bool> = BTreeMap::new();
     if !inst.named_connections.is_empty() || inst.ordered_connections.is_empty() {
         for (port_name, expr) in &inst.named_connections {
             if let Some(port) = target_module.port(port_name) {
                 connections.push(ResolvedConnection {
                     port_name: port_name.clone(),
                     direction: port.direction,
-                    port_width: port_width(port_name),
+                    port_width: port_width(port_name.as_str()),
                     expr: expr.as_ref(),
                 });
                 connected.insert(port_name.clone(), expr.is_some());
@@ -679,7 +680,7 @@ fn resolve_instance<'a>(
             connections.push(ResolvedConnection {
                 port_name: port.name.clone(),
                 direction: port.direction,
-                port_width: port_width(&port.name),
+                port_width: port_width(port.name.as_str()),
                 expr: Some(expr),
             });
             connected.insert(port.name.clone(), true);

@@ -1,12 +1,20 @@
 //! Recursive-descent parser for the supported Verilog subset.
+//!
+//! The parser works over a borrowed token slice with an index-based
+//! `peek` — tokens are `Copy`, so stepping never clones a `String` the way
+//! the original frontend ([`crate::reference`]) did. Identifiers enter the
+//! AST as interned [`Name`](crate::intern::Name)s resolved through the
+//! lexer's interner; diagnostics text (parse errors, and the lint
+//! diagnostics downstream) is unchanged byte for byte.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::ast::*;
-use crate::lexer::{LexError, Lexer};
-use crate::token::{Keyword, Token, TokenKind};
+use crate::intern::{Interner, Name};
+use crate::lexer::{LexError, LexedSource, Lexer};
+use crate::token::{Keyword, Op, Token, TokenKind};
 
 /// An error produced while parsing.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,16 +62,23 @@ impl From<LexError> for ParseError {
 /// assert_eq!(modules[0].ports.len(), 2);
 /// # Ok::<(), verilog::ParseError>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct Parser {
-    tokens: Vec<Token>,
+#[derive(Debug)]
+pub struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    interner: &'a Interner,
     pos: usize,
 }
 
-impl Parser {
-    /// Creates a parser over pre-lexed tokens.
-    pub fn new(tokens: Vec<Token>) -> Self {
-        Self { tokens, pos: 0 }
+impl<'a> Parser<'a> {
+    /// Creates a parser over a lexed source.
+    pub fn new(src: &'a str, lexed: &'a LexedSource) -> Self {
+        Self {
+            src,
+            tokens: &lexed.tokens,
+            interner: &lexed.interner,
+            pos: 0,
+        }
     }
 
     /// Lexes and parses a full source file into its modules.
@@ -72,21 +87,35 @@ impl Parser {
     ///
     /// Returns the first lexing or parsing error encountered.
     pub fn parse_source(src: &str) -> Result<Vec<Module>, ParseError> {
-        let tokens = Lexer::new(src).tokenize()?;
-        Parser::new(tokens).parse_modules()
+        let lexed = Lexer::new(src).tokenize()?;
+        Parser::new(src, &lexed).parse_modules()
     }
 
-    fn peek(&self) -> &TokenKind {
+    #[inline]
+    fn peek(&self) -> TokenKind {
         self.tokens
             .get(self.pos)
-            .map(|t| &t.kind)
-            .unwrap_or(&TokenKind::Eof)
+            .map(|t| t.kind)
+            .unwrap_or(TokenKind::Eof)
+    }
+
+    /// Renders a token kind the way error messages expect (identical to the
+    /// original frontend's `TokenKind: Display`).
+    fn describe(&self, kind: TokenKind) -> String {
+        match kind {
+            TokenKind::Keyword(k) => format!("keyword `{k}`"),
+            TokenKind::Ident(sym) => format!("identifier `{}`", self.interner.resolve(sym)),
+            TokenKind::Number(span) => format!("number `{}`", span.text(self.src)),
+            TokenKind::StringLit(_) => "string literal".to_string(),
+            TokenKind::Op(op) => format!("`{op}`"),
+            TokenKind::Eof => "end of input".to_string(),
+        }
     }
 
     fn location(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|t| (t.line, t.column))
+            .map(|t| (t.line as usize, t.column as usize))
             .unwrap_or((0, 0))
     }
 
@@ -99,8 +128,9 @@ impl Parser {
         }
     }
 
-    fn eat_symbol(&mut self, sym: &str) -> bool {
-        if matches!(self.peek(), TokenKind::Symbol(s) if s == sym) {
+    #[inline]
+    fn eat_op(&mut self, op: Op) -> bool {
+        if matches!(self.peek(), TokenKind::Op(o) if o == op) {
             self.pos += 1;
             true
         } else {
@@ -108,16 +138,20 @@ impl Parser {
         }
     }
 
-    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
-        if self.eat_symbol(sym) {
+    fn expect_op(&mut self, op: Op) -> Result<(), ParseError> {
+        if self.eat_op(op) {
             Ok(())
         } else {
-            Err(self.error(format!("expected `{sym}`, found {}", self.peek())))
+            Err(self.error(format!(
+                "expected `{op}`, found {}",
+                self.describe(self.peek())
+            )))
         }
     }
 
+    #[inline]
     fn eat_keyword(&mut self, kw: Keyword) -> bool {
-        if matches!(self.peek(), TokenKind::Keyword(k) if *k == kw) {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
             self.pos += 1;
             true
         } else {
@@ -129,17 +163,23 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(self.error(format!("expected `{kw}`, found {}", self.peek())))
+            Err(self.error(format!(
+                "expected `{kw}`, found {}",
+                self.describe(self.peek())
+            )))
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
-        match self.peek().clone() {
-            TokenKind::Ident(name) => {
+    fn expect_ident(&mut self) -> Result<Name, ParseError> {
+        match self.peek() {
+            TokenKind::Ident(sym) => {
                 self.pos += 1;
-                Ok(name)
+                Ok(self.interner.name(sym))
             }
-            other => Err(self.error(format!("expected identifier, found {other}"))),
+            other => Err(self.error(format!(
+                "expected identifier, found {}",
+                self.describe(other)
+            ))),
         }
     }
 
@@ -155,7 +195,9 @@ impl Parser {
                 TokenKind::Eof => return Ok(modules),
                 TokenKind::Keyword(Keyword::Module) => modules.push(self.parse_module()?),
                 other => {
-                    return Err(self.error(format!("expected `module`, found {other}")));
+                    return Err(
+                        self.error(format!("expected `module`, found {}", self.describe(other)))
+                    );
                 }
             }
         }
@@ -171,10 +213,10 @@ impl Parser {
         };
 
         // Optional parameter port list: #(parameter WIDTH = 8, ...)
-        if self.eat_symbol("#") {
-            self.expect_symbol("(")?;
+        if self.eat_op(Op::Hash) {
+            self.expect_op(Op::LParen)?;
             loop {
-                if self.eat_symbol(")") {
+                if self.eat_op(Op::RParen) {
                     break;
                 }
                 // `parameter` keyword is optional after the first entry.
@@ -184,25 +226,25 @@ impl Parser {
                 let _ = self.eat_keyword(Keyword::Signed);
                 let _ = self.try_parse_range()?;
                 let pname = self.expect_ident()?;
-                self.expect_symbol("=")?;
+                self.expect_op(Op::Eq)?;
                 let value = self.parse_expr()?;
                 module.items.push(ModuleItem::Parameter(Parameter {
                     name: pname,
                     value,
                     local: false,
                 }));
-                if !self.eat_symbol(",") {
-                    self.expect_symbol(")")?;
+                if !self.eat_op(Op::Comma) {
+                    self.expect_op(Op::RParen)?;
                     break;
                 }
             }
         }
 
         // Port list (ANSI or non-ANSI), optional.
-        if self.eat_symbol("(") {
+        if self.eat_op(Op::LParen) {
             self.parse_port_list(&mut module)?;
         }
-        self.expect_symbol(";")?;
+        self.expect_op(Op::Semi)?;
 
         // Body.
         loop {
@@ -222,7 +264,7 @@ impl Parser {
     }
 
     fn parse_port_list(&mut self, module: &mut Module) -> Result<(), ParseError> {
-        if self.eat_symbol(")") {
+        if self.eat_op(Op::RParen) {
             return Ok(());
         }
         // Distinguish ANSI (starts with a direction keyword) from non-ANSI
@@ -232,7 +274,7 @@ impl Parser {
         let mut current_is_reg = false;
         let mut current_signed = false;
         loop {
-            match self.peek().clone() {
+            match self.peek() {
                 TokenKind::Keyword(kw @ (Keyword::Input | Keyword::Output | Keyword::Inout)) => {
                     self.pos += 1;
                     current_direction = Some(match kw {
@@ -256,8 +298,9 @@ impl Parser {
                         signed: current_signed,
                     });
                 }
-                TokenKind::Ident(name) => {
+                TokenKind::Ident(sym) => {
                     self.pos += 1;
+                    let name = self.interner.name(sym);
                     if let Some(direction) = current_direction {
                         // Continuation of an ANSI group: `input a, b, c`.
                         module.ports.push(Port {
@@ -280,30 +323,33 @@ impl Parser {
                     }
                 }
                 other => {
-                    return Err(self.error(format!("expected port declaration, found {other}")))
+                    return Err(self.error(format!(
+                        "expected port declaration, found {}",
+                        self.describe(other)
+                    )))
                 }
             }
-            if self.eat_symbol(",") {
+            if self.eat_op(Op::Comma) {
                 continue;
             }
-            self.expect_symbol(")")?;
+            self.expect_op(Op::RParen)?;
             return Ok(());
         }
     }
 
     fn try_parse_range(&mut self) -> Result<Option<Range>, ParseError> {
-        if !self.eat_symbol("[") {
+        if !self.eat_op(Op::LBracket) {
             return Ok(None);
         }
         let msb = self.parse_expr()?;
-        self.expect_symbol(":")?;
+        self.expect_op(Op::Colon)?;
         let lsb = self.parse_expr()?;
-        self.expect_symbol("]")?;
+        self.expect_op(Op::RBracket)?;
         Ok(Some(Range { msb, lsb }))
     }
 
     fn parse_module_item(&mut self) -> Result<Vec<ModuleItem>, ParseError> {
-        match self.peek().clone() {
+        match self.peek() {
             TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
                 let local = matches!(self.peek(), TokenKind::Keyword(Keyword::Localparam));
                 self.pos += 1;
@@ -313,14 +359,14 @@ impl Parser {
                 let mut out = Vec::new();
                 loop {
                     let name = self.expect_ident()?;
-                    self.expect_symbol("=")?;
+                    self.expect_op(Op::Eq)?;
                     let value = self.parse_expr()?;
                     out.push(ModuleItem::Parameter(Parameter { name, value, local }));
-                    if !self.eat_symbol(",") {
+                    if !self.eat_op(Op::Comma) {
                         break;
                     }
                 }
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 Ok(out)
             }
             TokenKind::Keyword(
@@ -358,7 +404,7 @@ impl Parser {
                 loop {
                     let name = self.expect_ident()?;
                     let array = self.try_parse_range()?;
-                    let init = if self.eat_symbol("=") {
+                    let init = if self.eat_op(Op::Eq) {
                         Some(self.parse_expr()?)
                     } else {
                         None
@@ -371,11 +417,11 @@ impl Parser {
                         signed,
                         init,
                     });
-                    if !self.eat_symbol(",") {
+                    if !self.eat_op(Op::Comma) {
                         break;
                     }
                 }
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 Ok(vec![ModuleItem::Declaration(Declaration {
                     direction,
                     nets,
@@ -386,14 +432,14 @@ impl Parser {
                 let mut out = Vec::new();
                 loop {
                     let target = self.parse_expr()?;
-                    self.expect_symbol("=")?;
+                    self.expect_op(Op::Eq)?;
                     let value = self.parse_expr()?;
                     out.push(ModuleItem::ContinuousAssign { target, value });
-                    if !self.eat_symbol(",") {
+                    if !self.eat_op(Op::Comma) {
                         break;
                     }
                 }
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 Ok(out)
             }
             TokenKind::Keyword(Keyword::Always) => {
@@ -441,60 +487,63 @@ impl Parser {
                 let inst = self.parse_instance()?;
                 Ok(vec![ModuleItem::Instance(inst)])
             }
-            other => Err(self.error(format!("unexpected {other} in module body"))),
+            other => Err(self.error(format!(
+                "unexpected {} in module body",
+                self.describe(other)
+            ))),
         }
     }
 
     fn parse_instance(&mut self) -> Result<Instance, ParseError> {
         let module = self.expect_ident()?;
         let mut parameter_overrides = Vec::new();
-        if self.eat_symbol("#") {
-            self.expect_symbol("(")?;
-            if !self.eat_symbol(")") {
+        if self.eat_op(Op::Hash) {
+            self.expect_op(Op::LParen)?;
+            if !self.eat_op(Op::RParen) {
                 loop {
-                    if self.eat_symbol(".") {
+                    if self.eat_op(Op::Dot) {
                         let pname = self.expect_ident()?;
-                        self.expect_symbol("(")?;
+                        self.expect_op(Op::LParen)?;
                         let value = self.parse_expr()?;
-                        self.expect_symbol(")")?;
+                        self.expect_op(Op::RParen)?;
                         parameter_overrides.push((pname, value));
                     } else {
                         let value = self.parse_expr()?;
-                        parameter_overrides.push((String::new(), value));
+                        parameter_overrides.push((Name::default(), value));
                     }
-                    if !self.eat_symbol(",") {
+                    if !self.eat_op(Op::Comma) {
                         break;
                     }
                 }
-                self.expect_symbol(")")?;
+                self.expect_op(Op::RParen)?;
             }
         }
         let name = self.expect_ident()?;
-        self.expect_symbol("(")?;
+        self.expect_op(Op::LParen)?;
         let mut named_connections = Vec::new();
         let mut ordered_connections = Vec::new();
-        if !self.eat_symbol(")") {
+        if !self.eat_op(Op::RParen) {
             loop {
-                if self.eat_symbol(".") {
+                if self.eat_op(Op::Dot) {
                     let port = self.expect_ident()?;
-                    self.expect_symbol("(")?;
-                    if self.eat_symbol(")") {
+                    self.expect_op(Op::LParen)?;
+                    if self.eat_op(Op::RParen) {
                         named_connections.push((port, None));
                     } else {
                         let value = self.parse_expr()?;
-                        self.expect_symbol(")")?;
+                        self.expect_op(Op::RParen)?;
                         named_connections.push((port, Some(value)));
                     }
                 } else {
                     ordered_connections.push(self.parse_expr()?);
                 }
-                if !self.eat_symbol(",") {
+                if !self.eat_op(Op::Comma) {
                     break;
                 }
             }
-            self.expect_symbol(")")?;
+            self.expect_op(Op::RParen)?;
         }
-        self.expect_symbol(";")?;
+        self.expect_op(Op::Semi)?;
         Ok(Instance {
             module,
             name,
@@ -506,20 +555,20 @@ impl Parser {
 
     fn parse_sensitivity(&mut self) -> Result<SensitivityList, ParseError> {
         let mut list = SensitivityList::default();
-        if !self.eat_symbol("@") {
+        if !self.eat_op(Op::At) {
             // `always` with no event control (e.g. `always begin ... end`) is
             // treated as combinational.
             list.star = true;
             return Ok(list);
         }
-        if self.eat_symbol("*") {
+        if self.eat_op(Op::Star) {
             list.star = true;
             return Ok(list);
         }
-        self.expect_symbol("(")?;
-        if self.eat_symbol("*") {
+        self.expect_op(Op::LParen)?;
+        if self.eat_op(Op::Star) {
             list.star = true;
-            self.expect_symbol(")")?;
+            self.expect_op(Op::RParen)?;
             return Ok(list);
         }
         loop {
@@ -532,20 +581,20 @@ impl Parser {
             };
             let name = self.expect_ident()?;
             list.entries.push((edge, name));
-            if self.eat_symbol(",") || self.eat_keyword(Keyword::Or) {
+            if self.eat_op(Op::Comma) || self.eat_keyword(Keyword::Or) {
                 continue;
             }
-            self.expect_symbol(")")?;
+            self.expect_op(Op::RParen)?;
             return Ok(list);
         }
     }
 
     fn parse_statement(&mut self) -> Result<Statement, ParseError> {
-        match self.peek().clone() {
+        match self.peek() {
             TokenKind::Keyword(Keyword::Begin) => {
                 self.pos += 1;
                 // Optional block label `begin : name`.
-                if self.eat_symbol(":") {
+                if self.eat_op(Op::Colon) {
                     let _ = self.expect_ident()?;
                 }
                 let mut body = Vec::new();
@@ -559,9 +608,9 @@ impl Parser {
             }
             TokenKind::Keyword(Keyword::If) => {
                 self.pos += 1;
-                self.expect_symbol("(")?;
+                self.expect_op(Op::LParen)?;
                 let condition = self.parse_expr()?;
-                self.expect_symbol(")")?;
+                self.expect_op(Op::RParen)?;
                 let then_branch = Box::new(self.parse_statement()?);
                 let else_branch = if self.eat_keyword(Keyword::Else) {
                     Some(Box::new(self.parse_statement()?))
@@ -581,16 +630,16 @@ impl Parser {
                     Keyword::Casex => CaseKind::Casex,
                     _ => CaseKind::Case,
                 };
-                self.expect_symbol("(")?;
+                self.expect_op(Op::LParen)?;
                 let subject = self.parse_expr()?;
-                self.expect_symbol(")")?;
+                self.expect_op(Op::RParen)?;
                 let mut arms = Vec::new();
                 while !self.eat_keyword(Keyword::Endcase) {
                     if matches!(self.peek(), TokenKind::Eof) {
                         return Err(self.error("unexpected end of input inside case statement"));
                     }
                     if self.eat_keyword(Keyword::Default) {
-                        let _ = self.eat_symbol(":");
+                        let _ = self.eat_op(Op::Colon);
                         let body = self.parse_statement()?;
                         arms.push(CaseArm {
                             labels: vec![],
@@ -599,10 +648,10 @@ impl Parser {
                         continue;
                     }
                     let mut labels = vec![self.parse_expr()?];
-                    while self.eat_symbol(",") {
+                    while self.eat_op(Op::Comma) {
                         labels.push(self.parse_expr()?);
                     }
-                    self.expect_symbol(":")?;
+                    self.expect_op(Op::Colon)?;
                     let body = self.parse_statement()?;
                     arms.push(CaseArm { labels, body });
                 }
@@ -614,13 +663,13 @@ impl Parser {
             }
             TokenKind::Keyword(Keyword::For) => {
                 self.pos += 1;
-                self.expect_symbol("(")?;
+                self.expect_op(Op::LParen)?;
                 let init = Box::new(self.parse_assignment_no_semi()?);
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 let condition = self.parse_expr()?;
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 let step = Box::new(self.parse_assignment_no_semi()?);
-                self.expect_symbol(")")?;
+                self.expect_op(Op::RParen)?;
                 let body = Box::new(self.parse_statement()?);
                 Ok(Statement::For {
                     init,
@@ -629,40 +678,41 @@ impl Parser {
                     body,
                 })
             }
-            TokenKind::Symbol(ref s) if s == ";" => {
+            TokenKind::Op(Op::Semi) => {
                 self.pos += 1;
                 Ok(Statement::Empty)
             }
-            TokenKind::Symbol(ref s) if s == "#" => {
+            TokenKind::Op(Op::Hash) => {
                 // Delay control `#10 statement` — skip the delay and parse the
                 // controlled statement (testbench style code).
                 self.pos += 1;
                 let _ = self.parse_primary()?;
                 self.parse_statement()
             }
-            TokenKind::Symbol(ref s) if s == "@" => {
+            TokenKind::Op(Op::At) => {
                 // Event control inside a statement, e.g. `@(posedge clk) q = d;`
                 let _ = self.parse_sensitivity()?;
                 self.parse_statement()
             }
-            TokenKind::Ident(name) if name.starts_with('$') => {
+            TokenKind::Ident(sym) if self.interner.resolve(sym).starts_with('$') => {
                 self.pos += 1;
+                let name = self.interner.name(sym);
                 let mut args = Vec::new();
-                if self.eat_symbol("(") && !self.eat_symbol(")") {
+                if self.eat_op(Op::LParen) && !self.eat_op(Op::RParen) {
                     loop {
                         args.push(self.parse_expr()?);
-                        if !self.eat_symbol(",") {
+                        if !self.eat_op(Op::Comma) {
                             break;
                         }
                     }
-                    self.expect_symbol(")")?;
+                    self.expect_op(Op::RParen)?;
                 }
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 Ok(Statement::SystemCall { name, args })
             }
             _ => {
                 let stmt = self.parse_assignment_no_semi()?;
-                self.expect_symbol(";")?;
+                self.expect_op(Op::Semi)?;
                 Ok(stmt)
             }
         }
@@ -670,14 +720,17 @@ impl Parser {
 
     fn parse_assignment_no_semi(&mut self) -> Result<Statement, ParseError> {
         let target = self.parse_expr_no_comparison_shortcut()?;
-        if self.eat_symbol("<=") {
+        if self.eat_op(Op::Le) {
             let value = self.parse_expr()?;
             Ok(Statement::NonBlocking { target, value })
-        } else if self.eat_symbol("=") {
+        } else if self.eat_op(Op::Eq) {
             let value = self.parse_expr()?;
             Ok(Statement::Blocking { target, value })
         } else {
-            Err(self.error(format!("expected `=` or `<=`, found {}", self.peek())))
+            Err(self.error(format!(
+                "expected `=` or `<=`, found {}",
+                self.describe(self.peek())
+            )))
         }
     }
 
@@ -701,10 +754,10 @@ impl Parser {
     }
 
     fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
-        let condition = self.parse_logical_or()?;
-        if self.eat_symbol("?") {
+        let condition = self.parse_binary(0)?;
+        if self.eat_op(Op::Question) {
             let then_expr = self.parse_ternary()?;
-            self.expect_symbol(":")?;
+            self.expect_op(Op::Colon)?;
             let else_expr = self.parse_ternary()?;
             Ok(Expr::Ternary {
                 condition: Box::new(condition),
@@ -716,234 +769,92 @@ impl Parser {
         }
     }
 
-    fn parse_logical_or(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_logical_and()?;
-        while self.eat_symbol("||") {
-            let rhs = self.parse_logical_and()?;
-            lhs = Expr::Binary {
-                op: BinaryOp::LogicalOr,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-        Ok(lhs)
+    /// Binary operator table for precedence climbing: the AST operator and
+    /// its binding power (higher binds tighter). One lookup replaces the
+    /// eleven-deep recursive ladder of the original frontend, so a primary
+    /// costs one peek instead of a call frame per precedence level.
+    fn binary_op(op: Op) -> Option<(BinaryOp, u8)> {
+        Some(match op {
+            Op::OrOr => (BinaryOp::LogicalOr, 1),
+            Op::AndAnd => (BinaryOp::LogicalAnd, 2),
+            Op::Pipe => (BinaryOp::Or, 3),
+            Op::Caret => (BinaryOp::Xor, 4),
+            Op::TildeCaret | Op::CaretTilde => (BinaryOp::Xnor, 4),
+            Op::Amp => (BinaryOp::And, 5),
+            Op::EqEq => (BinaryOp::Eq, 6),
+            Op::Neq => (BinaryOp::Neq, 6),
+            Op::CaseEq => (BinaryOp::CaseEq, 6),
+            Op::CaseNeq => (BinaryOp::CaseNeq, 6),
+            Op::Le => (BinaryOp::Le, 7),
+            Op::Ge => (BinaryOp::Ge, 7),
+            Op::Lt => (BinaryOp::Lt, 7),
+            Op::Gt => (BinaryOp::Gt, 7),
+            Op::AShl => (BinaryOp::AShl, 8),
+            Op::AShr => (BinaryOp::AShr, 8),
+            Op::Shl => (BinaryOp::Shl, 8),
+            Op::Shr => (BinaryOp::Shr, 8),
+            Op::Plus => (BinaryOp::Add, 9),
+            Op::Minus => (BinaryOp::Sub, 9),
+            Op::Star => (BinaryOp::Mul, 10),
+            Op::Slash => (BinaryOp::Div, 10),
+            Op::Percent => (BinaryOp::Mod, 10),
+            Op::Pow => (BinaryOp::Pow, 11),
+            _ => return None,
+        })
     }
 
-    fn parse_logical_and(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_bit_or()?;
-        while self.eat_symbol("&&") {
-            let rhs = self.parse_bit_or()?;
-            lhs = Expr::Binary {
-                op: BinaryOp::LogicalAnd,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+    /// Precedence-climbing loop over [`Self::binary_op`]. `**` is
+    /// right-associative (its right operand re-admits precedence 11);
+    /// everything else is left-associative, exactly like the ladder it
+    /// replaces — the differential tests against [`crate::reference`] pin
+    /// the grouping.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let TokenKind::Op(op) = self.peek() else {
+                return Ok(lhs);
             };
-        }
-        Ok(lhs)
-    }
-
-    fn parse_bit_or(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_bit_xor()?;
-        while matches!(self.peek(), TokenKind::Symbol(s) if s == "|") {
+            let Some((bin, prec)) = Self::binary_op(op) else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
             self.pos += 1;
-            let rhs = self.parse_bit_xor()?;
-            lhs = Expr::Binary {
-                op: BinaryOp::Or,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-        Ok(lhs)
-    }
-
-    fn parse_bit_xor(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_bit_and()?;
-        loop {
-            let op = if self.eat_symbol("^") {
-                BinaryOp::Xor
-            } else if self.eat_symbol("~^") || self.eat_symbol("^~") {
-                BinaryOp::Xnor
+            let next_min = if matches!(bin, BinaryOp::Pow) {
+                prec
             } else {
-                return Ok(lhs);
+                prec + 1
             };
-            let rhs = self.parse_bit_and()?;
+            let rhs = self.parse_binary(next_min)?;
             lhs = Expr::Binary {
-                op,
+                op: bin,
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
             };
-        }
-    }
-
-    fn parse_bit_and(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_equality()?;
-        while matches!(self.peek(), TokenKind::Symbol(s) if s == "&") {
-            self.pos += 1;
-            let rhs = self.parse_equality()?;
-            lhs = Expr::Binary {
-                op: BinaryOp::And,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-        Ok(lhs)
-    }
-
-    fn parse_equality(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_relational()?;
-        loop {
-            let op = if self.eat_symbol("==") {
-                BinaryOp::Eq
-            } else if self.eat_symbol("!=") {
-                BinaryOp::Neq
-            } else if self.eat_symbol("===") {
-                BinaryOp::CaseEq
-            } else if self.eat_symbol("!==") {
-                BinaryOp::CaseNeq
-            } else {
-                return Ok(lhs);
-            };
-            let rhs = self.parse_relational()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-    }
-
-    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_shift()?;
-        loop {
-            let op = if self.eat_symbol("<=") {
-                BinaryOp::Le
-            } else if self.eat_symbol(">=") {
-                BinaryOp::Ge
-            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "<") {
-                self.pos += 1;
-                BinaryOp::Lt
-            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == ">") {
-                self.pos += 1;
-                BinaryOp::Gt
-            } else {
-                return Ok(lhs);
-            };
-            let rhs = self.parse_shift()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-    }
-
-    fn parse_shift(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_additive()?;
-        loop {
-            let op = if self.eat_symbol("<<<") {
-                BinaryOp::AShl
-            } else if self.eat_symbol(">>>") {
-                BinaryOp::AShr
-            } else if self.eat_symbol("<<") {
-                BinaryOp::Shl
-            } else if self.eat_symbol(">>") {
-                BinaryOp::Shr
-            } else {
-                return Ok(lhs);
-            };
-            let rhs = self.parse_additive()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-    }
-
-    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_multiplicative()?;
-        loop {
-            let op = if matches!(self.peek(), TokenKind::Symbol(s) if s == "+") {
-                self.pos += 1;
-                BinaryOp::Add
-            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "-") {
-                self.pos += 1;
-                BinaryOp::Sub
-            } else {
-                return Ok(lhs);
-            };
-            let rhs = self.parse_multiplicative()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-    }
-
-    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_power()?;
-        loop {
-            let op = if matches!(self.peek(), TokenKind::Symbol(s) if s == "*") {
-                self.pos += 1;
-                BinaryOp::Mul
-            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "/") {
-                self.pos += 1;
-                BinaryOp::Div
-            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "%") {
-                self.pos += 1;
-                BinaryOp::Mod
-            } else {
-                return Ok(lhs);
-            };
-            let rhs = self.parse_power()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-    }
-
-    fn parse_power(&mut self) -> Result<Expr, ParseError> {
-        let lhs = self.parse_unary()?;
-        if self.eat_symbol("**") {
-            let rhs = self.parse_power()?;
-            Ok(Expr::Binary {
-                op: BinaryOp::Pow,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            })
-        } else {
-            Ok(lhs)
         }
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
-        let op = if self.eat_symbol("!") {
+        let op = if self.eat_op(Op::Bang) {
             Some(UnaryOp::Not)
-        } else if self.eat_symbol("~&") {
+        } else if self.eat_op(Op::TildeAmp) {
             Some(UnaryOp::ReduceNand)
-        } else if self.eat_symbol("~|") {
+        } else if self.eat_op(Op::TildePipe) {
             Some(UnaryOp::ReduceNor)
-        } else if self.eat_symbol("~^") || self.eat_symbol("^~") {
+        } else if self.eat_op(Op::TildeCaret) || self.eat_op(Op::CaretTilde) {
             Some(UnaryOp::ReduceXnor)
-        } else if self.eat_symbol("~") {
+        } else if self.eat_op(Op::Tilde) {
             Some(UnaryOp::BitNot)
-        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "-") {
-            self.pos += 1;
+        } else if self.eat_op(Op::Minus) {
             Some(UnaryOp::Negate)
-        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "+") {
-            self.pos += 1;
+        } else if self.eat_op(Op::Plus) {
             Some(UnaryOp::Plus)
-        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "&") {
-            self.pos += 1;
+        } else if self.eat_op(Op::Amp) {
             Some(UnaryOp::ReduceAnd)
-        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "|") {
-            self.pos += 1;
+        } else if self.eat_op(Op::Pipe) {
             Some(UnaryOp::ReduceOr)
-        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "^") {
-            self.pos += 1;
+        } else if self.eat_op(Op::Caret) {
             Some(UnaryOp::ReduceXor)
         } else {
             None
@@ -963,28 +874,28 @@ impl Parser {
     fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
         let mut expr = self.parse_primary()?;
         loop {
-            if self.eat_symbol("[") {
+            if self.eat_op(Op::LBracket) {
                 let first = self.parse_expr()?;
-                if self.eat_symbol(":") {
+                if self.eat_op(Op::Colon) {
                     let lsb = self.parse_expr()?;
-                    self.expect_symbol("]")?;
+                    self.expect_op(Op::RBracket)?;
                     expr = Expr::Slice {
                         base: Box::new(expr),
                         msb: Box::new(first),
                         lsb: Box::new(lsb),
                     };
-                } else if self.eat_symbol("+:") || self.eat_symbol("-:") {
+                } else if self.eat_op(Op::PlusColon) || self.eat_op(Op::MinusColon) {
                     // Indexed part selects are approximated as a slice with
                     // the same base/width information.
                     let width = self.parse_expr()?;
-                    self.expect_symbol("]")?;
+                    self.expect_op(Op::RBracket)?;
                     expr = Expr::Slice {
                         base: Box::new(expr),
                         msb: Box::new(first),
                         lsb: Box::new(width),
                     };
                 } else {
-                    self.expect_symbol("]")?;
+                    self.expect_op(Op::RBracket)?;
                     expr = Expr::Index {
                         base: Box::new(expr),
                         index: Box::new(first),
@@ -997,71 +908,76 @@ impl Parser {
     }
 
     fn parse_primary(&mut self) -> Result<Expr, ParseError> {
-        match self.peek().clone() {
-            TokenKind::Number(text) => {
+        match self.peek() {
+            TokenKind::Number(span) => {
                 self.pos += 1;
-                let (value, width) = parse_number_literal(&text)
+                let text = span.text(self.src);
+                let (value, width) = parse_number_literal(text)
                     .ok_or_else(|| self.error(format!("invalid number literal `{text}`")))?;
                 Ok(Expr::Number { value, width })
             }
-            TokenKind::StringLit(s) => {
+            TokenKind::StringLit(span) => {
                 self.pos += 1;
-                Ok(Expr::StringLit(s))
+                Ok(Expr::StringLit(Lexer::string_value(self.src, span)))
             }
-            TokenKind::Ident(name) => {
+            TokenKind::Ident(sym) => {
                 self.pos += 1;
-                if self.eat_symbol("(") {
+                let name = self.interner.name(sym);
+                if self.eat_op(Op::LParen) {
                     let mut args = Vec::new();
-                    if !self.eat_symbol(")") {
+                    if !self.eat_op(Op::RParen) {
                         loop {
                             args.push(self.parse_expr()?);
-                            if !self.eat_symbol(",") {
+                            if !self.eat_op(Op::Comma) {
                                 break;
                             }
                         }
-                        self.expect_symbol(")")?;
+                        self.expect_op(Op::RParen)?;
                     }
                     Ok(Expr::Call { name, args })
                 } else {
                     Ok(Expr::Ident(name))
                 }
             }
-            TokenKind::Symbol(ref s) if s == "(" => {
+            TokenKind::Op(Op::LParen) => {
                 self.pos += 1;
                 let expr = self.parse_expr()?;
-                self.expect_symbol(")")?;
+                self.expect_op(Op::RParen)?;
                 Ok(expr)
             }
-            TokenKind::Symbol(ref s) if s == "{" => {
+            TokenKind::Op(Op::LBrace) => {
                 self.pos += 1;
                 let first = self.parse_expr()?;
-                if self.eat_symbol("{") {
+                if self.eat_op(Op::LBrace) {
                     // Replication {N{expr}}
                     let value = self.parse_expr()?;
-                    self.expect_symbol("}")?;
-                    self.expect_symbol("}")?;
+                    self.expect_op(Op::RBrace)?;
+                    self.expect_op(Op::RBrace)?;
                     return Ok(Expr::Repeat {
                         count: Box::new(first),
                         value: Box::new(value),
                     });
                 }
                 let mut parts = vec![first];
-                while self.eat_symbol(",") {
+                while self.eat_op(Op::Comma) {
                     parts.push(self.parse_expr()?);
                 }
-                self.expect_symbol("}")?;
+                self.expect_op(Op::RBrace)?;
                 Ok(Expr::Concat(parts))
             }
-            other => Err(self.error(format!("expected expression, found {other}"))),
+            other => Err(self.error(format!(
+                "expected expression, found {}",
+                self.describe(other)
+            ))),
         }
     }
 }
 
 /// Converts non-ANSI style modules (bare names in the header, directions
 /// declared in the body) into fully-populated port lists.
-fn promote_non_ansi_ports(module: &mut Module) {
+pub(crate) fn promote_non_ansi_ports(module: &mut Module) {
     use std::collections::HashMap;
-    let mut decls: HashMap<String, (PortDirection, Option<Range>, bool, bool)> = HashMap::new();
+    let mut decls: HashMap<Name, (PortDirection, Option<Range>, bool, bool)> = HashMap::new();
     for item in &module.items {
         if let ModuleItem::Declaration(decl) = item {
             if let Some(direction) = decl.direction {
@@ -1080,7 +996,7 @@ fn promote_non_ansi_ports(module: &mut Module) {
         }
     }
     for port in &mut module.ports {
-        if let Some((direction, range, is_reg, signed)) = decls.get(&port.name) {
+        if let Some((direction, range, is_reg, signed)) = decls.get(port.name.as_str()) {
             port.direction = *direction;
             if port.range.is_none() {
                 port.range = range.clone();
@@ -1095,49 +1011,103 @@ fn promote_non_ansi_ports(module: &mut Module) {
 ///
 /// `x`, `z` and `?` digits are mapped to zero (two-state semantics).
 pub fn parse_number_literal(text: &str) -> Option<(u64, Option<u32>)> {
-    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
-    if let Some(pos) = cleaned.find('\'') {
+    let bytes = text.as_bytes();
+    if let Some(pos) = bytes.iter().position(|&b| b == b'\'') {
+        // Sized/based literal. Width digits before the quote, underscores
+        // skipped; overflow or a stray byte leaves the width unspecified,
+        // like the `str::parse` it replaces.
         let width = if pos == 0 {
             None
         } else {
-            cleaned[..pos].parse::<u32>().ok()
+            let mut width: u32 = 0;
+            let mut any = false;
+            bytes[..pos]
+                .iter()
+                .filter(|&&b| b != b'_')
+                .try_for_each(|&b| {
+                    if !b.is_ascii_digit() {
+                        return None;
+                    }
+                    any = true;
+                    width = width.checked_mul(10)?.checked_add(u32::from(b - b'0'))?;
+                    Some(())
+                })
+                .filter(|()| any)
+                .map(|()| width)
         };
-        let mut rest = &cleaned[pos + 1..];
-        if rest.starts_with('s') || rest.starts_with('S') {
-            rest = &rest[1..];
+        let mut i = pos + 1;
+        if matches!(bytes.get(i), Some(b's' | b'S')) {
+            i += 1;
         }
-        if rest.is_empty() {
+        if i >= bytes.len() {
             return None;
         }
-        let (radix, digits) = match rest.as_bytes()[0].to_ascii_lowercase() {
-            b'b' => (2, &rest[1..]),
-            b'o' => (8, &rest[1..]),
-            b'd' => (10, &rest[1..]),
-            b'h' => (16, &rest[1..]),
-            _ => (10, rest),
+        let radix: u32 = match bytes[i].to_ascii_lowercase() {
+            b'b' => {
+                i += 1;
+                2
+            }
+            b'o' => {
+                i += 1;
+                8
+            }
+            b'd' => {
+                i += 1;
+                10
+            }
+            b'h' => {
+                i += 1;
+                16
+            }
+            _ => 10,
         };
-        let normalized: String = digits
-            .chars()
-            .map(|c| match c {
-                'x' | 'X' | 'z' | 'Z' | '?' => '0',
-                other => other,
-            })
-            .collect();
-        if normalized.is_empty() {
+        let mut value: u64 = 0;
+        let mut any = false;
+        for &b in &bytes[i..] {
+            if b == b'_' {
+                continue;
+            }
+            let digit = match b {
+                b'x' | b'X' | b'z' | b'Z' | b'?' => 0,
+                _ => u64::from((b as char).to_digit(radix)?),
+            };
+            any = true;
+            value = value.checked_mul(u64::from(radix))?.checked_add(digit)?;
+        }
+        if !any {
             return None;
         }
-        let value = u64::from_str_radix(&normalized, radix).ok()?;
         let value = match width {
             Some(w) if w < 64 => value & ((1u64 << w) - 1),
             _ => value,
         };
         Some((value, width))
-    } else if cleaned.contains('.') {
+    } else if bytes.contains(&b'.') {
         // Real literal: truncate toward zero, no width.
-        let value = cleaned.parse::<f64>().ok()?;
+        let value = if bytes.contains(&b'_') {
+            let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+            cleaned.parse::<f64>().ok()?
+        } else {
+            text.parse::<f64>().ok()?
+        };
         Some((value as u64, None))
     } else {
-        let value = cleaned.parse::<u64>().ok()?;
+        // Plain decimal.
+        let mut value: u64 = 0;
+        let mut any = false;
+        for &b in bytes {
+            if b == b'_' {
+                continue;
+            }
+            if !b.is_ascii_digit() {
+                return None;
+            }
+            any = true;
+            value = value.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+        }
+        if !any {
+            return None;
+        }
         Some((value, None))
     }
 }
@@ -1364,5 +1334,13 @@ mod tests {
              count = count + a[i];\n end\nend\nendmodule",
         );
         assert!(m.items.iter().any(|i| matches!(i, ModuleItem::Always(_))));
+    }
+
+    #[test]
+    fn error_messages_render_token_text() {
+        let err = Parser::parse_source("module 42").unwrap_err();
+        assert!(err.message.contains("number `42`"), "{err}");
+        let err = Parser::parse_source("module m; foo bar").unwrap_err();
+        assert!(err.message.contains('`'), "{err}");
     }
 }

@@ -1,0 +1,1490 @@
+//! The original (pre-zero-copy) Verilog frontend, retained as a reference.
+//!
+//! This module preserves the string-allocating lexer and clone-per-peek
+//! parser that the zero-copy frontend in [`crate::lexer`]/[`crate::parser`]
+//! replaced. It exists for two reasons:
+//!
+//! 1. **Differential testing** — property tests parse the same source with
+//!    both frontends and assert the module lists (and the lint diagnostics
+//!    derived from them) are identical. The reference parser emits the same
+//!    [`crate::ast`] types, so the comparison is a plain `==`.
+//! 2. **Benchmark baseline** — `bench_parse` measures the throughput of both
+//!    paths to quantify the zero-copy speedup.
+//!
+//! The code is intentionally kept byte-for-byte equivalent in behaviour to
+//! the old frontend: token spellings are owned `String`s, `peek` clones a
+//! `TokenKind` per call, and every identifier is allocated at least twice on
+//! its way into the AST. Do not "fix" it — its slowness is the point.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+use crate::intern::Name;
+use crate::lexer::LexError;
+use crate::parser::{parse_number_literal, ParseError};
+use crate::token::Keyword;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A recognised keyword.
+    Keyword(Keyword),
+    /// An identifier (including escaped identifiers with the leading `\`
+    /// removed and system identifiers such as `$display`).
+    Ident(String),
+    /// A numeric literal kept in its source spelling (`42`, `4'b1010`,
+    /// `8'hFF`, `1_000`).
+    Number(String),
+    /// A string literal (contents without the quotes).
+    StringLit(String),
+    /// An operator or punctuation symbol, e.g. `+`, `<=`, `&&`, `(`.
+    Symbol(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::StringLit(_) => write!(f, "string literal"),
+            TokenKind::Symbol(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, line: usize, column: usize) -> Self {
+        Self { kind, line, column }
+    }
+
+    /// Whether the token is the given symbol.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(&self.kind, TokenKind::Symbol(s) if s == sym)
+    }
+
+    /// Whether the token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(k) if *k == kw)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.kind, self.line, self.column)
+    }
+}
+
+/// The original string-allocating lexer, kept verbatim.
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+const MULTI_CHAR_SYMBOLS: &[&str] = &[
+    "<<<", ">>>", "===", "!==", "**", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~^", "^~",
+    "~&", "~|", "->", "+:", "-:",
+];
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let (line, column) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line,
+                            column,
+                        });
+                    }
+                }
+                Some(b'(') if self.peek_at(1) == Some(b'*') && self.peek_at(2) != Some(b')') => {
+                    // Attribute instance (* keep = "true" *): skip to the
+                    // matching *).
+                    let (line, column) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b')') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LexError {
+                            message: "unterminated attribute instance".into(),
+                            line,
+                            column,
+                        });
+                    }
+                }
+                Some(b'`') => {
+                    // Compiler directive: consume to end of line. `define
+                    // bodies with line continuations are followed.
+                    loop {
+                        match self.peek() {
+                            Some(b'\\') if self.peek_at(1) == Some(b'\n') => {
+                                self.bump();
+                                self.bump();
+                            }
+                            Some(b'\n') | None => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident_or_keyword(&mut self) -> Token {
+        let (line, column) = (self.line, self.column);
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        let kind = match Keyword::from_spelling(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        };
+        Token::new(kind, line, column)
+    }
+
+    fn lex_escaped_ident(&mut self) -> Token {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // consume backslash
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                break;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        Token::new(TokenKind::Ident(text), line, column)
+    }
+
+    fn lex_number(&mut self) -> Token {
+        let (line, column) = (self.line, self.column);
+        let start = self.pos;
+        // Digits, then optionally 'base digits (possibly with x/z/?), or a
+        // real-number suffix.
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some(b'\'') {
+            self.bump();
+            // Optional signed marker and base letter.
+            if matches!(self.peek(), Some(b's') | Some(b'S')) {
+                self.bump();
+            }
+            if matches!(
+                self.peek(),
+                Some(b'b')
+                    | Some(b'B')
+                    | Some(b'o')
+                    | Some(b'O')
+                    | Some(b'd')
+                    | Some(b'D')
+                    | Some(b'h')
+                    | Some(b'H')
+            ) {
+                self.bump();
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' || c == b'?' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == b'e' || c == b'E' || c == b'-' || c == b'+' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        Token::new(TokenKind::Number(text), line, column)
+    }
+
+    fn lex_sized_based_number(&mut self) -> Token {
+        // A based literal with no size prefix, e.g. 'b1010 or 'd42.
+        let (line, column) = (self.line, self.column);
+        let start = self.pos;
+        self.bump(); // consume '
+        if matches!(self.peek(), Some(b's') | Some(b'S')) {
+            self.bump();
+        }
+        if matches!(
+            self.peek(),
+            Some(b'b')
+                | Some(b'B')
+                | Some(b'o')
+                | Some(b'O')
+                | Some(b'd')
+                | Some(b'D')
+                | Some(b'h')
+                | Some(b'H')
+        ) {
+            self.bump();
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'?' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        Token::new(TokenKind::Number(text), line, column)
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    if let Some(c) = self.bump() {
+                        out.push(c as char);
+                    }
+                }
+                Some(b'\n') | None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                        column,
+                    });
+                }
+                Some(c) => out.push(c as char),
+            }
+        }
+        Ok(Token::new(TokenKind::StringLit(out), line, column))
+    }
+
+    fn lex_symbol(&mut self) -> Result<Token, LexError> {
+        let (line, column) = (self.line, self.column);
+        let rest = &self.src[self.pos..];
+        for sym in MULTI_CHAR_SYMBOLS {
+            if rest.starts_with(sym.as_bytes()) {
+                for _ in 0..sym.len() {
+                    self.bump();
+                }
+                return Ok(Token::new(
+                    TokenKind::Symbol((*sym).to_string()),
+                    line,
+                    column,
+                ));
+            }
+        }
+        let c = self.bump().expect("caller checked non-empty");
+        let single = c as char;
+        if single.is_ascii_graphic() {
+            Ok(Token::new(
+                TokenKind::Symbol(single.to_string()),
+                line,
+                column,
+            ))
+        } else {
+            Err(LexError {
+                message: format!("unexpected byte 0x{c:02x}"),
+                line,
+                column,
+            })
+        }
+    }
+
+    /// Lexes the next token, or `Eof` at the end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on unterminated comments/strings or bytes that
+    /// cannot start any token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        match self.peek() {
+            None => Ok(Token::new(TokenKind::Eof, self.line, self.column)),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                Ok(self.lex_ident_or_keyword())
+            }
+            Some(b'\\') => Ok(self.lex_escaped_ident()),
+            Some(c) if c.is_ascii_digit() => Ok(self.lex_number()),
+            Some(b'\'') if self.peek_at(1).is_some_and(|c| c.is_ascii_alphanumeric()) => {
+                Ok(self.lex_sized_based_number())
+            }
+            Some(b'"') => self.lex_string(),
+            Some(_) => self.lex_symbol(),
+        }
+    }
+
+    /// Lexes the whole input into a vector of tokens (excluding the trailing
+    /// `Eof`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LexError`] encountered.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            if matches!(tok.kind, TokenKind::Eof) {
+                return Ok(out);
+            }
+            if self.pos > self.src.len() {
+                return Err(self.error("lexer ran past end of input"));
+            }
+            out.push(tok);
+        }
+    }
+}
+
+/// The original clone-per-peek parser, kept verbatim but emitting the
+/// shared [`crate::ast`] types (identifiers are converted to [`Name`] at
+/// construction sites).
+#[derive(Debug, Clone)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over pre-lexed tokens.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    /// Lexes and parses a full source file into its modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexing or parsing error encountered.
+    pub fn parse_source(src: &str) -> Result<Vec<Module>, ParseError> {
+        let tokens = Lexer::new(src).tokenize()?;
+        Parser::new(tokens).parse_modules()
+    }
+
+    fn peek(&self) -> &TokenKind {
+        self.tokens
+            .get(self.pos)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn location(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.column))
+            .unwrap_or((0, 0))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.location();
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Symbol(s) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{sym}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<Name, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                Ok(name.into())
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Parses every module in the token stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on the first malformed construct.
+    pub fn parse_modules(&mut self) -> Result<Vec<Module>, ParseError> {
+        let mut modules = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(modules),
+                TokenKind::Keyword(Keyword::Module) => modules.push(self.parse_module()?),
+                other => {
+                    return Err(self.error(format!("expected `module`, found {other}")));
+                }
+            }
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        self.expect_keyword(Keyword::Module)?;
+        let name = self.expect_ident()?;
+        let mut module = Module {
+            name,
+            ports: Vec::new(),
+            items: Vec::new(),
+        };
+
+        // Optional parameter port list: #(parameter WIDTH = 8, ...)
+        if self.eat_symbol("#") {
+            self.expect_symbol("(")?;
+            loop {
+                if self.eat_symbol(")") {
+                    break;
+                }
+                // `parameter` keyword is optional after the first entry.
+                let _ = self.eat_keyword(Keyword::Parameter);
+                // optional type-ish tokens (integer/signed/range)
+                let _ = self.eat_keyword(Keyword::Integer);
+                let _ = self.eat_keyword(Keyword::Signed);
+                let _ = self.try_parse_range()?;
+                let pname = self.expect_ident()?;
+                self.expect_symbol("=")?;
+                let value = self.parse_expr()?;
+                module.items.push(ModuleItem::Parameter(Parameter {
+                    name: pname,
+                    value,
+                    local: false,
+                }));
+                if !self.eat_symbol(",") {
+                    self.expect_symbol(")")?;
+                    break;
+                }
+            }
+        }
+
+        // Port list (ANSI or non-ANSI), optional.
+        if self.eat_symbol("(") {
+            self.parse_port_list(&mut module)?;
+        }
+        self.expect_symbol(";")?;
+
+        // Body.
+        loop {
+            if self.eat_keyword(Keyword::Endmodule) {
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.error("unexpected end of input inside module body"));
+            }
+            let items = self.parse_module_item()?;
+            module.items.extend(items);
+        }
+
+        // Promote non-ANSI port declarations to ports, preserving header order.
+        crate::parser::promote_non_ansi_ports(&mut module);
+        Ok(module)
+    }
+
+    fn parse_port_list(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        if self.eat_symbol(")") {
+            return Ok(());
+        }
+        // Distinguish ANSI (starts with a direction keyword) from non-ANSI
+        // (bare identifiers).
+        let mut current_direction: Option<PortDirection> = None;
+        let mut current_range: Option<Range> = None;
+        let mut current_is_reg = false;
+        let mut current_signed = false;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Keyword(kw @ (Keyword::Input | Keyword::Output | Keyword::Inout)) => {
+                    self.pos += 1;
+                    current_direction = Some(match kw {
+                        Keyword::Input => PortDirection::Input,
+                        Keyword::Output => PortDirection::Output,
+                        _ => PortDirection::Inout,
+                    });
+                    current_is_reg = self.eat_keyword(Keyword::Reg);
+                    // `output wire` is also legal; swallow a wire keyword.
+                    if !current_is_reg {
+                        let _ = self.eat_keyword(Keyword::Wire);
+                    }
+                    current_signed = self.eat_keyword(Keyword::Signed);
+                    current_range = self.try_parse_range()?;
+                    let name = self.expect_ident()?;
+                    module.ports.push(Port {
+                        name,
+                        direction: current_direction.unwrap(),
+                        range: current_range.clone(),
+                        is_reg: current_is_reg,
+                        signed: current_signed,
+                    });
+                }
+                TokenKind::Ident(name) => {
+                    self.pos += 1;
+                    let name = Name::from(name);
+                    if let Some(direction) = current_direction {
+                        // Continuation of an ANSI group: `input a, b, c`.
+                        module.ports.push(Port {
+                            name,
+                            direction,
+                            range: current_range.clone(),
+                            is_reg: current_is_reg,
+                            signed: current_signed,
+                        });
+                    } else {
+                        // Non-ANSI header: record the name; the direction
+                        // arrives later in the body.
+                        module.ports.push(Port {
+                            name,
+                            direction: PortDirection::Input,
+                            range: None,
+                            is_reg: false,
+                            signed: false,
+                        });
+                    }
+                }
+                other => {
+                    return Err(self.error(format!("expected port declaration, found {other}")))
+                }
+            }
+            if self.eat_symbol(",") {
+                continue;
+            }
+            self.expect_symbol(")")?;
+            return Ok(());
+        }
+    }
+
+    fn try_parse_range(&mut self) -> Result<Option<Range>, ParseError> {
+        if !self.eat_symbol("[") {
+            return Ok(None);
+        }
+        let msb = self.parse_expr()?;
+        self.expect_symbol(":")?;
+        let lsb = self.parse_expr()?;
+        self.expect_symbol("]")?;
+        Ok(Some(Range { msb, lsb }))
+    }
+
+    fn parse_module_item(&mut self) -> Result<Vec<ModuleItem>, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                let local = matches!(self.peek(), TokenKind::Keyword(Keyword::Localparam));
+                self.pos += 1;
+                let _ = self.eat_keyword(Keyword::Integer);
+                let _ = self.eat_keyword(Keyword::Signed);
+                let _ = self.try_parse_range()?;
+                let mut out = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect_symbol("=")?;
+                    let value = self.parse_expr()?;
+                    out.push(ModuleItem::Parameter(Parameter { name, value, local }));
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(out)
+            }
+            TokenKind::Keyword(
+                kw @ (Keyword::Input
+                | Keyword::Output
+                | Keyword::Inout
+                | Keyword::Wire
+                | Keyword::Reg
+                | Keyword::Integer
+                | Keyword::Genvar),
+            ) => {
+                self.pos += 1;
+                let direction = match kw {
+                    Keyword::Input => Some(PortDirection::Input),
+                    Keyword::Output => Some(PortDirection::Output),
+                    Keyword::Inout => Some(PortDirection::Inout),
+                    _ => None,
+                };
+                let mut kind = match kw {
+                    Keyword::Reg => NetKind::Reg,
+                    Keyword::Integer => NetKind::Integer,
+                    Keyword::Genvar => NetKind::Genvar,
+                    _ => NetKind::Wire,
+                };
+                if direction.is_some() {
+                    if self.eat_keyword(Keyword::Reg) {
+                        kind = NetKind::Reg;
+                    } else if self.eat_keyword(Keyword::Wire) {
+                        kind = NetKind::Wire;
+                    }
+                }
+                let signed = self.eat_keyword(Keyword::Signed);
+                let range = self.try_parse_range()?;
+                let mut nets = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    let array = self.try_parse_range()?;
+                    let init = if self.eat_symbol("=") {
+                        Some(self.parse_expr()?)
+                    } else {
+                        None
+                    };
+                    nets.push(Net {
+                        name,
+                        kind,
+                        range: range.clone(),
+                        array,
+                        signed,
+                        init,
+                    });
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(vec![ModuleItem::Declaration(Declaration {
+                    direction,
+                    nets,
+                })])
+            }
+            TokenKind::Keyword(Keyword::Assign) => {
+                self.pos += 1;
+                let mut out = Vec::new();
+                loop {
+                    let target = self.parse_expr()?;
+                    self.expect_symbol("=")?;
+                    let value = self.parse_expr()?;
+                    out.push(ModuleItem::ContinuousAssign { target, value });
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(";")?;
+                Ok(out)
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                self.pos += 1;
+                let sensitivity = self.parse_sensitivity()?;
+                let body = self.parse_statement()?;
+                Ok(vec![ModuleItem::Always(AlwaysBlock { sensitivity, body })])
+            }
+            TokenKind::Keyword(Keyword::Initial) => {
+                self.pos += 1;
+                let body = self.parse_statement()?;
+                Ok(vec![ModuleItem::Initial(body)])
+            }
+            TokenKind::Keyword(Keyword::Generate) => {
+                self.pos += 1;
+                let mut inner = Vec::new();
+                while !self.eat_keyword(Keyword::Endgenerate) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside generate region"));
+                    }
+                    inner.extend(self.parse_module_item()?);
+                }
+                Ok(vec![ModuleItem::Generate(inner)])
+            }
+            TokenKind::Keyword(Keyword::Function) | TokenKind::Keyword(Keyword::Task) => {
+                // Functions/tasks are tolerated but skipped: consume tokens
+                // until the matching end keyword.
+                let is_function = matches!(self.peek(), TokenKind::Keyword(Keyword::Function));
+                self.pos += 1;
+                let end_kw = if is_function {
+                    Keyword::Endfunction
+                } else {
+                    Keyword::Endtask
+                };
+                while !self.eat_keyword(end_kw) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside function/task"));
+                    }
+                    self.pos += 1;
+                }
+                Ok(vec![])
+            }
+            TokenKind::Ident(_) => {
+                // Module instantiation: `name [#(...)] inst_name ( ... );`
+                let inst = self.parse_instance()?;
+                Ok(vec![ModuleItem::Instance(inst)])
+            }
+            other => Err(self.error(format!("unexpected {other} in module body"))),
+        }
+    }
+
+    fn parse_instance(&mut self) -> Result<Instance, ParseError> {
+        let module = self.expect_ident()?;
+        let mut parameter_overrides = Vec::new();
+        if self.eat_symbol("#") {
+            self.expect_symbol("(")?;
+            if !self.eat_symbol(")") {
+                loop {
+                    if self.eat_symbol(".") {
+                        let pname = self.expect_ident()?;
+                        self.expect_symbol("(")?;
+                        let value = self.parse_expr()?;
+                        self.expect_symbol(")")?;
+                        parameter_overrides.push((pname, value));
+                    } else {
+                        let value = self.parse_expr()?;
+                        parameter_overrides.push((Name::default(), value));
+                    }
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(")")?;
+            }
+        }
+        let name = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut named_connections = Vec::new();
+        let mut ordered_connections = Vec::new();
+        if !self.eat_symbol(")") {
+            loop {
+                if self.eat_symbol(".") {
+                    let port = self.expect_ident()?;
+                    self.expect_symbol("(")?;
+                    if self.eat_symbol(")") {
+                        named_connections.push((port, None));
+                    } else {
+                        let value = self.parse_expr()?;
+                        self.expect_symbol(")")?;
+                        named_connections.push((port, Some(value)));
+                    }
+                } else {
+                    ordered_connections.push(self.parse_expr()?);
+                }
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_symbol(";")?;
+        Ok(Instance {
+            module,
+            name,
+            named_connections,
+            ordered_connections,
+            parameter_overrides,
+        })
+    }
+
+    fn parse_sensitivity(&mut self) -> Result<SensitivityList, ParseError> {
+        let mut list = SensitivityList::default();
+        if !self.eat_symbol("@") {
+            // `always` with no event control (e.g. `always begin ... end`) is
+            // treated as combinational.
+            list.star = true;
+            return Ok(list);
+        }
+        if self.eat_symbol("*") {
+            list.star = true;
+            return Ok(list);
+        }
+        self.expect_symbol("(")?;
+        if self.eat_symbol("*") {
+            list.star = true;
+            self.expect_symbol(")")?;
+            return Ok(list);
+        }
+        loop {
+            let edge = if self.eat_keyword(Keyword::Posedge) {
+                EdgeKind::Posedge
+            } else if self.eat_keyword(Keyword::Negedge) {
+                EdgeKind::Negedge
+            } else {
+                EdgeKind::Level
+            };
+            let name = self.expect_ident()?;
+            list.entries.push((edge, name));
+            if self.eat_symbol(",") || self.eat_keyword(Keyword::Or) {
+                continue;
+            }
+            self.expect_symbol(")")?;
+            return Ok(list);
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.pos += 1;
+                // Optional block label `begin : name`.
+                if self.eat_symbol(":") {
+                    let _ = self.expect_ident()?;
+                }
+                let mut body = Vec::new();
+                while !self.eat_keyword(Keyword::End) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside begin/end block"));
+                    }
+                    body.push(self.parse_statement()?);
+                }
+                Ok(Statement::Block(body))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let condition = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                let then_branch = Box::new(self.parse_statement()?);
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.parse_statement()?))
+                } else {
+                    None
+                };
+                Ok(Statement::If {
+                    condition,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+                self.pos += 1;
+                let kind = match kw {
+                    Keyword::Casez => CaseKind::Casez,
+                    Keyword::Casex => CaseKind::Casex,
+                    _ => CaseKind::Case,
+                };
+                self.expect_symbol("(")?;
+                let subject = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                let mut arms = Vec::new();
+                while !self.eat_keyword(Keyword::Endcase) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return Err(self.error("unexpected end of input inside case statement"));
+                    }
+                    if self.eat_keyword(Keyword::Default) {
+                        let _ = self.eat_symbol(":");
+                        let body = self.parse_statement()?;
+                        arms.push(CaseArm {
+                            labels: vec![],
+                            body,
+                        });
+                        continue;
+                    }
+                    let mut labels = vec![self.parse_expr()?];
+                    while self.eat_symbol(",") {
+                        labels.push(self.parse_expr()?);
+                    }
+                    self.expect_symbol(":")?;
+                    let body = self.parse_statement()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Statement::Case {
+                    kind,
+                    subject,
+                    arms,
+                })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let init = Box::new(self.parse_assignment_no_semi()?);
+                self.expect_symbol(";")?;
+                let condition = self.parse_expr()?;
+                self.expect_symbol(";")?;
+                let step = Box::new(self.parse_assignment_no_semi()?);
+                self.expect_symbol(")")?;
+                let body = Box::new(self.parse_statement()?);
+                Ok(Statement::For {
+                    init,
+                    condition,
+                    step,
+                    body,
+                })
+            }
+            TokenKind::Symbol(ref s) if s == ";" => {
+                self.pos += 1;
+                Ok(Statement::Empty)
+            }
+            TokenKind::Symbol(ref s) if s == "#" => {
+                // Delay control `#10 statement` — skip the delay and parse the
+                // controlled statement (testbench style code).
+                self.pos += 1;
+                let _ = self.parse_primary()?;
+                self.parse_statement()
+            }
+            TokenKind::Symbol(ref s) if s == "@" => {
+                // Event control inside a statement, e.g. `@(posedge clk) q = d;`
+                let _ = self.parse_sensitivity()?;
+                self.parse_statement()
+            }
+            TokenKind::Ident(name) if name.starts_with('$') => {
+                self.pos += 1;
+                let mut args = Vec::new();
+                if self.eat_symbol("(") && !self.eat_symbol(")") {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat_symbol(",") {
+                            break;
+                        }
+                    }
+                    self.expect_symbol(")")?;
+                }
+                self.expect_symbol(";")?;
+                Ok(Statement::SystemCall {
+                    name: name.into(),
+                    args,
+                })
+            }
+            _ => {
+                let stmt = self.parse_assignment_no_semi()?;
+                self.expect_symbol(";")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn parse_assignment_no_semi(&mut self) -> Result<Statement, ParseError> {
+        let target = self.parse_expr_no_comparison_shortcut()?;
+        if self.eat_symbol("<=") {
+            let value = self.parse_expr()?;
+            Ok(Statement::NonBlocking { target, value })
+        } else if self.eat_symbol("=") {
+            let value = self.parse_expr()?;
+            Ok(Statement::Blocking { target, value })
+        } else {
+            Err(self.error(format!("expected `=` or `<=`, found {}", self.peek())))
+        }
+    }
+
+    /// Parses an assignment *target* expression: stops before `<=`/`=` so the
+    /// statement parser can decide blocking vs non-blocking. Targets are
+    /// primaries with optional selects or concatenations, so full precedence
+    /// parsing is unnecessary (and would swallow `<=`).
+    fn parse_expr_no_comparison_shortcut(&mut self) -> Result<Expr, ParseError> {
+        self.parse_postfix()
+    }
+
+    // ----- expression parsing (precedence climbing) -----
+
+    /// Parses a full expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the token stream is not an expression.
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        let condition = self.parse_logical_or()?;
+        if self.eat_symbol("?") {
+            let then_expr = self.parse_ternary()?;
+            self.expect_symbol(":")?;
+            let else_expr = self.parse_ternary()?;
+            Ok(Expr::Ternary {
+                condition: Box::new(condition),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(condition)
+        }
+    }
+
+    fn parse_logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_logical_and()?;
+        while self.eat_symbol("||") {
+            let rhs = self.parse_logical_and()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::LogicalOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_or()?;
+        while self.eat_symbol("&&") {
+            let rhs = self.parse_bit_or()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::LogicalAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_xor()?;
+        while matches!(self.peek(), TokenKind::Symbol(s) if s == "|") {
+            self.pos += 1;
+            let rhs = self.parse_bit_xor()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bit_and()?;
+        loop {
+            let op = if self.eat_symbol("^") {
+                BinaryOp::Xor
+            } else if self.eat_symbol("~^") || self.eat_symbol("^~") {
+                BinaryOp::Xnor
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_bit_and()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_equality()?;
+        while matches!(self.peek(), TokenKind::Symbol(s) if s == "&") {
+            self.pos += 1;
+            let rhs = self.parse_equality()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = if self.eat_symbol("==") {
+                BinaryOp::Eq
+            } else if self.eat_symbol("!=") {
+                BinaryOp::Neq
+            } else if self.eat_symbol("===") {
+                BinaryOp::CaseEq
+            } else if self.eat_symbol("!==") {
+                BinaryOp::CaseNeq
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_relational()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_shift()?;
+        loop {
+            let op = if self.eat_symbol("<=") {
+                BinaryOp::Le
+            } else if self.eat_symbol(">=") {
+                BinaryOp::Ge
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "<") {
+                self.pos += 1;
+                BinaryOp::Lt
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == ">") {
+                self.pos += 1;
+                BinaryOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_shift()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = if self.eat_symbol("<<<") {
+                BinaryOp::AShl
+            } else if self.eat_symbol(">>>") {
+                BinaryOp::AShr
+            } else if self.eat_symbol("<<") {
+                BinaryOp::Shl
+            } else if self.eat_symbol(">>") {
+                BinaryOp::Shr
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = if matches!(self.peek(), TokenKind::Symbol(s) if s == "+") {
+                self.pos += 1;
+                BinaryOp::Add
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "-") {
+                self.pos += 1;
+                BinaryOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            let op = if matches!(self.peek(), TokenKind::Symbol(s) if s == "*") {
+                self.pos += 1;
+                BinaryOp::Mul
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "/") {
+                self.pos += 1;
+                BinaryOp::Div
+            } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "%") {
+                self.pos += 1;
+                BinaryOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_power()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_unary()?;
+        if self.eat_symbol("**") {
+            let rhs = self.parse_power()?;
+            Ok(Expr::Binary {
+                op: BinaryOp::Pow,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = if self.eat_symbol("!") {
+            Some(UnaryOp::Not)
+        } else if self.eat_symbol("~&") {
+            Some(UnaryOp::ReduceNand)
+        } else if self.eat_symbol("~|") {
+            Some(UnaryOp::ReduceNor)
+        } else if self.eat_symbol("~^") || self.eat_symbol("^~") {
+            Some(UnaryOp::ReduceXnor)
+        } else if self.eat_symbol("~") {
+            Some(UnaryOp::BitNot)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "-") {
+            self.pos += 1;
+            Some(UnaryOp::Negate)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "+") {
+            self.pos += 1;
+            Some(UnaryOp::Plus)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "&") {
+            self.pos += 1;
+            Some(UnaryOp::ReduceAnd)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "|") {
+            self.pos += 1;
+            Some(UnaryOp::ReduceOr)
+        } else if matches!(self.peek(), TokenKind::Symbol(s) if s == "^") {
+            self.pos += 1;
+            Some(UnaryOp::ReduceXor)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let operand = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op,
+                    operand: Box::new(operand),
+                })
+            }
+            None => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.eat_symbol("[") {
+                let first = self.parse_expr()?;
+                if self.eat_symbol(":") {
+                    let lsb = self.parse_expr()?;
+                    self.expect_symbol("]")?;
+                    expr = Expr::Slice {
+                        base: Box::new(expr),
+                        msb: Box::new(first),
+                        lsb: Box::new(lsb),
+                    };
+                } else if self.eat_symbol("+:") || self.eat_symbol("-:") {
+                    // Indexed part selects are approximated as a slice with
+                    // the same base/width information.
+                    let width = self.parse_expr()?;
+                    self.expect_symbol("]")?;
+                    expr = Expr::Slice {
+                        base: Box::new(expr),
+                        msb: Box::new(first),
+                        lsb: Box::new(width),
+                    };
+                } else {
+                    self.expect_symbol("]")?;
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(first),
+                    };
+                }
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(text) => {
+                self.pos += 1;
+                let (value, width) = parse_number_literal(&text)
+                    .ok_or_else(|| self.error(format!("invalid number literal `{text}`")))?;
+                Ok(Expr::Number { value, width })
+            }
+            TokenKind::StringLit(s) => {
+                self.pos += 1;
+                Ok(Expr::StringLit(s))
+            }
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                if self.eat_symbol("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_symbol(",") {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(")")?;
+                    }
+                    Ok(Expr::Call {
+                        name: name.into(),
+                        args,
+                    })
+                } else {
+                    Ok(Expr::Ident(name.into()))
+                }
+            }
+            TokenKind::Symbol(ref s) if s == "(" => {
+                self.pos += 1;
+                let expr = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(expr)
+            }
+            TokenKind::Symbol(ref s) if s == "{" => {
+                self.pos += 1;
+                let first = self.parse_expr()?;
+                if self.eat_symbol("{") {
+                    // Replication {N{expr}}
+                    let value = self.parse_expr()?;
+                    self.expect_symbol("}")?;
+                    self.expect_symbol("}")?;
+                    return Ok(Expr::Repeat {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_symbol(",") {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect_symbol("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_lexer_produces_string_tokens() {
+        let tokens = Lexer::new("module foo; endmodule").tokenize().unwrap();
+        assert_eq!(tokens[1].kind, TokenKind::Ident("foo".into()));
+        assert!(tokens[2].is_symbol(";"));
+    }
+
+    #[test]
+    fn reference_parser_agrees_with_new_frontend_on_a_smoke_case() {
+        let src = "module dff(clk, d, q);\ninput clk, d;\noutput reg q;\n\
+                   always @(posedge clk) q <= d;\nendmodule";
+        let old = Parser::parse_source(src).unwrap();
+        let new = crate::Parser::parse_source(src).unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn reference_parser_reports_identical_errors() {
+        let src = "module m(input a, output y) assign y = a; endmodule";
+        let old = Parser::parse_source(src).unwrap_err();
+        let new = crate::Parser::parse_source(src).unwrap_err();
+        assert_eq!(old, new);
+    }
+}

@@ -100,18 +100,37 @@ impl SyntaxChecker {
         Ok(Self::report(&modules))
     }
 
+    /// Checks an already-parsed file without re-lexing or re-parsing — the
+    /// parse-once path used when a [`crate::ParsedFile`] is shared between
+    /// the syntax filter and downstream consumers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyntaxError::NoModules`] when the file defines no module and
+    /// the checker requires one. (Parse errors cannot occur: a `ParsedFile`
+    /// exists only if parsing succeeded.)
+    pub fn check_parsed(&self, parsed: &crate::ParsedFile) -> Result<SyntaxReport, SyntaxError> {
+        if parsed.modules().is_empty() && self.require_modules {
+            return Err(SyntaxError::NoModules);
+        }
+        Ok(Self::report(parsed.modules()))
+    }
+
     /// Convenience predicate: does the file pass the syntax filter?
     pub fn is_valid(&self, src: &str) -> bool {
         self.check(src).is_ok()
     }
 
     fn report(modules: &[Module]) -> SyntaxReport {
-        let module_names: Vec<String> = modules.iter().map(|m| m.name.clone()).collect();
-        let mut unresolved = Vec::new();
+        let module_names: Vec<String> = modules.iter().map(|m| m.name.to_string()).collect();
+        let mut unresolved: Vec<String> = Vec::new();
         for module in modules {
             for inst in module.instances() {
-                if !module_names.contains(&inst.module) && !unresolved.contains(&inst.module) {
-                    unresolved.push(inst.module.clone());
+                let target = inst.module.as_str();
+                if !module_names.iter().any(|n| n == target)
+                    && !unresolved.iter().any(|n| n == target)
+                {
+                    unresolved.push(target.to_string());
                 }
             }
         }

@@ -1,8 +1,14 @@
 //! Token definitions shared by the lexer and parser.
+//!
+//! Tokens are fully `Copy`: identifier payloads are interned [`Symbol`]s,
+//! number and string payloads are [`Span`]s into the source text, and
+//! operators are a fieldless [`Op`] enum instead of an owned `String`.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+use crate::intern::Symbol;
 
 /// Verilog keywords recognised by the front-end.
 ///
@@ -137,69 +143,316 @@ impl fmt::Display for Keyword {
     }
 }
 
-/// The kind of a lexed token.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A byte range into the lexed source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, len: usize) -> Self {
+        Self {
+            start: u32::try_from(start).expect("source larger than 4 GiB"),
+            len: u32::try_from(len).expect("token larger than 4 GiB"),
+        }
+    }
+
+    /// The spanned text within `src` (the source the span was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start as usize..(self.start + self.len) as usize]
+    }
+
+    /// The spanned bytes within `src`.
+    pub fn bytes<'a>(&self, src: &'a str) -> &'a [u8] {
+        &src.as_bytes()[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+/// An operator or punctuation token.
+///
+/// The set is total over everything the lexer can produce: every ASCII
+/// graphic character that is not consumed by identifiers, numbers, strings,
+/// escaped identifiers or compiler directives, plus the multi-character
+/// operator set. Matching is a first-byte dispatch in the lexer — there is
+/// no string table scan and no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `<<<`
+    AShl,
+    /// `>>>`
+    AShr,
+    /// `===`
+    CaseEq,
+    /// `!==`
+    CaseNeq,
+    /// `**`
+    Pow,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Neq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `~^`
+    TildeCaret,
+    /// `^~`
+    CaretTilde,
+    /// `~&`
+    TildeAmp,
+    /// `~|`
+    TildePipe,
+    /// `->`
+    Arrow,
+    /// `+:`
+    PlusColon,
+    /// `-:`
+    MinusColon,
+    /// `!`
+    Bang,
+    /// `#`
+    Hash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `'`
+    Apostrophe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `,`
+    Comma,
+    /// `-`
+    Minus,
+    /// `.`
+    Dot,
+    /// `/`
+    Slash,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `<`
+    Lt,
+    /// `=`
+    Eq,
+    /// `>`
+    Gt,
+    /// `?`
+    Question,
+    /// `@`
+    At,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `^`
+    Caret,
+    /// `{`
+    LBrace,
+    /// `|`
+    Pipe,
+    /// `}`
+    RBrace,
+    /// `~`
+    Tilde,
+}
+
+impl Op {
+    /// The source spelling of the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Op::AShl => "<<<",
+            Op::AShr => ">>>",
+            Op::CaseEq => "===",
+            Op::CaseNeq => "!==",
+            Op::Pow => "**",
+            Op::Shl => "<<",
+            Op::Shr => ">>",
+            Op::Le => "<=",
+            Op::Ge => ">=",
+            Op::EqEq => "==",
+            Op::Neq => "!=",
+            Op::AndAnd => "&&",
+            Op::OrOr => "||",
+            Op::TildeCaret => "~^",
+            Op::CaretTilde => "^~",
+            Op::TildeAmp => "~&",
+            Op::TildePipe => "~|",
+            Op::Arrow => "->",
+            Op::PlusColon => "+:",
+            Op::MinusColon => "-:",
+            Op::Bang => "!",
+            Op::Hash => "#",
+            Op::Percent => "%",
+            Op::Amp => "&",
+            Op::Apostrophe => "'",
+            Op::LParen => "(",
+            Op::RParen => ")",
+            Op::Star => "*",
+            Op::Plus => "+",
+            Op::Comma => ",",
+            Op::Minus => "-",
+            Op::Dot => ".",
+            Op::Slash => "/",
+            Op::Colon => ":",
+            Op::Semi => ";",
+            Op::Lt => "<",
+            Op::Eq => "=",
+            Op::Gt => ">",
+            Op::Question => "?",
+            Op::At => "@",
+            Op::LBracket => "[",
+            Op::RBracket => "]",
+            Op::Caret => "^",
+            Op::LBrace => "{",
+            Op::Pipe => "|",
+            Op::RBrace => "}",
+            Op::Tilde => "~",
+        }
+    }
+
+    /// Length of the spelling in bytes (1–3).
+    pub fn len(&self) -> usize {
+        self.as_str().len()
+    }
+
+    /// Operators are never empty; provided to pair with [`Op::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The single-character operator for a byte, if it is one.
+    pub fn from_single(byte: u8) -> Option<Op> {
+        Some(match byte {
+            b'!' => Op::Bang,
+            b'#' => Op::Hash,
+            b'%' => Op::Percent,
+            b'&' => Op::Amp,
+            b'\'' => Op::Apostrophe,
+            b'(' => Op::LParen,
+            b')' => Op::RParen,
+            b'*' => Op::Star,
+            b'+' => Op::Plus,
+            b',' => Op::Comma,
+            b'-' => Op::Minus,
+            b'.' => Op::Dot,
+            b'/' => Op::Slash,
+            b':' => Op::Colon,
+            b';' => Op::Semi,
+            b'<' => Op::Lt,
+            b'=' => Op::Eq,
+            b'>' => Op::Gt,
+            b'?' => Op::Question,
+            b'@' => Op::At,
+            b'[' => Op::LBracket,
+            b']' => Op::RBracket,
+            b'^' => Op::Caret,
+            b'{' => Op::LBrace,
+            b'|' => Op::Pipe,
+            b'}' => Op::RBrace,
+            b'~' => Op::Tilde,
+            _ => return None,
+        })
+    }
+
+    /// All multi-character operators, longest first (the greedy lexing
+    /// order), paired with their spellings. Used by differential tests and
+    /// the lexer micro-asserts in `bench_parse`.
+    pub const MULTI_CHAR: &'static [Op] = &[
+        Op::AShl,
+        Op::AShr,
+        Op::CaseEq,
+        Op::CaseNeq,
+        Op::Pow,
+        Op::Shl,
+        Op::Shr,
+        Op::Le,
+        Op::Ge,
+        Op::EqEq,
+        Op::Neq,
+        Op::AndAnd,
+        Op::OrOr,
+        Op::TildeCaret,
+        Op::CaretTilde,
+        Op::TildeAmp,
+        Op::TildePipe,
+        Op::Arrow,
+        Op::PlusColon,
+        Op::MinusColon,
+    ];
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of a lexed token. `Copy` — eight bytes of payload at most.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
     /// A recognised keyword.
     Keyword(Keyword),
     /// An identifier (including escaped identifiers with the leading `\`
-    /// removed and system identifiers such as `$display`).
-    Ident(String),
-    /// A numeric literal kept in its source spelling (`42`, `4'b1010`,
-    /// `8'hFF`, `1_000`).
-    Number(String),
-    /// A string literal (contents without the quotes).
-    StringLit(String),
+    /// removed and system identifiers such as `$display`), interned.
+    Ident(Symbol),
+    /// A numeric literal; the span covers its source spelling (`42`,
+    /// `4'b1010`, `8'hFF`, `1_000`).
+    Number(Span),
+    /// A string literal; the span covers the raw contents between the
+    /// quotes (escapes unprocessed — see `Lexer::string_value`).
+    StringLit(Span),
     /// An operator or punctuation symbol, e.g. `+`, `<=`, `&&`, `(`.
-    Symbol(String),
+    Op(Op),
     /// End of input.
     Eof,
 }
 
-impl fmt::Display for TokenKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
-            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
-            TokenKind::Number(s) => write!(f, "number `{s}`"),
-            TokenKind::StringLit(_) => write!(f, "string literal"),
-            TokenKind::Symbol(s) => write!(f, "`{s}`"),
-            TokenKind::Eof => write!(f, "end of input"),
-        }
-    }
-}
-
 /// A token with its source location.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
     /// 1-based line number.
-    pub line: usize,
+    pub line: u32,
     /// 1-based column number.
-    pub column: usize,
+    pub column: u32,
 }
 
 impl Token {
     /// Creates a token.
-    pub fn new(kind: TokenKind, line: usize, column: usize) -> Self {
+    pub fn new(kind: TokenKind, line: u32, column: u32) -> Self {
         Self { kind, line, column }
     }
 
-    /// Whether the token is the given symbol.
-    pub fn is_symbol(&self, sym: &str) -> bool {
-        matches!(&self.kind, TokenKind::Symbol(s) if s == sym)
+    /// Whether the token is the given operator.
+    pub fn is_op(&self, op: Op) -> bool {
+        matches!(self.kind, TokenKind::Op(o) if o == op)
     }
 
     /// Whether the token is the given keyword.
     pub fn is_keyword(&self, kw: Keyword) -> bool {
-        matches!(&self.kind, TokenKind::Keyword(k) if *k == kw)
-    }
-}
-
-impl fmt::Display for Token {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {}:{}", self.kind, self.line, self.column)
+        matches!(self.kind, TokenKind::Keyword(k) if k == kw)
     }
 }
 
@@ -233,19 +486,40 @@ mod tests {
 
     #[test]
     fn token_predicates() {
-        let t = Token::new(TokenKind::Symbol("<=".into()), 3, 7);
-        assert!(t.is_symbol("<="));
-        assert!(!t.is_symbol("="));
+        let t = Token::new(TokenKind::Op(Op::Le), 3, 7);
+        assert!(t.is_op(Op::Le));
+        assert!(!t.is_op(Op::Eq));
         assert!(!t.is_keyword(Keyword::Module));
         let k = Token::new(TokenKind::Keyword(Keyword::Module), 1, 1);
         assert!(k.is_keyword(Keyword::Module));
     }
 
     #[test]
-    fn display_formats_are_informative() {
-        let t = Token::new(TokenKind::Ident("foo".into()), 2, 5);
-        let s = format!("{t}");
-        assert!(s.contains("foo") && s.contains("2:5"));
-        assert!(format!("{}", TokenKind::Eof).contains("end of input"));
+    fn tokens_are_copy_and_small() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Token>();
+        assert_copy::<TokenKind>();
+        assert!(std::mem::size_of::<Token>() <= 24);
+    }
+
+    #[test]
+    fn op_spellings_round_trip() {
+        for op in Op::MULTI_CHAR {
+            assert!(op.len() >= 2, "{op:?} is not multi-char");
+        }
+        for byte in 0u8..=127 {
+            if let Some(op) = Op::from_single(byte) {
+                assert_eq!(op.as_str().as_bytes(), [byte]);
+                assert!(!op.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn span_slices_the_source() {
+        let src = "module m;";
+        let span = Span::new(7, 1);
+        assert_eq!(span.text(src), "m");
+        assert_eq!(span.bytes(src), b"m");
     }
 }

@@ -9,20 +9,30 @@
 //! cell input, and unresolved cell references must be tolerated exactly
 //! like `SyntaxChecker` tolerates them.
 
-use verilog::{Linter, Parser, RuleId, Severity, SyntaxChecker};
+use verilog::{Linter, ParsedFile, RuleId, Severity, SyntaxChecker};
 
 const B01_NET: &str = include_str!("fixtures/b01_net.v");
 
+/// The netlist parsed once; every check below consumes this shared parse.
+fn parsed() -> ParsedFile {
+    ParsedFile::parse(B01_NET).expect("b01 netlist parses")
+}
+
 #[test]
 fn b01_netlist_is_syntactically_valid() {
-    assert!(SyntaxChecker::new().is_valid(B01_NET));
+    let checker = SyntaxChecker::new();
+    let report = checker.check_parsed(&parsed()).expect("passes");
+    assert_eq!(report.module_names, vec!["b01"]);
+    // The parse-once verdict matches the from-source path.
+    assert!(checker.is_valid(B01_NET));
+    assert_eq!(report, checker.check(B01_NET).expect("passes"));
 }
 
 #[test]
 fn b01_netlist_parses_with_the_benchmark_interface() {
-    let modules = Parser::parse_source(B01_NET).expect("b01 netlist parses");
-    assert_eq!(modules.len(), 1);
-    let b01 = &modules[0];
+    let parsed = parsed();
+    assert_eq!(parsed.modules().len(), 1);
+    let b01 = parsed.first_module().expect("one module");
     assert_eq!(b01.name, "b01");
     let port_names: Vec<&str> = b01.ports.iter().map(|p| p.name.as_str()).collect();
     assert_eq!(
@@ -38,7 +48,7 @@ fn b01_netlist_lints_clean() {
     // net has exactly one cell driving it and at least one cell reading
     // it; the unresolved `dff_r`/`and2`/... cell references must count as
     // conservative drives and reads, not as undeclared modules.
-    let diagnostics = Linter::new().lint_source(B01_NET).expect("parses");
+    let diagnostics = Linter::new().lint_parsed(&parsed());
     assert!(
         diagnostics.is_empty(),
         "expected a clean netlist, got:\n{}",

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use verilog::interp::EvalError;
-use verilog::{Parser, Testbench};
+use verilog::{ParsedFile, Testbench};
 
 /// The design family of a problem, used for reporting per-family accuracy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -58,19 +58,53 @@ impl Problem {
         format!("{}\n{}\n", self.module_header, completion)
     }
 
+    /// Parses the golden solution once, producing a [`PreparedProblem`]
+    /// whose judging methods never re-lex or re-parse it. The evaluation
+    /// runner prepares each problem a single time and reuses the result
+    /// across every sampled completion.
+    pub fn prepare(&self) -> PreparedProblem<'_> {
+        let golden = match ParsedFile::parse(self.golden_solution.as_str()) {
+            Ok(parsed) if parsed.first_module().is_none() => Err(EvalError::Elaboration(
+                "golden solution has no module".into(),
+            )),
+            Ok(parsed) => Ok(parsed),
+            Err(e) => Err(EvalError::Elaboration(format!(
+                "golden solution parse error: {e}"
+            ))),
+        };
+        PreparedProblem {
+            problem: self,
+            golden,
+        }
+    }
+
+    /// Judges one candidate source with a single lex + parse: functional
+    /// correctness against the testbench and (when `lint_gate` is on)
+    /// lint-cleanliness from the same parse.
+    pub fn judge_source(&self, source: &str, lint_gate: bool) -> CandidateVerdict {
+        let Ok(parsed) = ParsedFile::parse(source) else {
+            return CandidateVerdict {
+                functional: false,
+                lint_clean: false,
+            };
+        };
+        let lint_clean = lint_gate && Self::lint_clean_parsed(&parsed);
+        let functional = parsed
+            .first_module()
+            .is_some_and(|module| matches!(self.testbench.passes(module), Ok(true)));
+        CandidateVerdict {
+            functional,
+            lint_clean,
+        }
+    }
+
     /// Functionally checks a full module source against the testbench.
     ///
     /// Returns `false` for any parse, elaboration or simulation failure —
     /// a candidate that cannot be simulated is simply wrong, matching how
     /// the real benchmark treats un-compilable completions.
     pub fn check_source(&self, source: &str) -> bool {
-        let Ok(modules) = Parser::parse_source(source) else {
-            return false;
-        };
-        let Some(module) = modules.first() else {
-            return false;
-        };
-        matches!(self.testbench.passes(module), Ok(true))
+        self.judge_source(source, false).functional
     }
 
     /// Checks a model completion (text after the prompt).
@@ -87,12 +121,17 @@ impl Problem {
     /// plausibility independently of the testbench, so pass@k can be
     /// reported with and without lint-clean filtering.
     pub fn lint_clean(&self, source: &str) -> bool {
-        match verilog::Linter::new().lint_source(source) {
-            Ok(diagnostics) => diagnostics
-                .iter()
-                .all(|d| d.severity < verilog::Severity::Error),
+        match ParsedFile::parse(source) {
+            Ok(parsed) => Self::lint_clean_parsed(&parsed),
             Err(_) => false,
         }
+    }
+
+    fn lint_clean_parsed(parsed: &ParsedFile) -> bool {
+        verilog::Linter::new()
+            .lint_parsed(parsed)
+            .iter()
+            .all(|d| d.severity < verilog::Severity::Error)
     }
 
     /// Lint-checks a model completion (text after the prompt).
@@ -107,12 +146,63 @@ impl Problem {
     /// Returns the underlying simulation error if the golden solution cannot
     /// be parsed or simulated (a bug in the suite, caught by tests).
     pub fn golden_passes(&self) -> Result<bool, EvalError> {
-        let modules = Parser::parse_source(&self.golden_solution)
-            .map_err(|e| EvalError::Elaboration(format!("golden solution parse error: {e}")))?;
-        let module = modules
-            .first()
-            .ok_or_else(|| EvalError::Elaboration("golden solution has no module".into()))?;
-        self.testbench.passes(module)
+        self.prepare().golden_passes()
+    }
+}
+
+/// Verdict on one candidate source, computed from a single lex + parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateVerdict {
+    /// Whether the candidate passes the functional testbench.
+    pub functional: bool,
+    /// Whether the candidate is lint-clean (always `false` when judging
+    /// with the lint gate disabled — the lint engine is not consulted).
+    pub lint_clean: bool,
+}
+
+/// A [`Problem`] whose golden solution has been parsed exactly once.
+///
+/// Produced by [`Problem::prepare`]; the runner keeps one per problem and
+/// judges all `k` sampled completions against it, so the golden text is
+/// never re-lexed and each candidate is lexed and parsed a single time for
+/// both the functional and the lint verdict.
+#[derive(Debug, Clone)]
+pub struct PreparedProblem<'a> {
+    problem: &'a Problem,
+    golden: Result<ParsedFile, EvalError>,
+}
+
+impl PreparedProblem<'_> {
+    /// The underlying problem.
+    pub fn problem(&self) -> &Problem {
+        self.problem
+    }
+
+    /// Judges one candidate source with a single lex + parse — see
+    /// [`Problem::judge_source`].
+    pub fn judge_source(&self, source: &str, lint_gate: bool) -> CandidateVerdict {
+        self.problem.judge_source(source, lint_gate)
+    }
+
+    /// Judges a model completion (text after the prompt).
+    pub fn judge_completion(&self, completion: &str, lint_gate: bool) -> CandidateVerdict {
+        self.judge_source(&self.problem.assemble(completion), lint_gate)
+    }
+
+    /// Verifies that the (already parsed) golden solution passes its own
+    /// testbench.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying simulation error if the golden solution could
+    /// not be parsed or cannot be simulated (a bug in the suite, caught by
+    /// tests).
+    pub fn golden_passes(&self) -> Result<bool, EvalError> {
+        let golden = self.golden.as_ref().map_err(Clone::clone)?;
+        let module = golden
+            .first_module()
+            .expect("prepare() rejects module-free goldens");
+        self.problem.testbench.passes(module)
     }
 }
 
@@ -185,6 +275,55 @@ mod tests {
         // Warning-severity findings do not disqualify: an unused
         // intermediate wire is tolerated.
         assert!(p.lint_clean_completion("wire t;\nassign t = a;\nassign y = t & b;\nendmodule"));
+    }
+
+    #[test]
+    fn judge_source_matches_the_separate_check_and_lint_paths() {
+        let p = and_problem();
+        let prepared = p.prepare();
+        let candidates = [
+            p.golden_solution.clone(),
+            p.assemble("assign y = a & b;\nendmodule"),
+            p.assemble("assign y = a | b;\nendmodule"), // wrong but clean
+            p.assemble("assign y = a & b;\nassign y = a;\nendmodule"), // lint error
+            p.assemble("assign y = a & b;"),            // parse error
+            p.assemble("garbage <unk> tokens"),         // parse error
+            String::new(),                              // parses, no modules
+            "// comment only\n".to_string(),            // parses, no modules
+        ];
+        for source in &candidates {
+            let verdict = prepared.judge_source(source, true);
+            assert_eq!(verdict.functional, p.check_source(source), "for:\n{source}");
+            assert_eq!(verdict.lint_clean, p.lint_clean(source), "for:\n{source}");
+            // With the gate off the lint engine is never consulted.
+            let ungated = prepared.judge_source(source, false);
+            assert_eq!(ungated.functional, verdict.functional);
+            assert!(!ungated.lint_clean);
+        }
+        // Pinned edge case: a module-free source parses, so it is
+        // lint-clean (no findings) but can never be functional.
+        let empty = prepared.judge_source("// comment only\n", true);
+        assert!(!empty.functional);
+        assert!(empty.lint_clean);
+        // And an unparsable source is neither.
+        let broken = prepared.judge_source("module broken(", true);
+        assert!(!broken.functional);
+        assert!(!broken.lint_clean);
+    }
+
+    #[test]
+    fn prepared_golden_passes_matches_the_unprepared_path() {
+        let p = and_problem();
+        assert_eq!(p.golden_passes(), p.prepare().golden_passes());
+        // Broken goldens keep their exact error strings.
+        let mut broken = p.clone();
+        broken.golden_solution = "module broken(".into();
+        let err = broken.golden_passes().unwrap_err();
+        assert!(format!("{err:?}").contains("golden solution parse error"));
+        let mut empty = p.clone();
+        empty.golden_solution = "// nothing\n".into();
+        let err = empty.golden_passes().unwrap_err();
+        assert!(format!("{err:?}").contains("golden solution has no module"));
     }
 
     #[test]

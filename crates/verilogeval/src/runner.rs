@@ -163,20 +163,23 @@ impl Runner {
     ) -> ProblemResult {
         let sampler = SamplerConfig::with_temperature(temperature);
         let prompt = problem.prompt();
+        // Parse-once contract: the golden solution is parsed a single time
+        // here and shared across all k samples, and each sampled candidate
+        // is lexed and parsed once for both verdicts.
+        let prepared = problem.prepare();
         let mut correct = 0;
         let mut lint_clean = 0;
         let mut correct_lint_clean = 0;
         for _ in 0..self.config.samples_per_problem {
             let completion =
                 model.generate_text(&prompt, self.config.max_new_tokens, &sampler, rng);
-            let source = problem.assemble(&completion);
-            let ok = problem.check_source(&source);
-            if ok {
+            let verdict = prepared.judge_completion(&completion, self.config.lint_gate);
+            if verdict.functional {
                 correct += 1;
             }
-            if self.config.lint_gate && problem.lint_clean(&source) {
+            if verdict.lint_clean {
                 lint_clean += 1;
-                if ok {
+                if verdict.functional {
                     correct_lint_clean += 1;
                 }
             }
