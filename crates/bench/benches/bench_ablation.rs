@@ -122,6 +122,7 @@ fn sweep_quantization(scraped: &ScrapedCorpus) -> String {
             max_new_tokens: 200,
             lint_gate: true,
             seed: 21,
+            execution: Default::default(),
         },
     );
     let mut rows = Vec::new();

@@ -44,7 +44,9 @@ fn stream_all(
 ) -> (DedupOutcome, curation::StreamingDedupStats) {
     let mut merged = DedupOutcome::default();
     for chunk in texts.chunks(STREAM_BATCH) {
-        let outcome = stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
+        let outcome = stream
+            .push_texts_with_mode(chunk, ExecutionMode::Parallel)
+            .expect("spill IO succeeds");
         merged.kept.extend(outcome.kept);
         merged.removed.extend(outcome.removed);
     }
@@ -82,7 +84,9 @@ fn bench_modes(c: &mut Criterion, label: &str, texts: &[String]) {
     group.bench_function("streamed_spill_budgeted", |b| {
         b.iter(|| {
             let (outcome, _) = stream_all(
-                dedup.streaming_with_spill(&spill_config()),
+                dedup
+                    .streaming_with_spill(&spill_config())
+                    .expect("spill engine opens"),
                 black_box(texts),
             );
             black_box(outcome.kept.len())
@@ -113,7 +117,12 @@ fn report_scale(label: &str, texts: &[String]) {
     assert_eq!(streamed, one_shot, "streamed dedup diverged from one-shot");
 
     // The bounded-residency run: identical output, capped peak residency.
-    let (spilled, spill_stats) = stream_all(dedup.streaming_with_spill(&spill_config()), texts);
+    let (spilled, spill_stats) = stream_all(
+        dedup
+            .streaming_with_spill(&spill_config())
+            .expect("spill engine opens"),
+        texts,
+    );
     assert_eq!(spilled, one_shot, "spill-budgeted dedup diverged");
     assert!(
         spill_stats.peak_resident_shards <= SPILL_BUDGET,

@@ -34,6 +34,7 @@ fn bench_eval(c: &mut Criterion) {
             max_new_tokens: 120,
             lint_gate: true,
             seed: 3,
+            execution: Default::default(),
         },
     );
 

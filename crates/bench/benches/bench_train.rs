@@ -1,0 +1,166 @@
+//! Benchmarks the shard-and-merge training driver (`hwlm::parallel`):
+//! tokens/sec for the serial reference fold vs the parallel map-reduce over
+//! scoped worker threads. Every run re-asserts the driver's contract — the
+//! sharded model is byte-identical to [`NgramModel::train_named`] — and
+//! that fanning the count fold out actually pays for itself
+//! (`speedup_vs_serial > 1`).
+//!
+//! With `FFH_BENCH_FAST=1` only the tiny-scale artefact/metric pass runs
+//! (no Criterion timing loops) — CI uses this to fail the build if the
+//! `train_tokens_per_sec_{serial,parallel}` / `speedup_vs_serial` lines
+//! ever disappear.
+
+use std::time::Instant;
+
+use bench::{fast_mode, print_artifact, print_metric};
+use criterion::{black_box, Criterion};
+use gh_sim::{DesignKind, SynthConfig, Synthesizer};
+use hwlm::parallel::{default_workers, train_model_sharded};
+use hwlm::{NgramModel, TrainConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A synthesized training corpus: `files` generated designs cycling over
+/// every design kind, the same traffic shape the model zoo trains on.
+fn corpus(files: usize) -> Vec<String> {
+    let synth = Synthesizer::new(SynthConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7A11);
+    (0..files)
+        .map(|i| {
+            let kind = DesignKind::ALL[i % DesignKind::ALL.len()];
+            synth
+                .generate(kind, &format!("{}_{i}", kind.tag()), &mut rng)
+                .source
+        })
+        .collect()
+}
+
+/// Wall-clock seconds for one invocation of `pass`.
+fn time_once<T, F: FnOnce() -> T>(pass: F) -> (f64, T) {
+    let start = Instant::now();
+    let out = pass();
+    (start.elapsed().as_secs_f64().max(f64::EPSILON), out)
+}
+
+fn report_scale(label: &str, files: &[String]) {
+    let config = TrainConfig::default();
+    let workers = default_workers();
+    let reps = 7;
+
+    // Serial and parallel passes run interleaved, best-of-N each, so a
+    // system-wide slowdown mid-run penalises both equally.
+    let mut serial_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    let mut serial_model = None;
+    let mut parallel_model = None;
+    for _ in 0..reps {
+        let (secs, model) = time_once(|| NgramModel::train_named("bench", files, &config));
+        serial_secs = serial_secs.min(secs);
+        serial_model = Some(model);
+
+        let (secs, model) = time_once(|| train_model_sharded("bench", files, &config, workers));
+        parallel_secs = parallel_secs.min(secs);
+        parallel_model = Some(model);
+    }
+    let serial_model = serial_model.expect("at least one rep ran");
+    let parallel_model = parallel_model.expect("at least one rep ran");
+
+    // The driver's contract: identical models (PartialEq over the vocabulary
+    // and every count table), and a real speedup.
+    assert_eq!(
+        parallel_model, serial_model,
+        "sharded training diverged from the serial fold"
+    );
+    let tokens = serial_model.counts().trained_tokens();
+    let speedup = serial_secs / parallel_secs;
+    // On a single-core machine the sharded driver degenerates to the serial
+    // fold plus thread overhead, so the speedup contract only binds when
+    // there is parallelism to exploit.
+    assert!(
+        workers == 1 || speedup > 1.0,
+        "sharded training ({parallel_secs:.4}s on {workers} workers) must beat \
+         the serial fold ({serial_secs:.4}s)"
+    );
+
+    print_artifact(
+        &format!("Shard-and-merge training at scale `{label}`"),
+        &format!(
+            "{} files, {tokens} trained tokens: serial {:.2}M tokens/sec, \
+             {workers}-worker sharded {:.2}M tokens/sec — models byte-identical, \
+             speedup {speedup:.2}x",
+            files.len(),
+            tokens as f64 / serial_secs / 1.0e6,
+            tokens as f64 / parallel_secs / 1.0e6,
+        ),
+    );
+
+    print_metric("bench_train", label, "files", files.len() as f64, "files");
+    print_metric(
+        "bench_train",
+        label,
+        "trained_tokens",
+        tokens as f64,
+        "tokens",
+    );
+    print_metric("bench_train", label, "workers", workers as f64, "threads");
+    print_metric(
+        "bench_train",
+        label,
+        "train_tokens_per_sec_serial",
+        tokens as f64 / serial_secs,
+        "tokens_per_sec",
+    );
+    print_metric(
+        "bench_train",
+        label,
+        "train_tokens_per_sec_parallel",
+        tokens as f64 / parallel_secs,
+        "tokens_per_sec",
+    );
+    print_metric("bench_train", label, "speedup_vs_serial", speedup, "ratio");
+}
+
+fn bench_modes(c: &mut Criterion, label: &str, files: &[String]) {
+    let config = TrainConfig::default();
+    let workers = default_workers();
+    let mut group = c.benchmark_group(format!("train_{label}"));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(
+                NgramModel::train_named("bench", black_box(files), &config)
+                    .counts()
+                    .trained_tokens(),
+            )
+        })
+    });
+    group.bench_function("sharded", |b| {
+        b.iter(|| {
+            black_box(
+                train_model_sharded("bench", black_box(files), &config, workers)
+                    .counts()
+                    .trained_tokens(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let scales: Vec<(&str, usize)> = if fast_mode() {
+        vec![("tiny", 400)]
+    } else {
+        vec![("tiny", 400), ("small", 1200)]
+    };
+    let mut criterion = Criterion::default().configure_from_args();
+    for (label, files) in &scales {
+        let files = corpus(*files);
+        report_scale(label, &files);
+        if !fast_mode() {
+            bench_modes(&mut criterion, label, &files);
+        }
+    }
+    if !fast_mode() {
+        criterion.final_summary();
+    }
+}

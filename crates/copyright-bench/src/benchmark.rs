@@ -2,8 +2,10 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use hwlm::parallel::{derive_seed, ExecutionMode};
 use hwlm::{LanguageModel, SamplerConfig};
 
 use crate::prompts::{build_prompts, BenchPrompt, PromptConfig};
@@ -26,8 +28,13 @@ pub struct BenchmarkConfig {
     pub temperature: f64,
     /// Maximum number of generated tokens per completion.
     pub max_new_tokens: usize,
-    /// RNG seed.
+    /// Base RNG seed. Each prompt samples from its own stream seeded with
+    /// `derive_seed(seed, prompt_index, 0)`, so a prompt's completion never
+    /// depends on how many prompts ran before it.
     pub seed: u64,
+    /// Whether prompts are scored on the scoped-thread pool or one at a
+    /// time. Output is byte-identical either way.
+    pub execution: ExecutionMode,
 }
 
 impl Default for BenchmarkConfig {
@@ -40,6 +47,7 @@ impl Default for BenchmarkConfig {
             temperature: 0.2,
             max_new_tokens: 256,
             seed: 0xFA11,
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -145,26 +153,35 @@ impl CopyrightBenchmark {
     }
 
     /// Evaluates one model, producing its infringement report.
-    pub fn evaluate<M: LanguageModel>(&self, model: &M) -> InfringementReport {
+    ///
+    /// Each prompt is an independent job with its own derived RNG stream;
+    /// [`BenchmarkConfig::execution`] chooses whether jobs run serially or
+    /// fan out over the scoped-thread pool. The one scorer (and its
+    /// tokenizer) built at construction time is shared by reference across
+    /// all prompts in both modes, and results are collected into a
+    /// pre-sized vec in prompt order — never an order-dependent push — so
+    /// both modes produce byte-identical reports.
+    pub fn evaluate<M: LanguageModel + Sync>(&self, model: &M) -> InfringementReport {
         let sampler = SamplerConfig::with_temperature(self.config.temperature);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut outcomes = Vec::with_capacity(self.prompts.len());
-        let mut violations = 0;
-        for prompt in &self.prompts {
+        let jobs: Vec<(usize, &BenchPrompt)> = self.prompts.iter().enumerate().collect();
+        let score = |&(p_index, prompt): &(usize, &BenchPrompt)| {
+            let seed = derive_seed(self.config.seed, p_index as u64, 0);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let completion =
                 model.generate_text(&prompt.text, self.config.max_new_tokens, &sampler, &mut rng);
             let (max_similarity, matched_reference) = self.scorer.max_similarity(&completion);
-            let violated = max_similarity >= self.config.similarity_threshold;
-            if violated {
-                violations += 1;
-            }
-            outcomes.push(PromptOutcome {
+            PromptOutcome {
                 reference_index: prompt.reference_index,
                 max_similarity,
                 matched_reference,
-                violated,
-            });
-        }
+                violated: max_similarity >= self.config.similarity_threshold,
+            }
+        };
+        let outcomes: Vec<PromptOutcome> = match self.config.execution {
+            ExecutionMode::Serial => jobs.iter().map(score).collect(),
+            ExecutionMode::Parallel => jobs.par_iter().map(score).collect(),
+        };
+        let violations = outcomes.iter().filter(|o| o.violated).count();
         InfringementReport {
             model: model.name().to_string(),
             prompts: self.prompts.len(),
@@ -278,6 +295,34 @@ mod tests {
             leaky_rate > clean_rate,
             "leaky {leaky_rate} should exceed clean {clean_rate}"
         );
+    }
+
+    #[test]
+    fn parallel_scoring_is_byte_identical_to_serial() {
+        let texts: Vec<String> = (0..10).map(protected_file).collect();
+        let mut corpus = open_corpus();
+        corpus.extend(texts.iter().cloned());
+        let leaky = NgramModel::train_named(
+            "leaky",
+            &corpus,
+            &TrainConfig {
+                order: 8,
+                ..Default::default()
+            },
+        );
+        let reference = CopyrightedReference::from_texts(&texts);
+        let serial_config = BenchmarkConfig {
+            prompt_count: 10,
+            execution: ExecutionMode::Serial,
+            ..Default::default()
+        };
+        let parallel_config = BenchmarkConfig {
+            execution: ExecutionMode::Parallel,
+            ..serial_config
+        };
+        let serial = CopyrightBenchmark::new(reference.clone(), serial_config).evaluate(&leaky);
+        let parallel = CopyrightBenchmark::new(reference, parallel_config).evaluate(&leaky);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

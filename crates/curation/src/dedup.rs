@@ -41,6 +41,7 @@
 //!   shard count and any budget ≥ 1.
 
 use std::collections::HashMap;
+use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -191,17 +192,25 @@ impl Deduplicator {
     /// configuration (sharing its already-built permutation family).
     pub fn streaming(&self) -> StreamingDeduplicator {
         StreamingDeduplicator::from_parts(self.config, self.hasher.clone(), self.lsh_params, None)
+            .expect("in-memory streaming engine performs no IO")
     }
 
     /// Opens a streaming engine whose kept state spills to disk under the
     /// given policy. Output is byte-identical to [`Self::streaming`] for any
     /// shard count and resident budget.
     ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error if the spill directory cannot be
+    /// created or the initial shard eviction cannot be written.
+    ///
     /// # Panics
     ///
-    /// Panics if the policy requests zero shards or a zero resident budget,
-    /// or if the spill directory cannot be created.
-    pub fn streaming_with_spill(&self, spill: &DedupSpillConfig) -> StreamingDeduplicator {
+    /// Panics if the policy requests zero shards or a zero resident budget.
+    pub fn streaming_with_spill(
+        &self,
+        spill: &DedupSpillConfig,
+    ) -> io::Result<StreamingDeduplicator> {
         StreamingDeduplicator::from_parts(
             self.config,
             self.hasher.clone(),
@@ -233,7 +242,9 @@ impl Deduplicator {
         texts: &[S],
         mode: ExecutionMode,
     ) -> DedupOutcome {
-        self.streaming().push_texts_with_mode(texts, mode)
+        self.streaming()
+            .push_texts_with_mode(texts, mode)
+            .expect("in-memory dedup performs no IO")
     }
 
     /// De-duplicates extracted files by their content with the given
@@ -385,7 +396,7 @@ struct SpillBook {
 static SPILL_DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 impl SpillBook {
-    fn new(config: &DedupSpillConfig) -> Self {
+    fn new(config: &DedupSpillConfig) -> io::Result<Self> {
         assert!(config.shards > 0, "spill shard count must be positive");
         assert!(
             config.resident_shards > 0,
@@ -401,9 +412,8 @@ impl SpillBook {
             std::process::id(),
             SPILL_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::create_dir_all(&dir)
-            .unwrap_or_else(|e| panic!("cannot create spill dir {}: {e}", dir.display()));
-        Self {
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
             dir,
             budget: config.resident_shards,
             clock: 0,
@@ -414,7 +424,7 @@ impl SpillBook {
             peak_resident_shards: 0,
             spills: 0,
             reloads: 0,
-        }
+        })
     }
 
     fn shard_file(&self, shard: usize) -> PathBuf {
@@ -472,16 +482,16 @@ fn spill_shard(
     kept_shards: &mut [Option<Vec<KeptDoc>>],
     book: &mut SpillBook,
     victim: usize,
-) {
+) -> io::Result<()> {
     let lsh_bytes = index.evict_shard(victim);
     let docs = kept_shards[victim]
         .take()
         .expect("kept shard residency out of sync with the LSH index");
     let path = book.shard_file(victim);
-    std::fs::write(&path, encode_shard(&lsh_bytes, &docs))
-        .unwrap_or_else(|e| panic!("cannot write spill file {}: {e}", path.display()));
+    std::fs::write(&path, encode_shard(&lsh_bytes, &docs))?;
     book.resident_kept_hashes -= book.shard_kept_hashes[victim];
     book.spills += 1;
+    Ok(())
 }
 
 /// Makes `shard` resident, evicting least-recently-touched shards down to
@@ -492,22 +502,20 @@ fn ensure_resident(
     kept_shards: &mut [Option<Vec<KeptDoc>>],
     book: &mut SpillBook,
     shard: usize,
-) {
+) -> io::Result<()> {
     book.clock += 1;
     book.last_touch[shard] = book.clock;
     if index.shard_is_resident(shard) {
-        return;
+        return Ok(());
     }
     while index.resident_shard_count() >= book.budget {
         let victim = (0..index.shard_count())
             .filter(|&s| s != shard && index.shard_is_resident(s))
             .min_by_key(|&s| book.last_touch[s])
             .expect("budget overflow with no evictable shard");
-        spill_shard(index, kept_shards, book, victim);
+        spill_shard(index, kept_shards, book, victim)?;
     }
-    let path = book.shard_file(shard);
-    let bytes = std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("cannot read spill file {}: {e}", path.display()));
+    let bytes = std::fs::read(book.shard_file(shard))?;
     let (lsh_bytes, docs) = decode_shard(&bytes);
     index.restore_shard(shard, &lsh_bytes);
     book.resident_kept_hashes += book.shard_kept_hashes[shard];
@@ -517,6 +525,7 @@ fn ensure_resident(
     kept_shards[shard] = Some(docs);
     book.reloads += 1;
     book.peak_resident_shards = book.peak_resident_shards.max(index.resident_shard_count());
+    Ok(())
 }
 
 /// The verdict of resolving one document against the kept set.
@@ -549,12 +558,13 @@ enum Resolution {
 ///
 /// let dedup = Deduplicator::new(DedupConfig::default());
 /// let mut stream = dedup.streaming();
-/// let first = stream.push_texts(&["module a(input x); assign y = ~x; endmodule"]);
+/// let first = stream.push_texts(&["module a(input x); assign y = ~x; endmodule"])?;
 /// assert_eq!(first.kept, vec![0]);
 /// // The duplicate arrives in a later batch but still points back at the
 /// // kept file's global index.
-/// let second = stream.push_texts(&["module a(input x); assign y = ~x; endmodule"]);
+/// let second = stream.push_texts(&["module a(input x); assign y = ~x; endmodule"])?;
 /// assert_eq!(second.removed, vec![(1, 0, 1.0)]);
+/// # Ok::<(), std::io::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct StreamingDeduplicator {
@@ -592,7 +602,7 @@ impl StreamingDeduplicator {
         hasher: MinHasher,
         lsh_params: LshParams,
         spill: Option<&DedupSpillConfig>,
-    ) -> Self {
+    ) -> io::Result<Self> {
         let (index, kept, book) = match spill {
             None => (
                 ShardedLshIndex::new(lsh_params),
@@ -600,19 +610,19 @@ impl StreamingDeduplicator {
                 None,
             ),
             Some(policy) => {
-                let mut book = SpillBook::new(policy);
+                let mut book = SpillBook::new(policy)?;
                 let mut index = ShardedLshIndex::with_shards(lsh_params, policy.shards);
                 let mut shards: Vec<Option<Vec<KeptDoc>>> = vec![Some(Vec::new()); policy.shards];
                 // Trim the (empty) initial state down to the budget so peak
                 // residency respects it from the first document on.
                 for victim in policy.resident_shards..policy.shards {
-                    spill_shard(&mut index, &mut shards, &mut book, victim);
+                    spill_shard(&mut index, &mut shards, &mut book, victim)?;
                 }
                 book.peak_resident_shards = index.resident_shard_count();
                 (index, KeptStore::Sharded(shards), Some(book))
             }
         };
-        Self {
+        Ok(Self {
             config,
             hasher,
             index,
@@ -626,7 +636,7 @@ impl StreamingDeduplicator {
             pushed_hashes: 0,
             peak_batch_hashes: 0,
             exact_hits: 0,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -695,7 +705,7 @@ impl StreamingDeduplicator {
 
     /// Pushes one batch single-threaded; see
     /// [`Self::push_texts_with_mode`].
-    pub fn push_texts<S: AsRef<str> + Sync>(&mut self, texts: &[S]) -> DedupOutcome {
+    pub fn push_texts<S: AsRef<str> + Sync>(&mut self, texts: &[S]) -> io::Result<DedupOutcome> {
         self.push_texts_with_mode(texts, ExecutionMode::Serial)
     }
 
@@ -706,11 +716,18 @@ impl StreamingDeduplicator {
     /// results, so both modes produce identical outcomes. Only the first
     /// occurrence of each distinct content builds a signature — repeats are
     /// short-circuited by the exact-hash table in both modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when a spill-backed engine fails to
+    /// write or read a shard file. A fully resident engine never errors.
+    /// After an error the engine's residency bookkeeping may be out of sync
+    /// with its spill files; discard it rather than pushing further batches.
     pub fn push_texts_with_mode<S: AsRef<str> + Sync>(
         &mut self,
         texts: &[S],
         mode: ExecutionMode,
-    ) -> DedupOutcome {
+    ) -> io::Result<DedupOutcome> {
         let mut outcome = DedupOutcome::default();
         let mut batch_hashes = 0usize;
         match mode {
@@ -727,7 +744,7 @@ impl StreamingDeduplicator {
                     let shingles = char_shingles(&code, self.config.shingle_size);
                     let signature = self.hasher.signature(&shingles);
                     batch_hashes += shingles.len();
-                    self.resolve(fingerprint, shingles, signature, &mut outcome);
+                    self.resolve(fingerprint, shingles, signature, &mut outcome)?;
                 }
             }
             ExecutionMode::Parallel => {
@@ -767,7 +784,7 @@ impl StreamingDeduplicator {
                 for (i, &fingerprint) in fingerprints.iter().enumerate() {
                     if build[i] {
                         let (set, signature) = built.next().expect("one build per flagged doc");
-                        self.resolve(fingerprint, set, signature, &mut outcome);
+                        self.resolve(fingerprint, set, signature, &mut outcome)?;
                     } else {
                         // Either pre-seen or a repeat of an earlier in-batch
                         // first occurrence, which resolve() has recorded by
@@ -783,7 +800,7 @@ impl StreamingDeduplicator {
         }
         self.pushed_hashes += batch_hashes;
         self.peak_batch_hashes = self.peak_batch_hashes.max(batch_hashes);
-        outcome
+        Ok(outcome)
     }
 
     /// Replays the first occurrence's resolution for an exact repeat.
@@ -807,13 +824,13 @@ impl StreamingDeduplicator {
         shingles: ShingleSet,
         signature: Signature,
         outcome: &mut DedupOutcome,
-    ) {
+    ) -> io::Result<()> {
         let input_index = self.seen;
         self.seen += 1;
         let hashes: Vec<u64> = shingles.iter().collect();
         let hash_count = hashes.len();
         let resolution = if self.spill.is_some() {
-            self.resolve_sharded(input_index, hashes, &signature)
+            self.resolve_sharded(input_index, hashes, &signature)?
         } else {
             self.resolve_flat(input_index, hashes, &signature)
         };
@@ -841,6 +858,7 @@ impl StreamingDeduplicator {
                 }
             }
         }
+        Ok(())
     }
 
     /// Fully-resident resolution: one [`ShardedLshIndex::insert_or_match`]
@@ -895,13 +913,15 @@ impl StreamingDeduplicator {
         input_index: usize,
         hashes: Vec<u64>,
         signature: &Signature,
-    ) -> Resolution {
+    ) -> io::Result<Resolution> {
         let slot = self.kept_docs;
         let bands = self.index.params().bands;
         let shard_count = self.index.shard_count();
         let threshold = self.config.similarity_threshold;
         let mut scratch = std::mem::take(&mut self.scratch);
-        let resolution = {
+        // The fallible body runs in a closure so the scratch buffer is
+        // restored on the error path too (the engine stays droppable).
+        let resolution = (|| {
             let index = &mut self.index;
             let KeptStore::Sharded(kept_shards) = &mut self.kept else {
                 unreachable!("sharded resolve with a flat kept store");
@@ -910,14 +930,14 @@ impl StreamingDeduplicator {
             scratch.begin();
             for band in 0..bands {
                 let shard = index.shard_for_band(signature, band);
-                ensure_resident(index, kept_shards, book, shard);
+                ensure_resident(index, kept_shards, book, shard)?;
                 index.collect_band(signature, band, &mut scratch);
             }
             scratch.finish();
             let mut matched = None;
             for &candidate in scratch.candidates() {
                 let home = candidate as usize % shard_count;
-                ensure_resident(index, kept_shards, book, home);
+                ensure_resident(index, kept_shards, book, home)?;
                 let (kept_input, kept_hashes) = &kept_shards[home]
                     .as_ref()
                     .expect("just made resident")[candidate as usize / shard_count];
@@ -931,16 +951,16 @@ impl StreamingDeduplicator {
                 }
             }
             match matched {
-                Some(resolution) => resolution,
+                Some(resolution) => Ok(resolution),
                 None => {
                     for band in 0..bands {
                         let shard = index.shard_for_band(signature, band);
-                        ensure_resident(index, kept_shards, book, shard);
+                        ensure_resident(index, kept_shards, book, shard)?;
                         index.insert_band(slot as u64, signature, band);
                     }
                     index.commit_insert();
                     let home = slot % shard_count;
-                    ensure_resident(index, kept_shards, book, home);
+                    ensure_resident(index, kept_shards, book, home)?;
                     let hash_count = hashes.len();
                     kept_shards[home]
                         .as_mut()
@@ -951,10 +971,10 @@ impl StreamingDeduplicator {
                     book.peak_resident_kept_hashes = book
                         .peak_resident_kept_hashes
                         .max(book.resident_kept_hashes);
-                    Resolution::Kept
+                    Ok(Resolution::Kept)
                 }
             }
-        };
+        })();
         self.scratch = scratch;
         resolution
     }
@@ -1180,7 +1200,9 @@ mod tests {
                 let mut stream = dedup.streaming();
                 let mut merged = DedupOutcome::default();
                 for chunk in many.chunks(batch_size) {
-                    let outcome = stream.push_texts_with_mode(chunk, mode);
+                    let outcome = stream
+                        .push_texts_with_mode(chunk, mode)
+                        .expect("in-memory push performs no IO");
                     merged.kept.extend(outcome.kept);
                     merged.removed.extend(outcome.removed);
                 }
@@ -1223,11 +1245,13 @@ mod tests {
         // The fast path actually fires, and skips signature construction:
         // it builds hashes only for first occurrences.
         let mut fast = with.streaming();
-        fast.push_texts_with_mode(&many, ExecutionMode::Parallel);
+        fast.push_texts_with_mode(&many, ExecutionMode::Parallel)
+            .expect("in-memory push performs no IO");
         let fast_stats = fast.stats();
         assert!(fast_stats.exact_hits > 0, "no exact hits on forked corpus");
         let mut slow = without.streaming();
-        slow.push_texts_with_mode(&many, ExecutionMode::Parallel);
+        slow.push_texts_with_mode(&many, ExecutionMode::Parallel)
+            .expect("in-memory push performs no IO");
         assert_eq!(slow.stats().exact_hits, 0);
         assert!(
             fast_stats.pushed_hashes < slow.stats().pushed_hashes,
@@ -1266,14 +1290,18 @@ mod tests {
             .collect();
         let reference = dedup.dedup_texts_with_mode(&many, ExecutionMode::Parallel);
         for (shards, budget) in [(1, 1), (4, 1), (16, 2), (16, 4), (8, 32)] {
-            let mut stream = dedup.streaming_with_spill(&DedupSpillConfig {
-                shards,
-                resident_shards: budget,
-                spill_dir: None,
-            });
+            let mut stream = dedup
+                .streaming_with_spill(&DedupSpillConfig {
+                    shards,
+                    resident_shards: budget,
+                    spill_dir: None,
+                })
+                .expect("spill engine opens");
             let mut merged = DedupOutcome::default();
             for chunk in many.chunks(7) {
-                let outcome = stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
+                let outcome = stream
+                    .push_texts_with_mode(chunk, ExecutionMode::Parallel)
+                    .expect("spill IO succeeds");
                 merged.kept.extend(outcome.kept);
                 merged.removed.extend(outcome.removed);
             }
@@ -1302,11 +1330,13 @@ mod tests {
     #[test]
     fn spill_directory_is_removed_on_drop() {
         let dedup = Deduplicator::new(DedupConfig::default());
-        let stream = dedup.streaming_with_spill(&DedupSpillConfig {
-            shards: 8,
-            resident_shards: 2,
-            spill_dir: None,
-        });
+        let stream = dedup
+            .streaming_with_spill(&DedupSpillConfig {
+                shards: 8,
+                resident_shards: 2,
+                spill_dir: None,
+            })
+            .expect("spill engine opens");
         let dir = stream.spill.as_ref().expect("spill enabled").dir.clone();
         assert!(
             dir.exists(),
@@ -1324,7 +1354,9 @@ mod tests {
         let many: Vec<String> = (0..90).map(|i| docs[i % docs.len()].clone()).collect();
         let mut stream = dedup.streaming();
         for chunk in many.chunks(10) {
-            stream.push_texts_with_mode(chunk, ExecutionMode::Parallel);
+            stream
+                .push_texts_with_mode(chunk, ExecutionMode::Parallel)
+                .expect("in-memory push performs no IO");
         }
         let stats = stream.stats();
         assert_eq!(stats.pushed, 90);
@@ -1334,7 +1366,9 @@ mod tests {
         // it would hold having seen only the 3 distinct files — the kept
         // set, not the corpus.
         let mut reference = dedup.streaming();
-        reference.push_texts(&docs);
+        reference
+            .push_texts(&docs)
+            .expect("in-memory push performs no IO");
         assert_eq!(stats.kept_hashes, reference.stats().kept_hashes);
         assert_eq!(stats.kept_docs, reference.stats().kept_docs);
         // With exact-hash pre-dedup, only the 3 first occurrences ever built

@@ -22,6 +22,8 @@
 //! `tests/stage_properties.rs`). [`crate::CurationPipeline::run`] is in fact
 //! implemented as a single-batch session.
 
+use std::io;
+
 use gh_sim::ExtractedFile;
 
 use crate::funnel::FunnelStats;
@@ -64,9 +66,10 @@ fn stage_at<'a>(
 ///
 /// let pipeline = CurationPipeline::new(CurationConfig::freeset());
 /// let mut session = pipeline.session();
-/// session.push(vec![]); // batches arrive as the scrape progresses
-/// let dataset = session.finish();
+/// session.push(vec![])?; // batches arrive as the scrape progresses
+/// let dataset = session.finish()?;
 /// assert!(dataset.is_empty());
+/// # Ok::<(), std::io::Error>(())
 /// ```
 pub struct CurationSession<'p> {
     pipeline: &'p CurationPipeline,
@@ -88,14 +91,14 @@ pub struct CurationSession<'p> {
 }
 
 impl<'p> CurationSession<'p> {
-    pub(crate) fn new(pipeline: &'p CurationPipeline) -> Self {
+    pub(crate) fn new(pipeline: &'p CurationPipeline) -> io::Result<Self> {
         let configured = pipeline.configured_stages();
         let custom = pipeline.custom_stage_list();
         let total = configured.len() + custom.len();
         let mut streams = Vec::new();
         let mut split = total;
         for index in 0..total {
-            match stage_at(&configured, custom, index).open_stream() {
+            match stage_at(&configured, custom, index).open_stream()? {
                 StageStreaming::Deferred => {
                     split = index;
                     break;
@@ -103,7 +106,7 @@ impl<'p> CurationSession<'p> {
                 stream => streams.push(stream),
             }
         }
-        Self {
+        Ok(Self {
             pipeline,
             configured,
             split,
@@ -111,7 +114,7 @@ impl<'p> CurationSession<'p> {
             tallies: (0..split).map(|_| StageTally::default()).collect(),
             buffered: Vec::new(),
             pushed: 0,
-        }
+        })
     }
 
     fn stage_at(&self, index: usize) -> &dyn CurationStage {
@@ -136,13 +139,19 @@ impl<'p> CurationSession<'p> {
 
     /// Feeds one batch through the streaming stage prefix, buffering its
     /// survivors for the deferred stages (if any).
-    pub fn push(&mut self, files: Vec<ExtractedFile>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error of a spill-backed streaming stage (see
+    /// [`crate::DedupSpillConfig`]); sessions without spill never error.
+    /// After an error the session's carried state is suspect — discard it.
+    pub fn push(&mut self, files: Vec<ExtractedFile>) -> io::Result<()> {
         self.pushed += files.len();
         let mode = self.pipeline.mode();
         let mut files = files;
         for index in 0..self.split {
             let mut outcome = match &mut self.streams[index] {
-                StageStreaming::Stateful(stream) => stream.push(FileBatch::new(files, mode)),
+                StageStreaming::Stateful(stream) => stream.push(FileBatch::new(files, mode))?,
                 StageStreaming::Stateless => {
                     stage_at(&self.configured, self.pipeline.custom_stage_list(), index)
                         .apply(FileBatch::new(files, mode))
@@ -160,12 +169,18 @@ impl<'p> CurationSession<'p> {
             files = outcome.kept;
         }
         self.buffered.extend(files);
+        Ok(())
     }
 
     /// Runs the deferred stages over the buffered survivors and assembles
     /// the dataset: identical, batch split notwithstanding, to a one-shot
     /// [`CurationPipeline::run`] over the concatenated input.
-    pub fn finish(mut self) -> CuratedDataset {
+    ///
+    /// # Errors
+    ///
+    /// Reserved for deferred spill-backed stages; today's built-in deferred
+    /// path is infallible, so this only errors through custom stages.
+    pub fn finish(mut self) -> io::Result<CuratedDataset> {
         let mut funnel = FunnelStats::new(self.pushed);
         let mut rejects: Vec<RejectedFile> = Vec::new();
         // The streaming prefix: fold the per-batch tallies into the funnel.
@@ -197,7 +212,7 @@ impl<'p> CurationSession<'p> {
             rejects.extend(outcome.rejected);
             files = outcome.kept;
         }
-        self.pipeline.assemble_dataset(files, funnel, rejects)
+        Ok(self.pipeline.assemble_dataset(files, funnel, rejects))
     }
 }
 

@@ -9,6 +9,8 @@
 //! and retains every rejection with provenance in the produced
 //! [`CuratedDataset`].
 
+use std::io;
+
 use gh_sim::ExtractedFile;
 use serde::{Deserialize, Serialize};
 
@@ -337,16 +339,40 @@ impl CurationPipeline {
     /// batch (e.g. straight off a concurrent scraper's handoff queue) and
     /// the result is identical to a one-shot [`CurationPipeline::run`] over
     /// the concatenated batches. See [`CurationSession`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spill-backed stage cannot create its spill directory; use
+    /// [`CurationPipeline::try_session`] to handle that IO error instead.
     pub fn session(&self) -> CurationSession<'_> {
+        self.try_session()
+            .expect("curation session opens (spill directory is writable)")
+    }
+
+    /// [`CurationPipeline::session`], surfacing spill-directory IO errors
+    /// instead of panicking.
+    pub fn try_session(&self) -> io::Result<CurationSession<'_>> {
         CurationSession::new(self)
     }
 
     /// Runs the pipeline over a bank of extracted files — a single-batch
     /// [`CurationSession`], so the streaming and one-shot paths share one
     /// executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured spill policy hits an IO error; use
+    /// [`CurationPipeline::try_run`] to handle it instead. Policies without
+    /// spill never touch the filesystem.
     pub fn run(&self, files: Vec<ExtractedFile>) -> CuratedDataset {
-        let mut session = self.session();
-        session.push(files);
+        self.try_run(files).expect("curation spill IO succeeds")
+    }
+
+    /// [`CurationPipeline::run`], surfacing spill IO errors instead of
+    /// panicking.
+    pub fn try_run(&self, files: Vec<ExtractedFile>) -> io::Result<CuratedDataset> {
+        let mut session = self.try_session()?;
+        session.push(files)?;
         session.finish()
     }
 

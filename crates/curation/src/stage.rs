@@ -15,6 +15,8 @@
 //! but parallelises its MinHash signature construction — see
 //! [`crate::dedup::Deduplicator`].
 
+use std::io;
+
 use gh_sim::ExtractedFile;
 use serde::{Deserialize, Serialize};
 
@@ -218,7 +220,14 @@ impl StageOutcome {
 pub trait StageStream: Send {
     /// Feeds one batch through the stage, carrying state forward to the next
     /// push.
-    fn push(&mut self, batch: FileBatch) -> StageOutcome;
+    ///
+    /// # Errors
+    ///
+    /// Streams backed by spill files (see [`crate::DedupSpillConfig`])
+    /// surface their IO failures here instead of panicking; purely in-memory
+    /// streams never error. After an error the stream's carried state is
+    /// suspect — discard the session rather than pushing further batches.
+    fn push(&mut self, batch: FileBatch) -> io::Result<StageOutcome>;
 }
 
 /// How a stage participates in a [`crate::CurationSession`]'s streaming
@@ -269,12 +278,18 @@ pub trait CurationStage: Send + Sync {
     /// explicitly (de-duplication against a persistent kept-index) override
     /// this to return [`StageStreaming::Stateful`], which lets the session
     /// run them incrementally while the scrape is still in flight.
-    fn open_stream(&self) -> StageStreaming {
-        if self.batch_invariant() {
+    ///
+    /// # Errors
+    ///
+    /// Stages whose streaming state lives partly on disk (spill-backed
+    /// de-duplication) return the IO error that prevented opening it; all
+    /// other stages — including this default — never error.
+    fn open_stream(&self) -> io::Result<StageStreaming> {
+        Ok(if self.batch_invariant() {
             StageStreaming::Stateless
         } else {
             StageStreaming::Deferred
-        }
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! [`CopyrightDetector`]) and adapts it to the batch-in/outcome-out stage
 //! interface with provenance-tagged rejections.
 
+use std::io;
 use std::sync::Arc;
 
 use verilog::ParsedFile;
@@ -131,9 +132,9 @@ impl DedupStage {
         self.spill.as_ref()
     }
 
-    fn open_engine(&self) -> StreamingDeduplicator {
+    fn open_engine(&self) -> io::Result<StreamingDeduplicator> {
         match &self.spill {
-            None => self.dedup.streaming(),
+            None => Ok(self.dedup.streaming()),
             Some(policy) => self.dedup.streaming_with_spill(policy),
         }
     }
@@ -144,12 +145,24 @@ impl CurationStage for DedupStage {
         stage_names::DEDUP
     }
 
+    /// One-shot application — a single-push stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured spill policy hits an IO error; the streaming
+    /// path ([`CurationStage::open_stream`] → [`StageStream::push`]) surfaces
+    /// the same errors as `io::Result` instead.
     fn apply(&self, batch: FileBatch) -> StageOutcome {
-        DedupStream::new(self.open_engine()).push(batch)
+        let engine = self.open_engine().expect("dedup spill directory opens");
+        DedupStream::new(engine)
+            .push(batch)
+            .expect("dedup spill IO succeeds")
     }
 
-    fn open_stream(&self) -> StageStreaming {
-        StageStreaming::Stateful(Box::new(DedupStream::new(self.open_engine())))
+    fn open_stream(&self) -> io::Result<StageStreaming> {
+        Ok(StageStreaming::Stateful(Box::new(DedupStream::new(
+            self.open_engine()?,
+        ))))
     }
 }
 
@@ -175,12 +188,12 @@ impl DedupStream {
 }
 
 impl StageStream for DedupStream {
-    fn push(&mut self, batch: FileBatch) -> StageOutcome {
+    fn push(&mut self, batch: FileBatch) -> io::Result<StageOutcome> {
         let mode = batch.mode();
         let files = batch.into_files();
         let base = self.inner.seen();
         let contents: Vec<&str> = files.iter().map(|f| f.content.as_str()).collect();
-        let result = self.inner.push_texts_with_mode(&contents, mode);
+        let result = self.inner.push_texts_with_mode(&contents, mode)?;
         // Map the engine's global indices back onto this batch's files.
         let removed_info: std::collections::HashMap<usize, (usize, f64)> = result
             .removed
@@ -201,7 +214,7 @@ impl StageStream for DedupStream {
                 ),
             }
         }
-        outcome
+        Ok(outcome)
     }
 }
 

@@ -43,7 +43,9 @@ fn push_chunked(
 ) -> (DedupOutcome, curation::StreamingDedupStats) {
     let mut merged = DedupOutcome::default();
     for chunk in texts.chunks(batch.max(1)) {
-        let outcome = stream.push_texts_with_mode(chunk, mode);
+        let outcome = stream
+            .push_texts_with_mode(chunk, mode)
+            .expect("spill IO succeeds");
         merged.kept.extend(outcome.kept);
         merged.removed.extend(outcome.removed);
     }
@@ -70,8 +72,12 @@ proptest! {
         let dedup = Deduplicator::new(DedupConfig::default());
         let reference = dedup.dedup_texts_with_mode(&texts, ExecutionMode::Parallel);
         let spill = DedupSpillConfig { shards, resident_shards: budget, spill_dir: None };
-        let (outcome, stats) =
-            push_chunked(dedup.streaming_with_spill(&spill), &texts, batch, mode_of(parallel));
+        let (outcome, stats) = push_chunked(
+            dedup.streaming_with_spill(&spill).expect("spill engine opens"),
+            &texts,
+            batch,
+            mode_of(parallel),
+        );
         prop_assert_eq!(
             &outcome, &reference,
             "spilled outcome diverged: {} shards, budget {}, batch {}, parallel {}",

@@ -85,9 +85,13 @@ fn syntax_and_lint_together_lex_each_file_exactly_once() {
     let before = lex_passes();
     let pipeline = CurationPipeline::new(config());
     let mut session = pipeline.session();
-    session.push(files[..split].to_vec());
-    session.push(files[split..].to_vec());
-    let streamed = session.finish();
+    session
+        .push(files[..split].to_vec())
+        .expect("push succeeds");
+    session
+        .push(files[split..].to_vec())
+        .expect("push succeeds");
+    let streamed = session.finish().expect("finish succeeds");
     let streamed_passes = lex_passes() - before;
     assert_eq!(streamed_passes as usize, total);
 

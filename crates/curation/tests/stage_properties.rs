@@ -155,9 +155,9 @@ proptest! {
         // batch_size exceeds the corpus, a single batch).
         let mut session = pipeline.session();
         for chunk in files.chunks(batch_size) {
-            session.push(chunk.to_vec());
+            session.push(chunk.to_vec()).expect("push succeeds");
         }
-        let streamed = session.finish();
+        let streamed = session.finish().expect("finish succeeds");
         prop_assert_eq!(&streamed, &one_shot);
         prop_assert_eq!(format!("{streamed:?}"), format!("{one_shot:?}"));
     }
@@ -183,11 +183,11 @@ proptest! {
                 .position(|f| f.repo_id != repo_id)
                 .unwrap_or(remaining.len());
             let (batch, rest) = remaining.split_at(split);
-            session.push(batch.to_vec());
+            session.push(batch.to_vec()).expect("push succeeds");
             remaining = rest;
         }
         prop_assert_eq!(session.pushed(), files.len());
-        let streamed = session.finish();
+        let streamed = session.finish().expect("finish succeeds");
         prop_assert_eq!(&streamed, &one_shot);
     }
 
@@ -238,9 +238,9 @@ proptest! {
         prop_assert_eq!(session.streaming_stage_count(), 1,
             "the lint stage is batch-invariant and must stream");
         for chunk in files.chunks(batch_size) {
-            session.push(chunk.to_vec());
+            session.push(chunk.to_vec()).expect("push succeeds");
         }
-        let streamed = session.finish();
+        let streamed = session.finish().expect("finish succeeds");
         prop_assert_eq!(&streamed, &serial);
         prop_assert_eq!(format!("{streamed:?}"), format!("{serial:?}"));
 
@@ -338,9 +338,9 @@ fn non_streamable_custom_stage_before_dedup_defers_the_rest() {
         "only the license stage may stream ahead of the order-dependent custom stage"
     );
     for chunk in files.chunks(7) {
-        session.push(chunk.to_vec());
+        session.push(chunk.to_vec()).expect("push succeeds");
     }
-    let streamed = session.finish();
+    let streamed = session.finish().expect("finish succeeds");
     assert_eq!(streamed, one_shot);
     assert!(one_shot.funnel().stage("take-first").is_some());
     assert!(one_shot.len() <= 25);
@@ -352,15 +352,15 @@ fn empty_batches_between_non_empty_ones_are_neutral() {
     let pipeline = CurationPipeline::new(CurationConfig::freeset());
     let one_shot = pipeline.run(files.clone());
     let mut session = pipeline.session();
-    session.push(vec![]);
+    session.push(vec![]).expect("push succeeds");
     let mid = files.len() / 2;
-    session.push(files[..mid].to_vec());
-    session.push(vec![]);
-    session.push(vec![]);
-    session.push(files[mid..].to_vec());
-    session.push(vec![]);
+    session.push(files[..mid].to_vec()).expect("push succeeds");
+    session.push(vec![]).expect("push succeeds");
+    session.push(vec![]).expect("push succeeds");
+    session.push(files[mid..].to_vec()).expect("push succeeds");
+    session.push(vec![]).expect("push succeeds");
     assert_eq!(session.pushed(), files.len());
-    let streamed = session.finish();
+    let streamed = session.finish().expect("finish succeeds");
     assert_eq!(streamed, one_shot);
     assert_eq!(format!("{streamed:?}"), format!("{one_shot:?}"));
 }
@@ -386,9 +386,9 @@ fn batches_after_total_rejection_still_stream_and_dedup() {
     let pipeline = CurationPipeline::new(CurationConfig::freeset());
     let one_shot = pipeline.run(all);
     let mut session = pipeline.session();
-    session.push(rejected_batch);
-    session.push(kept_batch);
-    let streamed = session.finish();
+    session.push(rejected_batch).expect("push succeeds");
+    session.push(kept_batch).expect("push succeeds");
+    let streamed = session.finish().expect("finish succeeds");
     assert_eq!(streamed, one_shot);
     assert_eq!(streamed.len(), 1, "only the first licensed copy survives");
     let dupes: Vec<_> = streamed.rejects_for(RejectReason::Duplicate).collect();

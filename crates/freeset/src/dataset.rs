@@ -108,9 +108,16 @@ pub fn scrape_and_curate(config: &FreeSetConfig, fetch: &FetchConfig) -> FreeSet
             let mut raw_files = Vec::new();
             for batch in batches {
                 raw_files.extend(batch.files.iter().cloned());
-                session.push(batch.files);
+                session
+                    .push(batch.files)
+                    .expect("FreeSet curation has no spill stage, so pushes never do IO");
             }
-            (raw_files, session.finish())
+            (
+                raw_files,
+                session
+                    .finish()
+                    .expect("FreeSet curation has no spill stage, so finish never does IO"),
+            )
         })
         .expect("simulated scrape cannot fail at supported scales");
     FreeSetBuild {
@@ -129,7 +136,20 @@ pub fn curate_with_policy(
     scraped: &ScrapedCorpus,
     policy: curation::CurationConfig,
 ) -> CuratedDataset {
-    CurationPipeline::new(policy).run(scraped.files.clone())
+    curate_with_policy_mode(scraped, policy, curation::ExecutionMode::default())
+}
+
+/// [`curate_with_policy`] with an explicit execution mode — the experiment
+/// drivers' toggle between serial and parallel curation. Output is
+/// byte-identical either way.
+pub fn curate_with_policy_mode(
+    scraped: &ScrapedCorpus,
+    policy: curation::CurationConfig,
+    mode: curation::ExecutionMode,
+) -> CuratedDataset {
+    CurationPipeline::new(policy)
+        .with_mode(mode)
+        .run(scraped.files.clone())
 }
 
 /// Curates an already-scraped corpus under a policy extended with custom

@@ -10,6 +10,7 @@
 //! studies: what the curation policy does to copyright regurgitation.
 
 use curation::{CurationConfig, DatasetStructure};
+use hwlm::parallel::{train_model_with_mode, ExecutionMode};
 use hwlm::{AdaptedModel, ContinualPretrainConfig, NgramModel, TrainConfig};
 use serde::{Deserialize, Serialize};
 
@@ -233,6 +234,7 @@ pub struct ModelZoo {
     pretrain: ContinualPretrainConfig,
     base_general_documents: usize,
     max_finetune_files: usize,
+    execution: ExecutionMode,
 }
 
 impl ModelZoo {
@@ -250,7 +252,15 @@ impl ModelZoo {
             },
             base_general_documents: 400,
             max_finetune_files: 1_500,
+            execution: ExecutionMode::default(),
         }
+    }
+
+    /// Selects serial or shard-and-merge parallel training for every model
+    /// the zoo builds. Trained models are byte-identical either way.
+    pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
     }
 
     /// Limits the fine-tuning corpus size (keeps large-scale runs bounded).
@@ -272,7 +282,12 @@ impl ModelZoo {
             self.scraped
                 .sample_fraction(entry.base_verilog_fraction, seed ^ 0xB45E),
         );
-        NgramModel::train_named(entry.base_name.clone(), &corpus, &self.base_train)
+        train_model_with_mode(
+            entry.base_name.clone(),
+            &corpus,
+            &self.base_train,
+            self.execution,
+        )
     }
 
     /// Builds the base + fine-tuned pair for an entry.
@@ -289,11 +304,12 @@ impl ModelZoo {
             .take(self.max_finetune_files)
             .map(str::to_string)
             .collect();
-        let tuned = AdaptedModel::continual_pretrain(
+        let tuned = AdaptedModel::continual_pretrain_with_mode(
             entry.name.clone(),
             base.clone(),
             &corpus,
             &self.pretrain,
+            self.execution,
         );
         ZooModel {
             entry: entry.clone(),

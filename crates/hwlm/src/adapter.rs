@@ -129,6 +129,62 @@ impl AdaptedModel {
         }
     }
 
+    /// Like [`AdaptedModel::continual_pretrain`] but folds each epoch with
+    /// the shard-and-merge driver ([`crate::parallel::sharded_counts`]) over
+    /// `workers` scoped threads. Byte-identical to the serial path for any
+    /// worker count.
+    pub fn continual_pretrain_sharded<S: AsRef<str> + Sync>(
+        name: impl Into<String>,
+        base: NgramModel,
+        corpus: &[S],
+        config: &ContinualPretrainConfig,
+        workers: usize,
+    ) -> Self {
+        let tokenizer = base.tokenizer().extended_with(corpus, 1);
+        let order = config.adapter_order.max(1);
+        let mut adapter = NgramCounts::new(order);
+        for _ in 0..config.epochs {
+            adapter.merge(crate::parallel::sharded_counts(
+                &tokenizer,
+                corpus,
+                order,
+                config.max_seq_len,
+                workers,
+            ));
+        }
+        Self {
+            name: name.into(),
+            weight: config.effective_weight(),
+            base,
+            adapter,
+            tokenizer,
+            config: *config,
+        }
+    }
+
+    /// Continually pre-trains serially or with the shard-and-merge parallel
+    /// driver, depending on `mode`. Both arms produce identical models.
+    pub fn continual_pretrain_with_mode<S: AsRef<str> + Sync>(
+        name: impl Into<String>,
+        base: NgramModel,
+        corpus: &[S],
+        config: &ContinualPretrainConfig,
+        mode: crate::parallel::ExecutionMode,
+    ) -> Self {
+        match mode {
+            crate::parallel::ExecutionMode::Serial => {
+                Self::continual_pretrain(name, base, corpus, config)
+            }
+            crate::parallel::ExecutionMode::Parallel => Self::continual_pretrain_sharded(
+                name,
+                base,
+                corpus,
+                config,
+                crate::parallel::default_workers(),
+            ),
+        }
+    }
+
     /// The frozen base model.
     pub fn base(&self) -> &NgramModel {
         &self.base
@@ -301,6 +357,35 @@ mod tests {
         let tuned_out = tuned.generate_text(prompt, 60, &SamplerConfig::greedy(), &mut rng);
         assert!(tuned_out.contains("assign"), "tuned output: {tuned_out}");
         assert!(tuned_out.contains("endmodule"));
+    }
+
+    #[test]
+    fn sharded_continual_pretrain_matches_serial_for_any_worker_count() {
+        let base = NgramModel::train(&base_corpus(), &TrainConfig::default());
+        let config = ContinualPretrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let serial =
+            AdaptedModel::continual_pretrain("freev", base.clone(), &verilog_corpus(), &config);
+        for workers in [1, 2, 7] {
+            let parallel = AdaptedModel::continual_pretrain_sharded(
+                "freev",
+                base.clone(),
+                &verilog_corpus(),
+                &config,
+                workers,
+            );
+            assert_eq!(parallel, serial, "diverged at workers={workers}");
+        }
+        let by_mode = AdaptedModel::continual_pretrain_with_mode(
+            "freev",
+            base,
+            &verilog_corpus(),
+            &config,
+            crate::parallel::ExecutionMode::Parallel,
+        );
+        assert_eq!(by_mode, serial);
     }
 
     #[test]

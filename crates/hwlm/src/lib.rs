@@ -45,6 +45,7 @@
 pub mod adapter;
 pub mod model;
 pub mod ngram;
+pub mod parallel;
 pub mod perplexity;
 pub mod quant;
 pub mod sampler;
@@ -53,6 +54,7 @@ pub mod tokenizer;
 pub use adapter::{AdaptedModel, ContinualPretrainConfig};
 pub use model::{Distribution, LanguageModel, TrainConfig};
 pub use ngram::{NgramCounts, NgramModel, UNSEEN_SCORE_FLOOR};
+pub use parallel::{derive_seed, ExecutionMode};
 pub use perplexity::perplexity;
 pub use quant::QuantizedModel;
 pub use sampler::SamplerConfig;

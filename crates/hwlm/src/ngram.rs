@@ -1,5 +1,6 @@
 //! Backoff n-gram statistics and the base [`NgramModel`].
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,40 @@ impl NgramCounts {
                 let entry = self.tables[ctx_len].entry(fingerprint).or_default();
                 entry.total += 1;
                 *entry.next.entry(token).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Merges another set of count tables into this one — the reduce step of
+    /// shard-and-merge training ([`crate::parallel`]).
+    ///
+    /// Counts are summed per context fingerprint and continuation token, so
+    /// folding per-shard counts in any grouping yields tables equal to the
+    /// serial fold over the concatenated shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables have different n-gram orders.
+    pub fn merge(&mut self, other: NgramCounts) {
+        assert_eq!(
+            self.order, other.order,
+            "cannot merge n-gram counts of different orders"
+        );
+        self.trained_tokens += other.trained_tokens;
+        for (table, other_table) in self.tables.iter_mut().zip(other.tables) {
+            for (fingerprint, incoming) in other_table {
+                match table.entry(fingerprint) {
+                    Entry::Occupied(slot) => {
+                        let entry = slot.into_mut();
+                        entry.total += incoming.total;
+                        for (token, count) in incoming.next {
+                            *entry.next.entry(token).or_insert(0) += count;
+                        }
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(incoming);
+                    }
+                }
             }
         }
     }
@@ -254,6 +289,48 @@ mod tests {
     #[should_panic(expected = "order must be positive")]
     fn zero_order_is_rejected() {
         let _ = NgramCounts::new(0);
+    }
+
+    #[test]
+    fn merging_shard_counts_equals_the_serial_fold() {
+        let sequences: Vec<Vec<TokenId>> = vec![
+            vec![1, 2, 3, 4],
+            vec![2, 3, 4, 5, 6],
+            vec![1, 2, 3],
+            vec![9, 9, 9, 1],
+        ];
+        let mut serial = NgramCounts::new(3);
+        for seq in &sequences {
+            serial.observe_sequence(seq);
+        }
+        // Two uneven shards, merged in shard order.
+        let mut merged = NgramCounts::new(3);
+        for shard in [&sequences[..1], &sequences[1..]] {
+            let mut counts = NgramCounts::new(3);
+            for seq in shard {
+                counts.observe_sequence(seq);
+            }
+            merged.merge(counts);
+        }
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn merging_into_empty_counts_is_identity() {
+        let mut trained = NgramCounts::new(2);
+        trained.observe_sequence(&[7, 8, 9]);
+        let mut empty = NgramCounts::new(2);
+        empty.merge(trained.clone());
+        assert_eq!(empty, trained);
+        trained.merge(NgramCounts::new(2));
+        assert_eq!(empty, trained);
+    }
+
+    #[test]
+    #[should_panic(expected = "different orders")]
+    fn merging_mismatched_orders_panics() {
+        let mut counts = NgramCounts::new(3);
+        counts.merge(NgramCounts::new(2));
     }
 
     #[test]

@@ -3,8 +3,10 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use hwlm::parallel::{derive_seed, ExecutionMode};
 use hwlm::{LanguageModel, SamplerConfig};
 
 use crate::passk::{mean_pass_at_k, pass_at_k};
@@ -31,8 +33,15 @@ pub struct EvalConfig {
     /// candidates that are both functionally correct *and* lint-clean.
     /// Functional pass@k is unaffected either way.
     pub lint_gate: bool,
-    /// RNG seed for sampling.
+    /// Base RNG seed for sampling. Every (problem, temperature) pair draws
+    /// from its own stream seeded with
+    /// `derive_seed(seed, fnv1a(problem.id), temperature_index)`, so one
+    /// problem's samples never depend on which problems ran before it — or
+    /// on which thread ran it.
     pub seed: u64,
+    /// Whether problems are evaluated on the scoped-thread pool or one at a
+    /// time. Output is byte-identical either way.
+    pub execution: ExecutionMode,
 }
 
 impl Default for EvalConfig {
@@ -44,8 +53,23 @@ impl Default for EvalConfig {
             max_new_tokens: 200,
             lint_gate: true,
             seed: 0xE7A1,
+            execution: ExecutionMode::default(),
         }
     }
+}
+
+/// Stable FNV-1a fingerprint of a problem id — the seed-derivation lane.
+///
+/// Keyed on the problem's *identity* rather than its position so that
+/// adding, removing or reordering suite entries leaves every other
+/// problem's sample stream untouched.
+fn problem_lane(problem: &Problem) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in problem.id.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Per-problem outcome at one temperature.
@@ -153,14 +177,16 @@ impl Runner {
     }
 
     /// Draws `n` completions for one problem and counts the functionally
-    /// correct ones.
+    /// correct ones. `seed` is the problem's own derived stream seed, so the
+    /// result depends only on `(model, problem, temperature, seed)`.
     fn solve_problem<M: LanguageModel>(
         &self,
         model: &M,
         problem: &Problem,
         temperature: f64,
-        rng: &mut ChaCha8Rng,
+        seed: u64,
     ) -> ProblemResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let sampler = SamplerConfig::with_temperature(temperature);
         let prompt = problem.prompt();
         // Parse-once contract: the golden solution is parsed a single time
@@ -172,7 +198,7 @@ impl Runner {
         let mut correct_lint_clean = 0;
         for _ in 0..self.config.samples_per_problem {
             let completion =
-                model.generate_text(&prompt, self.config.max_new_tokens, &sampler, rng);
+                model.generate_text(&prompt, self.config.max_new_tokens, &sampler, &mut rng);
             let verdict = prepared.judge_completion(&completion, self.config.lint_gate);
             if verdict.functional {
                 correct += 1;
@@ -195,17 +221,37 @@ impl Runner {
 
     /// Evaluates `model` on the whole suite, returning the report of the
     /// best-performing temperature (ranked by the largest configured k).
-    pub fn evaluate<M: LanguageModel>(&self, model: &M) -> EvalReport {
+    ///
+    /// Every (temperature, problem) pair is an independent job with its own
+    /// derived RNG stream; [`EvalConfig::execution`] chooses whether the
+    /// jobs run serially or fan out over the scoped-thread pool with
+    /// order-stable collection. Both modes produce byte-identical reports.
+    pub fn evaluate<M: LanguageModel + Sync>(&self, model: &M) -> EvalReport {
         let rank_k = *self.config.ks.iter().max().expect("ks checked non-empty");
+        let problems = self.suite.problems();
+        // One job per (temperature, problem) pair, temperature-major.
+        let jobs: Vec<(usize, f64, usize)> = self
+            .config
+            .temperatures
+            .iter()
+            .enumerate()
+            .flat_map(|(t_index, &temperature)| {
+                (0..problems.len()).map(move |p_index| (t_index, temperature, p_index))
+            })
+            .collect();
+        let solve = |&(t_index, temperature, p_index): &(usize, f64, usize)| {
+            let problem = &problems[p_index];
+            let seed = derive_seed(self.config.seed, problem_lane(problem), t_index as u64);
+            self.solve_problem(model, problem, temperature, seed)
+        };
+        let results: Vec<ProblemResult> = match self.config.execution {
+            ExecutionMode::Serial => jobs.iter().map(solve).collect(),
+            ExecutionMode::Parallel => jobs.par_iter().map(solve).collect(),
+        };
         let mut best: Option<EvalReport> = None;
         for (t_index, &temperature) in self.config.temperatures.iter().enumerate() {
-            let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ (t_index as u64) << 32);
-            let per_problem: Vec<ProblemResult> = self
-                .suite
-                .problems()
-                .iter()
-                .map(|p| self.solve_problem(model, p, temperature, &mut rng))
-                .collect();
+            let per_problem: Vec<ProblemResult> =
+                results[t_index * problems.len()..(t_index + 1) * problems.len()].to_vec();
             let nc: Vec<(usize, usize)> =
                 per_problem.iter().map(|r| (r.samples, r.correct)).collect();
             let pass_at_k_percent: Vec<(usize, f64)> = self
@@ -250,6 +296,10 @@ impl Runner {
 
     /// Evaluates a single problem/model pair at one temperature — exposed for
     /// fine-grained benchmarking.
+    ///
+    /// Uses the same seed derivation as [`Runner::evaluate`], so when
+    /// `temperature` is one of the configured points the result equals the
+    /// corresponding row of the full run.
     pub fn evaluate_problem<M: LanguageModel>(
         &self,
         model: &M,
@@ -257,8 +307,14 @@ impl Runner {
         temperature: f64,
     ) -> Option<ProblemResult> {
         let problem = self.suite.by_id(problem_id)?;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        Some(self.solve_problem(model, problem, temperature, &mut rng))
+        let t_index = self
+            .config
+            .temperatures
+            .iter()
+            .position(|t| *t == temperature)
+            .unwrap_or(0);
+        let seed = derive_seed(self.config.seed, problem_lane(problem), t_index as u64);
+        Some(self.solve_problem(model, problem, temperature, seed))
     }
 }
 
@@ -338,6 +394,7 @@ mod tests {
             max_new_tokens: 300,
             lint_gate: true,
             seed: 1,
+            execution: ExecutionMode::Parallel,
         };
         let report = Runner::new(suite, config).evaluate(&model);
         let p1 = report.pass_percent(1).unwrap();
@@ -355,6 +412,7 @@ mod tests {
             max_new_tokens: 80,
             lint_gate: true,
             seed: 2,
+            execution: ExecutionMode::Parallel,
         };
         let report = Runner::new(suite, config).evaluate(&model);
         assert!(report.pass_percent(1).unwrap() < 20.0);
@@ -371,6 +429,7 @@ mod tests {
             max_new_tokens: 60,
             lint_gate: true,
             seed: 3,
+            execution: ExecutionMode::Parallel,
         };
         let report = Runner::new(suite.clone(), config).evaluate(&weak_model());
         assert_eq!(report.pass_at_k_percent.len(), 3);
@@ -391,6 +450,7 @@ mod tests {
                 max_new_tokens: 20,
                 lint_gate: true,
                 seed: 4,
+                execution: ExecutionMode::Parallel,
             },
         );
         assert!(runner
@@ -411,6 +471,7 @@ mod tests {
             max_new_tokens: 120,
             lint_gate: true,
             seed: 7,
+            execution: ExecutionMode::Parallel,
         };
         let report = Runner::new(suite, config).evaluate(&oracle_model(
             &ProblemSuite::verilog_eval_human().truncated(4),
@@ -442,6 +503,7 @@ mod tests {
             max_new_tokens: 60,
             lint_gate: false,
             seed: 8,
+            execution: ExecutionMode::Parallel,
         };
         let report = Runner::new(suite, config).evaluate(&weak_model());
         assert!(report.pass_at_k_lint_percent.is_empty());
@@ -450,6 +512,93 @@ mod tests {
             .per_problem
             .iter()
             .all(|r| r.lint_clean == 0 && r.correct_lint_clean == 0));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical_to_serial() {
+        let suite = ProblemSuite::verilog_eval_human().truncated(6);
+        let model = oracle_model(&suite);
+        let serial_config = EvalConfig {
+            samples_per_problem: 3,
+            ks: vec![1, 3],
+            temperatures: vec![0.2, 0.8],
+            max_new_tokens: 120,
+            lint_gate: true,
+            seed: 11,
+            execution: ExecutionMode::Serial,
+        };
+        let parallel_config = EvalConfig {
+            execution: ExecutionMode::Parallel,
+            ..serial_config.clone()
+        };
+        let serial = Runner::new(suite.clone(), serial_config).evaluate(&model);
+        let parallel = Runner::new(suite, parallel_config).evaluate(&model);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn per_problem_results_are_invariant_under_suite_reordering() {
+        // Regression: the runner used to advance one sequential RNG across
+        // the whole suite, so adding, removing or reordering a problem
+        // silently changed every later problem's samples. Seeds now derive
+        // from the problem's identity, making each row order-independent.
+        let suite = ProblemSuite::verilog_eval_human().truncated(6);
+        let model = oracle_model(&suite);
+        let config = EvalConfig {
+            samples_per_problem: 3,
+            ks: vec![1, 3],
+            temperatures: vec![0.2],
+            max_new_tokens: 120,
+            lint_gate: true,
+            seed: 21,
+            execution: ExecutionMode::Serial,
+        };
+        let forward = Runner::new(suite.clone(), config.clone()).evaluate(&model);
+        let reversed_suite = ProblemSuite::new(suite.problems().iter().rev().cloned().collect());
+        let reversed = Runner::new(reversed_suite, config.clone()).evaluate(&model);
+        for result in &forward.per_problem {
+            let same = reversed
+                .per_problem
+                .iter()
+                .find(|r| r.id == result.id)
+                .expect("problem present in reversed suite");
+            assert_eq!(same, result);
+        }
+        // Dropping problems leaves the remaining rows untouched too.
+        let truncated_suite = ProblemSuite::new(suite.problems()[2..].to_vec());
+        let truncated = Runner::new(truncated_suite, config).evaluate(&model);
+        for result in &truncated.per_problem {
+            let same = forward
+                .per_problem
+                .iter()
+                .find(|r| r.id == result.id)
+                .expect("problem present in full suite");
+            assert_eq!(same, result);
+        }
+    }
+
+    #[test]
+    fn single_problem_evaluation_matches_the_full_run_row() {
+        let suite = ProblemSuite::verilog_eval_human().truncated(4);
+        let model = oracle_model(&suite);
+        let config = EvalConfig {
+            samples_per_problem: 2,
+            ks: vec![1, 2],
+            temperatures: vec![0.2, 0.8],
+            max_new_tokens: 120,
+            lint_gate: true,
+            seed: 33,
+            execution: ExecutionMode::Serial,
+        };
+        let runner = Runner::new(suite.clone(), config);
+        let report = runner.evaluate(&model);
+        let temperature = report.best_temperature;
+        for row in &report.per_problem {
+            let single = runner
+                .evaluate_problem(&model, &row.id, temperature)
+                .expect("known problem");
+            assert_eq!(&single, row);
+        }
     }
 
     #[test]
@@ -464,6 +613,7 @@ mod tests {
                 max_new_tokens: 10,
                 lint_gate: true,
                 seed: 0,
+                execution: ExecutionMode::Parallel,
             },
         );
     }

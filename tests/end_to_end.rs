@@ -134,6 +134,7 @@ fn verilogeval_runner_works_with_freev_models() {
             max_new_tokens: 150,
             lint_gate: true,
             seed: 5,
+            execution: Default::default(),
         },
     );
     let base = runner.evaluate(&freev.quantized_base());
