@@ -1,0 +1,39 @@
+//! Pins the tiny-scale curation funnel byte-for-byte.
+//!
+//! The whole scrape→curate path is seed-deterministic, so the measured
+//! [`curation::FunnelStats`] at tiny scale is a stable fingerprint of every
+//! stage's behaviour — license filter, length filter, dedup, syntax filter,
+//! lint, copyright. Any frontend or lint refactor that changes a single
+//! keep/reject verdict shows up here as a count diff.
+//!
+//! Regenerate with `FFH_REGEN_FIXTURES=1 cargo test`.
+
+use freeset::config::ExperimentScale;
+use freeset::experiments::funnel::FunnelExperiment;
+
+fn check_snapshot(rel: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    if std::env::var_os("FFH_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with FFH_REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "funnel stats diverged from the pinned pre-arena snapshot ({rel}); \
+         if the change is intentional, regenerate with FFH_REGEN_FIXTURES=1"
+    );
+}
+
+#[test]
+fn tiny_scale_funnel_matches_pinned_snapshot() {
+    let result = FunnelExperiment::run(&ExperimentScale::tiny());
+    let rendered = format!("{:#?}\n", result.measured);
+    check_snapshot("tests/fixtures/funnel_tiny.txt", &rendered);
+}

@@ -1,23 +1,25 @@
-//! Differential coverage of the zero-copy Verilog frontend over every
-//! synthetic generator family.
+//! Differential coverage of the arena-allocating Verilog frontend over
+//! every synthetic generator family.
 //!
 //! The synth generators and the planted-defect catalogue exercise the full
 //! grammar the corpus uses — parameterised headers, non-ANSI ports, FSMs,
 //! memories, generate-style loops, every lint-relevant defect shape. For
-//! each generated source the new frontend and the retained reference
-//! implementation ([`verilog::reference`]) must produce identical module
-//! lists and identical lint diagnostics.
+//! each generated source the default arena path and the boxed allocation
+//! strategy ([`verilog::BoxedExprAlloc`]) must produce identical module
+//! lists and identical lint diagnostics. (Behaviour against the retired
+//! reference frontend is pinned separately by the snapshot fixtures in
+//! `tests/frontend_fixtures.rs`.)
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use gh_sim::{DefectKind, DesignKind, SynthConfig, Synthesizer};
-use verilog::{reference, Linter, Parser};
+use verilog::{Linter, Parser};
 
 fn assert_frontends_agree(src: &str, what: &str) {
-    let new = Parser::parse_source(src);
-    let old = reference::Parser::parse_source(src);
-    match (&new, &old) {
+    let arena = Parser::parse_source(src);
+    let boxed = Parser::parse_source_boxed(src);
+    match (&arena, &boxed) {
         (Ok(a), Ok(b)) => {
             assert_eq!(a, b, "{what}: module lists diverged for:\n{src}");
             let linter = Linter::new();
@@ -34,7 +36,7 @@ fn assert_frontends_agree(src: &str, what: &str) {
                 "{what}: errors diverged for:\n{src}"
             );
         }
-        _ => panic!("{what}: verdicts diverged for:\n{src}\nnew: {new:?}\nold: {old:?}"),
+        _ => panic!("{what}: verdicts diverged for:\n{src}\narena: {arena:?}\nboxed: {boxed:?}"),
     }
 }
 

@@ -63,9 +63,52 @@ pub fn default_workers() -> usize {
         .unwrap_or(4)
 }
 
-/// Folds `corpus` into [`NgramCounts`] of `order` on `workers` scoped
-/// threads, one contiguous document shard per worker, merging per-shard
-/// counts in fixed shard order.
+/// Deterministic size-balanced partition of `corpus` into at most `workers`
+/// shards of document *indices*.
+///
+/// Longest-processing-time greedy: documents are considered in order of
+/// descending byte length (ties by index), each assigned to the currently
+/// least-loaded shard (ties by shard number). Within a shard the indices
+/// are returned sorted, so workers still visit their documents in corpus
+/// order. Empty shards are dropped. The partition depends only on the
+/// document lengths and `workers`, never on thread scheduling — and since
+/// every count the training fold produces is a sum of per-document
+/// contributions, *any* partition merges to the same result; balance only
+/// changes wall-clock time.
+pub fn partition_by_size<S: AsRef<str>>(corpus: &[S], workers: usize) -> Vec<Vec<usize>> {
+    if corpus.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, corpus.len());
+    let mut order: Vec<usize> = (0..corpus.len()).collect();
+    order.sort_by(|&a, &b| {
+        corpus[b]
+            .as_ref()
+            .len()
+            .cmp(&corpus[a].as_ref().len())
+            .then(a.cmp(&b))
+    });
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut loads: Vec<usize> = vec![0; workers];
+    for idx in order {
+        let lightest = (0..workers)
+            .min_by_key(|&s| (loads[s], s))
+            .expect("workers >= 1");
+        // Even an empty document costs one unit, so tiny corpora still
+        // spread across shards instead of piling onto shard 0.
+        loads[lightest] += corpus[idx].as_ref().len().max(1);
+        shards[lightest].push(idx);
+    }
+    for shard in &mut shards {
+        shard.sort_unstable();
+    }
+    shards.retain(|s| !s.is_empty());
+    shards
+}
+
+/// Folds `corpus` into [`NgramCounts`] of `order` on scoped threads, one
+/// size-balanced document shard per worker (see [`partition_by_size`]),
+/// merging per-shard counts in fixed shard order.
 ///
 /// Equal to the serial fold (`encode → truncate → observe` per document)
 /// for any worker count; `workers` is clamped to `1..=corpus.len()`.
@@ -80,16 +123,15 @@ pub fn sharded_counts<S: AsRef<str> + Sync>(
     if corpus.is_empty() {
         return merged;
     }
-    let workers = workers.clamp(1, corpus.len());
-    let chunk = corpus.len().div_ceil(workers);
+    let partition = partition_by_size(corpus, workers);
     let shards: Vec<NgramCounts> = std::thread::scope(|scope| {
-        let handles: Vec<_> = corpus
-            .chunks(chunk)
-            .map(|docs| {
+        let handles: Vec<_> = partition
+            .iter()
+            .map(|indices| {
                 scope.spawn(move || {
                     let mut counts = NgramCounts::new(order);
-                    for doc in docs {
-                        let mut ids = tokenizer.encode_document(doc.as_ref());
+                    for &i in indices {
+                        let mut ids = tokenizer.encode_document(corpus[i].as_ref());
                         ids.truncate(max_seq_len.max(2));
                         counts.observe_sequence(&ids);
                     }
@@ -109,16 +151,17 @@ pub fn sharded_counts<S: AsRef<str> + Sync>(
 }
 
 /// Trains an [`NgramModel`] with the shard-and-merge driver over `workers`
-/// threads. The tokenizer is fitted serially (it is a corpus-order-dependent
-/// vocabulary scan), then counting fans out; the result is byte-identical to
-/// [`NgramModel::train_named`] for any worker count.
+/// threads. Both stages fan out: the vocabulary fit runs as a sharded tally
+/// ([`HdlTokenizer::fit_sharded`]) and the n-gram counting as a sharded
+/// fold, so the driver has no serial prefix. The result is byte-identical
+/// to [`NgramModel::train_named`] for any worker count.
 pub fn train_model_sharded<S: AsRef<str> + Sync>(
     name: impl Into<String>,
     corpus: &[S],
     config: &TrainConfig,
     workers: usize,
 ) -> NgramModel {
-    let tokenizer = HdlTokenizer::fit(corpus, config.min_token_count);
+    let tokenizer = HdlTokenizer::fit_sharded(corpus, config.min_token_count, workers);
     let counts = sharded_counts(
         &tokenizer,
         corpus,
@@ -185,6 +228,58 @@ mod tests {
         let counts = sharded_counts(&HdlTokenizer::fit(&empty, 1), &empty, 4, 2048, 8);
         assert_eq!(counts.trained_tokens(), 0);
         assert_eq!(counts.context_count(), 0);
+    }
+
+    #[test]
+    fn partition_covers_every_index_exactly_once() {
+        let corpus = corpus();
+        for workers in [1, 2, 3, 5, 13, 64] {
+            let shards = partition_by_size(&corpus, workers);
+            let mut seen: Vec<usize> = shards.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..corpus.len()).collect::<Vec<_>>());
+            assert!(shards.len() <= workers.min(corpus.len()));
+            // Within a shard, documents stay in corpus order.
+            for shard in &shards {
+                assert!(shard.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        assert!(partition_by_size(&Vec::<String>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn partition_balances_skewed_document_sizes() {
+        // One huge document plus many small ones: contiguous chunking would
+        // put the giant and half the corpus on one shard; LPT keeps the
+        // giant alone and spreads the rest.
+        let mut corpus = vec!["x".repeat(10_000)];
+        corpus.extend((0..8).map(|i| format!("module m{i}(); endmodule")));
+        let shards = partition_by_size(&corpus, 3);
+        assert_eq!(shards.len(), 3);
+        let load = |shard: &Vec<usize>| shard.iter().map(|&i| corpus[i].len()).sum::<usize>();
+        let giant_shard = shards
+            .iter()
+            .find(|s| s.contains(&0))
+            .expect("doc 0 placed");
+        assert_eq!(
+            giant_shard,
+            &vec![0],
+            "the giant document gets its own shard"
+        );
+        // The two remaining shards split the small documents about evenly.
+        let small: Vec<usize> = shards
+            .iter()
+            .filter(|s| !s.contains(&0))
+            .map(load)
+            .collect();
+        assert_eq!(small.len(), 2);
+        assert!(small[0].abs_diff(small[1]) <= corpus[1].len() + 1);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let corpus = corpus();
+        assert_eq!(partition_by_size(&corpus, 4), partition_by_size(&corpus, 4));
     }
 
     #[test]

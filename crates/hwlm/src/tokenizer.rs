@@ -145,25 +145,83 @@ impl HdlTokenizer {
         out
     }
 
-    /// Builds a tokeniser whose vocabulary contains every token that occurs
-    /// at least `min_count` times in `corpus`.
-    pub fn fit<S: AsRef<str>>(corpus: &[S], min_count: usize) -> Self {
+    /// Tallies surface-token occurrence counts over a document slice.
+    fn tally<S: AsRef<str>>(corpus: &[S]) -> HashMap<String, usize> {
         let mut counts: HashMap<String, usize> = HashMap::new();
         for doc in corpus {
             for token in Self::split(doc.as_ref()) {
                 *counts.entry(token).or_insert(0) += 1;
             }
         }
-        let mut vocab = Vocabulary::new();
+        counts
+    }
+
+    /// Interns every tallied token meeting `min_count` into `vocab`, in the
+    /// deterministic vocabulary order: descending count, then
+    /// lexicographically.
+    fn absorb(vocab: &mut Vocabulary, counts: HashMap<String, usize>, min_count: usize) {
         let mut tokens: Vec<(String, usize)> = counts.into_iter().collect();
-        // Deterministic vocabulary order: by descending count, then
-        // lexicographically.
         tokens.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         for (token, count) in tokens {
             if count >= min_count.max(1) {
                 vocab.intern(&token);
             }
         }
+    }
+
+    /// Builds a tokeniser whose vocabulary contains every token that occurs
+    /// at least `min_count` times in `corpus`.
+    pub fn fit<S: AsRef<str>>(corpus: &[S], min_count: usize) -> Self {
+        let mut vocab = Vocabulary::new();
+        Self::absorb(&mut vocab, Self::tally(corpus), min_count);
+        Self { vocab }
+    }
+
+    /// [`HdlTokenizer::fit`] with the corpus scan fanned out over `workers`
+    /// scoped threads.
+    ///
+    /// Each worker tallies one size-balanced document shard (see
+    /// [`crate::parallel::partition_by_size`]); the per-shard tallies are
+    /// summed into one table before the deterministic sort-and-intern, so
+    /// the resulting vocabulary is byte-identical to the serial fit for any
+    /// worker count.
+    pub fn fit_sharded<S: AsRef<str> + Sync>(
+        corpus: &[S],
+        min_count: usize,
+        workers: usize,
+    ) -> Self {
+        let partition = crate::parallel::partition_by_size(corpus, workers);
+        if partition.len() <= 1 {
+            return Self::fit(corpus, min_count);
+        }
+        let tallies: Vec<HashMap<String, usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partition
+                .iter()
+                .map(|indices| {
+                    scope.spawn(move || {
+                        let mut counts: HashMap<String, usize> = HashMap::new();
+                        for &i in indices {
+                            for token in Self::split(corpus[i].as_ref()) {
+                                *counts.entry(token).or_insert(0) += 1;
+                            }
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("vocabulary shard worker panicked"))
+                .collect()
+        });
+        let mut merged: HashMap<String, usize> = HashMap::new();
+        for tally in tallies {
+            for (token, count) in tally {
+                *merged.entry(token).or_insert(0) += count;
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        Self::absorb(&mut vocab, merged, min_count);
         Self { vocab }
     }
 
@@ -182,20 +240,8 @@ impl HdlTokenizer {
     /// achieves the same property by absorbing the fine-tuning corpus's
     /// tokens.
     pub fn extended_with<S: AsRef<str>>(&self, corpus: &[S], min_count: usize) -> HdlTokenizer {
-        let mut counts: HashMap<String, usize> = HashMap::new();
-        for doc in corpus {
-            for token in Self::split(doc.as_ref()) {
-                *counts.entry(token).or_insert(0) += 1;
-            }
-        }
         let mut vocab = self.vocab.clone();
-        let mut tokens: Vec<(String, usize)> = counts.into_iter().collect();
-        tokens.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        for (token, count) in tokens {
-            if count >= min_count.max(1) {
-                vocab.intern(&token);
-            }
-        }
+        Self::absorb(&mut vocab, Self::tally(corpus), min_count);
         HdlTokenizer { vocab }
     }
 
@@ -312,6 +358,29 @@ mod tests {
         let t1 = HdlTokenizer::fit(&corpus, 1);
         let t2 = HdlTokenizer::fit(&corpus, 1);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn sharded_fit_is_byte_identical_to_serial() {
+        let corpus: Vec<String> = (0..17)
+            .map(|i| {
+                format!(
+                    "module m{i}(input [{}:0] a, output y);\nassign y = ^a;\nendmodule\n",
+                    i % 7
+                )
+            })
+            .collect();
+        let serial = HdlTokenizer::fit(&corpus, 2);
+        for workers in [1, 2, 3, 8, 17, 64] {
+            let sharded = HdlTokenizer::fit_sharded(&corpus, 2, workers);
+            assert_eq!(sharded, serial, "diverged at workers={workers}");
+        }
+        // Degenerate corpora take the serial path without panicking.
+        let empty: Vec<String> = Vec::new();
+        assert_eq!(
+            HdlTokenizer::fit_sharded(&empty, 1, 8),
+            HdlTokenizer::fit(&empty, 1)
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Abstract syntax tree for the supported Verilog subset.
+//! Arena-backed abstract syntax tree for the supported Verilog subset.
 //!
 //! The subset is the synthesisable core that the paper's datasets and
 //! benchmark problems are written in: module declarations with ANSI or
@@ -7,10 +7,300 @@
 //! assignments, `always` blocks (combinational and edge-triggered),
 //! `initial` blocks, module instantiations and the usual expression
 //! operators.
+//!
+//! Expressions live in one [`ExprArena`] per [`Module`]: every [`Expr`]
+//! child position holds a `Copy` [`ExprId`] index instead of a `Box<Expr>`,
+//! so a parse performs one arena `Vec` growth per module instead of one
+//! heap allocation per expression node, and walking an expression tree is
+//! an index chase through a contiguous buffer. Identifiers inside the AST
+//! are the lexer's interned [`Symbol`]s; the module carries its
+//! [`Interner`] so names can always be resolved back to text.
+
+use std::ops::Index;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::intern::Name;
+use crate::intern::{Interner, Name, Symbol};
+
+/// A `Copy` handle to an expression stored in an [`ExprArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The raw index of the expression in its arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Serialize for ExprId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(u64::from(self.0))
+    }
+}
+
+impl serde::Deserialize for ExprId {}
+
+/// The expression store of one module: a flat `Vec` the parser appends to
+/// in post-order, indexed by [`ExprId`]. Children always precede parents,
+/// so iterating the arena visits every subexpression before its use.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExprArena {
+    nodes: Vec<Expr>,
+}
+
+impl ExprArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores an expression, returning its id.
+    pub fn alloc(&mut self, expr: Expr) -> ExprId {
+        let id = u32::try_from(self.nodes.len()).expect("more than u32::MAX expressions");
+        self.nodes.push(expr);
+        ExprId(id)
+    }
+
+    /// The expression behind `id`, or `None` if the id belongs to a
+    /// different arena and is out of range.
+    pub fn get(&self, id: ExprId) -> Option<&Expr> {
+        self.nodes.get(id.index())
+    }
+
+    /// Number of expressions stored.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no expressions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Collects the symbols of all identifiers referenced by `id`, in
+    /// depth-first source order.
+    pub fn referenced_idents(&self, id: ExprId) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_idents(id, &mut out);
+        out
+    }
+
+    /// Appends the symbols of all identifiers referenced by `id` to `out`.
+    pub fn collect_idents(&self, id: ExprId, out: &mut Vec<Symbol>) {
+        match &self[id] {
+            Expr::Ident(sym) => out.push(*sym),
+            Expr::Number { .. } | Expr::StringLit(_) => {}
+            Expr::Unary { operand, .. } => self.collect_idents(*operand, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.collect_idents(*lhs, out);
+                self.collect_idents(*rhs, out);
+            }
+            Expr::Ternary {
+                condition,
+                then_expr,
+                else_expr,
+            } => {
+                self.collect_idents(*condition, out);
+                self.collect_idents(*then_expr, out);
+                self.collect_idents(*else_expr, out);
+            }
+            Expr::Index { base, index } => {
+                self.collect_idents(*base, out);
+                self.collect_idents(*index, out);
+            }
+            Expr::Slice { base, msb, lsb } => {
+                self.collect_idents(*base, out);
+                self.collect_idents(*msb, out);
+                self.collect_idents(*lsb, out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    self.collect_idents(*p, out);
+                }
+            }
+            Expr::Repeat { count, value } => {
+                self.collect_idents(*count, out);
+                self.collect_idents(*value, out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.collect_idents(*a, out);
+                }
+            }
+        }
+    }
+
+    /// A [`std::fmt::Debug`] view of the expression behind `id` that renders
+    /// the *tree* (identifiers resolved through `symbols`), byte-identical
+    /// to the `Debug` output of the pre-arena boxed AST. Used by the
+    /// interpreter's error messages, which are pinned by snapshot fixtures.
+    pub fn expr_debug<'a>(&'a self, symbols: &'a Interner, id: ExprId) -> ExprDebug<'a> {
+        ExprDebug {
+            arena: self,
+            symbols,
+            id,
+        }
+    }
+}
+
+impl Index<ExprId> for ExprArena {
+    type Output = Expr;
+
+    fn index(&self, id: ExprId) -> &Expr {
+        &self.nodes[id.index()]
+    }
+}
+
+/// See [`ExprArena::expr_debug`].
+#[derive(Clone, Copy)]
+pub struct ExprDebug<'a> {
+    arena: &'a ExprArena,
+    symbols: &'a Interner,
+    id: ExprId,
+}
+
+impl<'a> ExprDebug<'a> {
+    fn at(&self, id: ExprId) -> Self {
+        Self { id, ..*self }
+    }
+
+    fn list(&self, ids: &'a [ExprId]) -> ExprListDebug<'a> {
+        ExprListDebug {
+            arena: self.arena,
+            symbols: self.symbols,
+            ids,
+        }
+    }
+}
+
+impl std::fmt::Debug for ExprDebug<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.arena[self.id] {
+            Expr::Number { value, width } => f
+                .debug_struct("Number")
+                .field("value", value)
+                .field("width", width)
+                .finish(),
+            Expr::Ident(sym) => f
+                .debug_tuple("Ident")
+                .field(&self.symbols.resolve(*sym))
+                .finish(),
+            Expr::Unary { op, operand } => f
+                .debug_struct("Unary")
+                .field("op", op)
+                .field("operand", &self.at(*operand))
+                .finish(),
+            Expr::Binary { op, lhs, rhs } => f
+                .debug_struct("Binary")
+                .field("op", op)
+                .field("lhs", &self.at(*lhs))
+                .field("rhs", &self.at(*rhs))
+                .finish(),
+            Expr::Ternary {
+                condition,
+                then_expr,
+                else_expr,
+            } => f
+                .debug_struct("Ternary")
+                .field("condition", &self.at(*condition))
+                .field("then_expr", &self.at(*then_expr))
+                .field("else_expr", &self.at(*else_expr))
+                .finish(),
+            Expr::Index { base, index } => f
+                .debug_struct("Index")
+                .field("base", &self.at(*base))
+                .field("index", &self.at(*index))
+                .finish(),
+            Expr::Slice { base, msb, lsb } => f
+                .debug_struct("Slice")
+                .field("base", &self.at(*base))
+                .field("msb", &self.at(*msb))
+                .field("lsb", &self.at(*lsb))
+                .finish(),
+            Expr::Concat(parts) => f.debug_tuple("Concat").field(&self.list(parts)).finish(),
+            Expr::Repeat { count, value } => f
+                .debug_struct("Repeat")
+                .field("count", &self.at(*count))
+                .field("value", &self.at(*value))
+                .finish(),
+            Expr::Call { name, args } => f
+                .debug_struct("Call")
+                .field("name", &self.symbols.resolve(*name))
+                .field("args", &self.list(args))
+                .finish(),
+            Expr::StringLit(s) => f.debug_tuple("StringLit").field(s).finish(),
+        }
+    }
+}
+
+struct ExprListDebug<'a> {
+    arena: &'a ExprArena,
+    symbols: &'a Interner,
+    ids: &'a [ExprId],
+}
+
+impl std::fmt::Debug for ExprListDebug<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.ids.iter().map(|&id| ExprDebug {
+                arena: self.arena,
+                symbols: self.symbols,
+                id,
+            }))
+            .finish()
+    }
+}
+
+/// Where a parser puts the expressions it builds.
+///
+/// The production allocator is [`ExprArena`] (one `Vec` push per node); the
+/// benchmark baseline [`BoxedExprAlloc`] reproduces the retired frontend's
+/// allocation pattern — one heap `Box` per node — so `bench_parse` can
+/// report the arena's speedup against a faithful boxed build of the *same*
+/// parser, and property tests can assert the two produce identical modules.
+pub trait ExprAlloc: Default {
+    /// Stores an expression, returning its id.
+    fn alloc(&mut self, expr: Expr) -> ExprId;
+
+    /// Finalises the allocation into the arena the module will own.
+    fn finish(self) -> ExprArena;
+}
+
+impl ExprAlloc for ExprArena {
+    fn alloc(&mut self, expr: Expr) -> ExprId {
+        ExprArena::alloc(self, expr)
+    }
+
+    fn finish(self) -> ExprArena {
+        self
+    }
+}
+
+/// The boxed-allocation baseline: every node costs one `Box` (the retired
+/// reference frontend's cost model), then the boxes are gathered into a
+/// regular arena so downstream consumers see identical modules.
+#[derive(Debug, Default)]
+pub struct BoxedExprAlloc {
+    // One heap allocation per node is the entire point of this baseline.
+    #[allow(clippy::vec_box)]
+    nodes: Vec<Box<Expr>>,
+}
+
+impl ExprAlloc for BoxedExprAlloc {
+    fn alloc(&mut self, expr: Expr) -> ExprId {
+        let id = u32::try_from(self.nodes.len()).expect("more than u32::MAX expressions");
+        self.nodes.push(Box::new(expr));
+        ExprId(id)
+    }
+
+    fn finish(self) -> ExprArena {
+        ExprArena {
+            nodes: self.nodes.into_iter().map(|b| *b).collect(),
+        }
+    }
+}
 
 /// Direction of a module port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -25,19 +315,19 @@ pub enum PortDirection {
 
 /// A packed range `[msb:lsb]`. Both bounds are expressions so parameterised
 /// widths (`[WIDTH-1:0]`) survive parsing; they are evaluated at elaboration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Range {
     /// Most significant bound.
-    pub msb: Expr,
+    pub msb: ExprId,
     /// Least significant bound.
-    pub lsb: Expr,
+    pub lsb: ExprId,
 }
 
 /// A port of a module.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Port {
     /// Port name.
-    pub name: Name,
+    pub name: Symbol,
     /// Direction.
     pub direction: PortDirection,
     /// Packed range, if the port is a vector.
@@ -65,7 +355,7 @@ pub enum NetKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Net {
     /// Name of the net.
-    pub name: Name,
+    pub name: Symbol,
     /// Declaration kind.
     pub kind: NetKind,
     /// Packed range, if any.
@@ -75,7 +365,7 @@ pub struct Net {
     /// Whether declared `signed`.
     pub signed: bool,
     /// Optional initialiser (e.g. `wire x = a & b;`).
-    pub init: Option<Expr>,
+    pub init: Option<ExprId>,
 }
 
 /// A declaration statement, possibly declaring several nets and possibly
@@ -103,7 +393,7 @@ pub enum EdgeKind {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct SensitivityList {
     /// `(edge, signal)` entries.
-    pub entries: Vec<(EdgeKind, Name)>,
+    pub entries: Vec<(EdgeKind, Symbol)>,
     /// Whether the list was `@*` or `@(*)`.
     pub star: bool,
 }
@@ -132,7 +422,7 @@ pub enum CaseKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseArm {
     /// Match labels (empty for the `default` arm).
-    pub labels: Vec<Expr>,
+    pub labels: Vec<ExprId>,
     /// Body executed when a label matches.
     pub body: Statement,
 }
@@ -145,21 +435,21 @@ pub enum Statement {
     /// Blocking assignment `lhs = rhs;`
     Blocking {
         /// Assignment target (identifier, bit/part select or concatenation).
-        target: Expr,
+        target: ExprId,
         /// Right-hand side.
-        value: Expr,
+        value: ExprId,
     },
     /// Non-blocking assignment `lhs <= rhs;`
     NonBlocking {
         /// Assignment target.
-        target: Expr,
+        target: ExprId,
         /// Right-hand side.
-        value: Expr,
+        value: ExprId,
     },
     /// `if (c) s [else s]`
     If {
         /// Condition expression.
-        condition: Expr,
+        condition: ExprId,
         /// Taken branch.
         then_branch: Box<Statement>,
         /// Optional else branch.
@@ -170,7 +460,7 @@ pub enum Statement {
         /// Case flavour (`case`, `casez`, `casex`).
         kind: CaseKind,
         /// Subject expression.
-        subject: Expr,
+        subject: ExprId,
         /// Arms, including a possible default arm (empty labels).
         arms: Vec<CaseArm>,
     },
@@ -179,7 +469,7 @@ pub enum Statement {
         /// Initialisation assignment.
         init: Box<Statement>,
         /// Loop condition.
-        condition: Expr,
+        condition: ExprId,
         /// Step assignment.
         step: Box<Statement>,
         /// Loop body.
@@ -188,9 +478,9 @@ pub enum Statement {
     /// A system task call such as `$display(...)`; ignored by the interpreter.
     SystemCall {
         /// Task name including the `$`.
-        name: Name,
+        name: Symbol,
         /// Arguments (kept for fidelity, unused).
-        args: Vec<Expr>,
+        args: Vec<ExprId>,
     },
     /// An empty statement (`;`).
     Empty,
@@ -209,9 +499,9 @@ pub struct AlwaysBlock {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Parameter {
     /// Parameter name.
-    pub name: Name,
+    pub name: Symbol,
     /// Default value expression.
-    pub value: Expr,
+    pub value: ExprId,
     /// Whether declared `localparam`.
     pub local: bool,
 }
@@ -220,15 +510,15 @@ pub struct Parameter {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Instance {
     /// Name of the instantiated module.
-    pub module: Name,
+    pub module: Symbol,
     /// Instance name.
-    pub name: Name,
+    pub name: Symbol,
     /// Named connections `.port(expr)`; `None` for unconnected `.port()`.
-    pub named_connections: Vec<(Name, Option<Expr>)>,
+    pub named_connections: Vec<(Symbol, Option<ExprId>)>,
     /// Ordered (positional) connections, if the named form was not used.
-    pub ordered_connections: Vec<Expr>,
-    /// Parameter overrides `#(.P(v))`.
-    pub parameter_overrides: Vec<(Name, Expr)>,
+    pub ordered_connections: Vec<ExprId>,
+    /// Parameter overrides `#(.P(v))`; `None` names a positional override.
+    pub parameter_overrides: Vec<(Option<Symbol>, ExprId)>,
 }
 
 /// A top-level item inside a module body.
@@ -241,9 +531,9 @@ pub enum ModuleItem {
     /// `assign lhs = rhs;`
     ContinuousAssign {
         /// Assignment target.
-        target: Expr,
+        target: ExprId,
         /// Driven value.
-        value: Expr,
+        value: ExprId,
     },
     /// `always @(...) ...`
     Always(AlwaysBlock),
@@ -255,7 +545,11 @@ pub enum ModuleItem {
     Generate(Vec<ModuleItem>),
 }
 
-/// A Verilog module.
+/// A Verilog module: its header and items plus the expression arena and
+/// identifier interner every [`ExprId`] and [`Symbol`] inside it resolves
+/// against. Modules parsed from one source file share the interner (an
+/// [`Arc`] clone), which is what lets the lint engine resolve instance
+/// references between sibling modules without string hashing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Module {
     /// Module name.
@@ -264,12 +558,28 @@ pub struct Module {
     pub ports: Vec<Port>,
     /// Body items in source order.
     pub items: Vec<ModuleItem>,
+    /// The expression store backing every [`ExprId`] in this module.
+    pub arena: ExprArena,
+    /// Resolves every [`Symbol`] in this module (shared per source file).
+    pub symbols: Arc<Interner>,
 }
 
 impl Module {
+    /// The spelling of a symbol of this module.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// The spelling of a symbol as a cheap-clone [`Name`].
+    pub fn name_of(&self, sym: Symbol) -> Name {
+        self.symbols.name(sym)
+    }
+
     /// Returns the port with the given name, if present.
     pub fn port(&self, name: &str) -> Option<&Port> {
-        self.ports.iter().find(|p| p.name == name)
+        self.ports
+            .iter()
+            .find(|p| self.symbols.resolve(p.name) == name)
     }
 
     /// Names of all input ports, in declaration order.
@@ -277,7 +587,7 @@ impl Module {
         self.ports
             .iter()
             .filter(|p| p.direction == PortDirection::Input)
-            .map(|p| p.name.as_str())
+            .map(|p| self.symbols.resolve(p.name))
             .collect()
     }
 
@@ -286,7 +596,7 @@ impl Module {
         self.ports
             .iter()
             .filter(|p| p.direction == PortDirection::Output)
-            .map(|p| p.name.as_str())
+            .map(|p| self.symbols.resolve(p.name))
             .collect()
     }
 
@@ -354,7 +664,8 @@ pub enum BinaryOp {
     AShr,
 }
 
-/// An expression.
+/// An expression node. Child positions are [`ExprId`]s into the owning
+/// [`ExprArena`]; identifier payloads are interned [`Symbol`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     /// A numeric literal with an optional declared width. `x`/`z` bits are
@@ -366,63 +677,63 @@ pub enum Expr {
         width: Option<u32>,
     },
     /// An identifier reference.
-    Ident(Name),
+    Ident(Symbol),
     /// A unary operation.
     Unary {
         /// Operator.
         op: UnaryOp,
         /// Operand.
-        operand: Box<Expr>,
+        operand: ExprId,
     },
     /// A binary operation.
     Binary {
         /// Operator.
         op: BinaryOp,
         /// Left operand.
-        lhs: Box<Expr>,
+        lhs: ExprId,
         /// Right operand.
-        rhs: Box<Expr>,
+        rhs: ExprId,
     },
     /// The ternary conditional `c ? a : b`.
     Ternary {
         /// Condition.
-        condition: Box<Expr>,
+        condition: ExprId,
         /// Value when true.
-        then_expr: Box<Expr>,
+        then_expr: ExprId,
         /// Value when false.
-        else_expr: Box<Expr>,
+        else_expr: ExprId,
     },
     /// Bit-select or memory index `base[index]`.
     Index {
         /// Selected base expression.
-        base: Box<Expr>,
+        base: ExprId,
         /// Index expression.
-        index: Box<Expr>,
+        index: ExprId,
     },
     /// Constant part-select `base[msb:lsb]`.
     Slice {
         /// Selected base expression.
-        base: Box<Expr>,
+        base: ExprId,
         /// Most significant bound.
-        msb: Box<Expr>,
+        msb: ExprId,
         /// Least significant bound.
-        lsb: Box<Expr>,
+        lsb: ExprId,
     },
     /// Concatenation `{a, b, c}`.
-    Concat(Vec<Expr>),
+    Concat(Vec<ExprId>),
     /// Replication `{n{expr}}`.
     Repeat {
         /// Replication count.
-        count: Box<Expr>,
+        count: ExprId,
         /// Replicated expression.
-        value: Box<Expr>,
+        value: ExprId,
     },
     /// A function or system-function call.
     Call {
         /// Callee name.
-        name: Name,
+        name: Symbol,
         /// Arguments.
-        args: Vec<Expr>,
+        args: Vec<ExprId>,
     },
     /// A string literal (only meaningful to system tasks).
     StringLit(String),
@@ -435,59 +746,8 @@ impl Expr {
     }
 
     /// Convenience constructor for an identifier.
-    pub fn ident(name: impl Into<Name>) -> Self {
-        Expr::Ident(name.into())
-    }
-
-    /// Collects the names of all identifiers referenced by this expression.
-    pub fn referenced_idents(&self) -> Vec<Name> {
-        let mut out = Vec::new();
-        self.collect_idents(&mut out);
-        out
-    }
-
-    fn collect_idents(&self, out: &mut Vec<Name>) {
-        match self {
-            Expr::Ident(name) => out.push(name.clone()),
-            Expr::Number { .. } | Expr::StringLit(_) => {}
-            Expr::Unary { operand, .. } => operand.collect_idents(out),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.collect_idents(out);
-                rhs.collect_idents(out);
-            }
-            Expr::Ternary {
-                condition,
-                then_expr,
-                else_expr,
-            } => {
-                condition.collect_idents(out);
-                then_expr.collect_idents(out);
-                else_expr.collect_idents(out);
-            }
-            Expr::Index { base, index } => {
-                base.collect_idents(out);
-                index.collect_idents(out);
-            }
-            Expr::Slice { base, msb, lsb } => {
-                base.collect_idents(out);
-                msb.collect_idents(out);
-                lsb.collect_idents(out);
-            }
-            Expr::Concat(parts) => {
-                for p in parts {
-                    p.collect_idents(out);
-                }
-            }
-            Expr::Repeat { count, value } => {
-                count.collect_idents(out);
-                value.collect_idents(out);
-            }
-            Expr::Call { args, .. } => {
-                for a in args {
-                    a.collect_idents(out);
-                }
-            }
-        }
+    pub fn ident(sym: Symbol) -> Self {
+        Expr::Ident(sym)
     }
 }
 
@@ -497,18 +757,21 @@ mod tests {
 
     #[test]
     fn module_port_lookup_and_direction_lists() {
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let y = interner.intern("y");
         let module = Module {
             name: "m".into(),
             ports: vec![
                 Port {
-                    name: "a".into(),
+                    name: a,
                     direction: PortDirection::Input,
                     range: None,
                     is_reg: false,
                     signed: false,
                 },
                 Port {
-                    name: "y".into(),
+                    name: y,
                     direction: PortDirection::Output,
                     range: None,
                     is_reg: true,
@@ -516,47 +779,100 @@ mod tests {
                 },
             ],
             items: vec![],
+            arena: ExprArena::new(),
+            symbols: Arc::new(interner),
         };
         assert!(module.port("a").is_some());
         assert!(module.port("zzz").is_none());
         assert_eq!(module.input_names(), vec!["a"]);
         assert_eq!(module.output_names(), vec!["y"]);
+        assert_eq!(module.resolve(y), "y");
+        assert_eq!(module.name_of(a), "a");
     }
 
     #[test]
     fn sensitivity_list_edge_detection() {
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let clk = interner.intern("clk");
         let comb = SensitivityList {
-            entries: vec![(EdgeKind::Level, "a".into())],
+            entries: vec![(EdgeKind::Level, a)],
             star: false,
         };
         assert!(!comb.is_edge_triggered());
         let seq = SensitivityList {
-            entries: vec![(EdgeKind::Posedge, "clk".into())],
+            entries: vec![(EdgeKind::Posedge, clk)],
             star: false,
         };
         assert!(seq.is_edge_triggered());
     }
 
     #[test]
-    fn expr_collects_referenced_identifiers() {
-        let e = Expr::Binary {
+    fn arena_collects_referenced_identifiers() {
+        let mut interner = Interner::new();
+        let mut arena = ExprArena::new();
+        let a = interner.intern("a");
+        let sel = interner.intern("sel");
+        let b = interner.intern("b");
+        let lhs = arena.alloc(Expr::ident(a));
+        let condition = arena.alloc(Expr::ident(sel));
+        let then_expr = arena.alloc(Expr::ident(b));
+        let else_expr = arena.alloc(Expr::number(1));
+        let ternary = arena.alloc(Expr::Ternary {
+            condition,
+            then_expr,
+            else_expr,
+        });
+        let root = arena.alloc(Expr::Binary {
             op: BinaryOp::Add,
-            lhs: Box::new(Expr::ident("a")),
-            rhs: Box::new(Expr::Ternary {
-                condition: Box::new(Expr::ident("sel")),
-                then_expr: Box::new(Expr::ident("b")),
-                else_expr: Box::new(Expr::number(1)),
-            }),
+            lhs,
+            rhs: ternary,
+        });
+        assert_eq!(arena.referenced_idents(root), vec![a, sel, b]);
+        assert_eq!(arena.len(), 6);
+        assert!(arena.get(root).is_some());
+    }
+
+    #[test]
+    fn boxed_alloc_produces_the_same_arena() {
+        let build = |alloc: &mut dyn FnMut(Expr) -> ExprId| {
+            let one = alloc(Expr::number(1));
+            let two = alloc(Expr::number(2));
+            alloc(Expr::Binary {
+                op: BinaryOp::Mul,
+                lhs: one,
+                rhs: two,
+            })
         };
-        let ids = e.referenced_idents();
-        assert_eq!(ids, vec!["a", "sel", "b"]);
+        let mut arena = ExprArena::new();
+        build(&mut |e| arena.alloc(e));
+        let mut boxed = BoxedExprAlloc::default();
+        build(&mut |e| boxed.alloc(e));
+        assert_eq!(arena.finish(), boxed.finish());
+    }
+
+    #[test]
+    fn expr_debug_renders_the_tree() {
+        let mut interner = Interner::new();
+        let mut arena = ExprArena::new();
+        let mem = interner.intern("mem");
+        let base = arena.alloc(Expr::ident(mem));
+        let index = arena.alloc(Expr::number(0));
+        let root = arena.alloc(Expr::Index { base, index });
+        assert_eq!(
+            format!("{:?}", arena.expr_debug(&interner, root)),
+            "Index { base: Ident(\"mem\"), index: Number { value: 0, width: None } }"
+        );
     }
 
     #[test]
     fn instances_are_found_inside_generate_blocks() {
+        let mut interner = Interner::new();
+        let sub = interner.intern("sub");
+        let u0 = interner.intern("u0");
         let inst = Instance {
-            module: "sub".into(),
-            name: "u0".into(),
+            module: sub,
+            name: u0,
             named_connections: vec![],
             ordered_connections: vec![],
             parameter_overrides: vec![],
@@ -565,6 +881,8 @@ mod tests {
             name: "top".into(),
             ports: vec![],
             items: vec![ModuleItem::Generate(vec![ModuleItem::Instance(inst)])],
+            arena: ExprArena::new(),
+            symbols: Arc::new(interner),
         };
         assert_eq!(module.instances().len(), 1);
     }

@@ -49,7 +49,7 @@ type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// A `Copy` handle to an interned identifier, valid for the [`Interner`]
 /// that produced it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
 impl Symbol {
@@ -58,6 +58,14 @@ impl Symbol {
         self.0 as usize
     }
 }
+
+impl Serialize for Symbol {
+    fn to_value(&self) -> Value {
+        Value::UInt(u64::from(self.0))
+    }
+}
+
+impl serde::Deserialize for Symbol {}
 
 /// A per-parse identifier interner: each distinct spelling is stored once
 /// and handed out as a [`Symbol`].
@@ -112,7 +120,31 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Looks up the symbol of an already-interned spelling without mutating
+    /// the interner (used after lexing, when the symbol set is frozen).
+    pub fn lookup(&self, text: &str) -> Option<Symbol> {
+        self.map.get(text).map(|&id| Symbol(id))
+    }
 }
+
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        // The map is derived from `names`, so comparing the name table (in
+        // interning order) compares the whole interner.
+        self.names == other.names
+    }
+}
+
+impl Eq for Interner {}
+
+impl Serialize for Interner {
+    fn to_value(&self) -> Value {
+        Value::Array(self.names.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl serde::Deserialize for Interner {}
 
 /// An interned identifier: a reference-counted string that behaves like the
 /// `String` it replaced (string equality, hashing, ordering, `Display`,

@@ -2,13 +2,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::ast::{
-    BinaryOp, EdgeKind, Expr, Module, ModuleItem, NetKind, PortDirection, Range, SensitivityList,
-    Statement, UnaryOp,
+    BinaryOp, EdgeKind, Expr, ExprArena, ExprId, Module, ModuleItem, NetKind, PortDirection, Range,
+    SensitivityList, Statement, UnaryOp,
 };
+use crate::intern::Interner;
 use crate::interp::value::Value;
 
 /// Errors produced during elaboration or evaluation.
@@ -55,6 +57,10 @@ struct SignalInfo {
 
 /// A module elaborated for simulation.
 ///
+/// Owns a clone of the source module's expression arena (plus its interner),
+/// so statements and assignment lists can be kept as `Copy` [`ExprId`]s —
+/// evaluation walks the arena directly and never clones expression trees.
+///
 /// # Example
 ///
 /// ```
@@ -77,7 +83,9 @@ pub struct CompiledModule {
     ports: Vec<(String, PortDirection, u32)>,
     signals: HashMap<String, SignalInfo>,
     parameters: HashMap<String, i64>,
-    assigns: Vec<(Expr, Expr)>,
+    arena: ExprArena,
+    symbols: Arc<Interner>,
+    assigns: Vec<(ExprId, ExprId)>,
     comb_blocks: Vec<Statement>,
     seq_blocks: Vec<(SensitivityList, Statement)>,
     initial_blocks: Vec<Statement>,
@@ -133,14 +141,25 @@ impl CompiledModule {
     pub fn elaborate(module: &Module) -> Result<Self, EvalError> {
         let mut parameters: HashMap<String, i64> = HashMap::new();
         // First pass: parameters (they may be used by port ranges).
-        collect_parameters(&module.items, &mut parameters)?;
+        collect_parameters(
+            &module.arena,
+            &module.symbols,
+            &module.items,
+            &mut parameters,
+        )?;
 
         let mut signals: HashMap<String, SignalInfo> = HashMap::new();
         let mut ports = Vec::new();
         for port in &module.ports {
-            let width = range_width(port.range.as_ref(), &parameters)?;
-            signals.insert(port.name.to_string(), SignalInfo { width, depth: None });
-            ports.push((port.name.to_string(), port.direction, width));
+            let width = range_width(
+                &module.arena,
+                &module.symbols,
+                port.range.as_ref(),
+                &parameters,
+            )?;
+            let name = module.resolve(port.name).to_string();
+            signals.insert(name.clone(), SignalInfo { width, depth: None });
+            ports.push((name, port.direction, width));
         }
 
         let mut compiled = CompiledModule {
@@ -148,6 +167,8 @@ impl CompiledModule {
             ports,
             signals,
             parameters,
+            arena: module.arena.clone(),
+            symbols: Arc::clone(&module.symbols),
             assigns: Vec::new(),
             comb_blocks: Vec::new(),
             seq_blocks: Vec::new(),
@@ -169,12 +190,27 @@ impl CompiledModule {
                         let width = if net.kind == NetKind::Integer && net.range.is_none() {
                             32
                         } else {
-                            range_width(net.range.as_ref(), &self.parameters)?
+                            range_width(
+                                &self.arena,
+                                &self.symbols,
+                                net.range.as_ref(),
+                                &self.parameters,
+                            )?
                         };
                         let depth = match &net.array {
                             Some(range) => {
-                                let hi = const_eval(&range.msb, &self.parameters)?;
-                                let lo = const_eval(&range.lsb, &self.parameters)?;
+                                let hi = const_eval(
+                                    &self.arena,
+                                    &self.symbols,
+                                    range.msb,
+                                    &self.parameters,
+                                )?;
+                                let lo = const_eval(
+                                    &self.arena,
+                                    &self.symbols,
+                                    range.lsb,
+                                    &self.parameters,
+                                )?;
                                 Some((hi - lo).unsigned_abs() as usize + 1)
                             }
                             None => None,
@@ -183,7 +219,7 @@ impl CompiledModule {
                         // unless the body declaration is wider.
                         let entry = self
                             .signals
-                            .entry(net.name.to_string())
+                            .entry(self.symbols.resolve(net.name).to_string())
                             .or_insert(SignalInfo { width, depth });
                         if width > entry.width {
                             entry.width = width;
@@ -191,16 +227,18 @@ impl CompiledModule {
                         if depth.is_some() {
                             entry.depth = depth;
                         }
-                        if let Some(init) = &net.init {
+                        if let Some(init) = net.init {
                             // A declaration initialiser behaves like a
-                            // continuous assignment for wires.
-                            self.assigns
-                                .push((Expr::Ident(net.name.clone()), init.clone()));
+                            // continuous assignment for wires. The target
+                            // `Ident` node is allocated into the compiled
+                            // module's own arena copy.
+                            let target = self.arena.alloc(Expr::Ident(net.name));
+                            self.assigns.push((target, init));
                         }
                     }
                 }
                 ModuleItem::ContinuousAssign { target, value } => {
-                    self.assigns.push((target.clone(), value.clone()));
+                    self.assigns.push((*target, *value));
                 }
                 ModuleItem::Always(block) => {
                     if block.sensitivity.is_edge_triggered() {
@@ -214,7 +252,7 @@ impl CompiledModule {
                 ModuleItem::Instance(inst) => {
                     return Err(EvalError::Unsupported(format!(
                         "module instantiation of `{}`",
-                        inst.module
+                        self.symbols.resolve(inst.module)
                     )));
                 }
                 ModuleItem::Generate(inner) => self.collect_items(inner)?,
@@ -241,6 +279,11 @@ impl CompiledModule {
     /// The resolved value of a parameter, if it exists.
     pub fn parameter(&self, name: &str) -> Option<i64> {
         self.parameters.get(name).copied()
+    }
+
+    /// A debug rendering of an expression tree, for error messages.
+    fn debug(&self, id: ExprId) -> crate::ast::ExprDebug<'_> {
+        self.arena.expr_debug(&self.symbols, id)
     }
 
     /// Creates the power-on state: every signal zero, then `initial` blocks
@@ -277,8 +320,8 @@ impl CompiledModule {
     pub fn settle(&self, state: &mut EvalState) -> Result<(), EvalError> {
         for _ in 0..SETTLE_LIMIT {
             let before = state.clone();
-            for (target, value) in &self.assigns {
-                let v = self.eval_expr(value, state)?;
+            for &(target, value) in &self.assigns {
+                let v = self.eval_expr_id(value, state)?;
                 self.assign(target, v, state)?;
             }
             for block in &self.comb_blocks {
@@ -310,7 +353,7 @@ impl CompiledModule {
             let triggered = sensitivity
                 .entries
                 .iter()
-                .any(|(kind, name)| *kind == edge && name == signal);
+                .any(|&(kind, sym)| kind == edge && self.symbols.resolve(sym) == signal);
             if triggered {
                 self.exec_statement(body, state, true, &mut nb)?;
             }
@@ -347,17 +390,17 @@ impl CompiledModule {
                 Ok(())
             }
             Statement::Blocking { target, value } => {
-                let v = self.eval_expr(value, state)?;
-                self.assign(target, v, state)
+                let v = self.eval_expr_id(*value, state)?;
+                self.assign(*target, v, state)
             }
             Statement::NonBlocking { target, value } => {
-                let v = self.eval_expr(value, state)?;
+                let v = self.eval_expr_id(*value, state)?;
                 if defer_nonblocking {
-                    let resolved = self.resolve_target(target, state)?;
+                    let resolved = self.resolve_target(*target, state)?;
                     nb.push((resolved, v));
                     Ok(())
                 } else {
-                    self.assign(target, v, state)
+                    self.assign(*target, v, state)
                 }
             }
             Statement::If {
@@ -365,7 +408,7 @@ impl CompiledModule {
                 then_branch,
                 else_branch,
             } => {
-                if self.eval_expr(condition, state)?.is_true() {
+                if self.eval_expr_id(*condition, state)?.is_true() {
                     self.exec_statement(then_branch, state, defer_nonblocking, nb)
                 } else if let Some(else_branch) = else_branch {
                     self.exec_statement(else_branch, state, defer_nonblocking, nb)
@@ -374,15 +417,15 @@ impl CompiledModule {
                 }
             }
             Statement::Case { subject, arms, .. } => {
-                let subject_value = self.eval_expr(subject, state)?;
+                let subject_value = self.eval_expr_id(*subject, state)?;
                 let mut default: Option<&Statement> = None;
                 for arm in arms {
                     if arm.labels.is_empty() {
                         default = Some(&arm.body);
                         continue;
                     }
-                    for label in &arm.labels {
-                        let label_value = self.eval_expr(label, state)?;
+                    for &label in &arm.labels {
+                        let label_value = self.eval_expr_id(label, state)?;
                         if label_value.bits() == subject_value.bits() {
                             return self.exec_statement(&arm.body, state, defer_nonblocking, nb);
                         }
@@ -402,7 +445,7 @@ impl CompiledModule {
             } => {
                 self.exec_statement(init, state, defer_nonblocking, nb)?;
                 let mut iterations = 0usize;
-                while self.eval_expr(condition, state)?.is_true() {
+                while self.eval_expr_id(*condition, state)?.is_true() {
                     self.exec_statement(body, state, defer_nonblocking, nb)?;
                     self.exec_statement(step, state, defer_nonblocking, nb)?;
                     iterations += 1;
@@ -420,20 +463,21 @@ impl CompiledModule {
 
     fn resolve_target(
         &self,
-        target: &Expr,
+        target: ExprId,
         state: &EvalState,
     ) -> Result<ResolvedTarget, EvalError> {
-        match target {
-            Expr::Ident(name) => {
-                if self.signals.contains_key(name.as_str()) {
+        match self.arena[target] {
+            Expr::Ident(sym) => {
+                let name = self.symbols.resolve(sym);
+                if self.signals.contains_key(name) {
                     Ok(ResolvedTarget::Signal(name.to_string()))
                 } else {
                     Err(EvalError::UnknownSignal(name.to_string()))
                 }
             }
             Expr::Index { base, index } => {
-                let name = ident_name(base)?;
-                let idx = self.eval_expr(index, state)?.bits();
+                let name = self.ident_name(base)?;
+                let idx = self.eval_expr_id(index, state)?.bits();
                 let info = self
                     .signals
                     .get(&name)
@@ -445,124 +489,140 @@ impl CompiledModule {
                 }
             }
             Expr::Slice { base, msb, lsb } => {
-                let name = ident_name(base)?;
-                let msb = self.eval_expr(msb, state)?.bits() as u32;
-                let lsb = self.eval_expr(lsb, state)?.bits() as u32;
+                let name = self.ident_name(base)?;
+                let msb = self.eval_expr_id(msb, state)?.bits() as u32;
+                let lsb = self.eval_expr_id(lsb, state)?.bits() as u32;
                 Ok(ResolvedTarget::Range(name, msb.max(lsb), msb.min(lsb)))
             }
-            Expr::Concat(parts) => {
+            Expr::Concat(ref parts) => {
                 let mut resolved = Vec::new();
-                for part in parts {
+                for &part in parts {
                     let width = self.target_width(part, state)?;
                     resolved.push((self.resolve_target(part, state)?, width));
                 }
                 Ok(ResolvedTarget::Concat(resolved))
             }
-            other => Err(EvalError::Unsupported(format!(
-                "assignment target {other:?}"
+            _ => Err(EvalError::Unsupported(format!(
+                "assignment target {:?}",
+                self.debug(target)
             ))),
         }
     }
 
-    fn target_width(&self, target: &Expr, state: &EvalState) -> Result<u32, EvalError> {
-        Ok(match target {
-            Expr::Ident(name) => {
+    fn target_width(&self, target: ExprId, state: &EvalState) -> Result<u32, EvalError> {
+        Ok(match self.arena[target] {
+            Expr::Ident(sym) => {
+                let name = self.symbols.resolve(sym);
                 self.signals
-                    .get(name.as_str())
+                    .get(name)
                     .ok_or_else(|| EvalError::UnknownSignal(name.to_string()))?
                     .width
             }
             Expr::Index { .. } => 1,
             Expr::Slice { msb, lsb, .. } => {
-                let msb = self.eval_expr(msb, state)?.bits() as u32;
-                let lsb = self.eval_expr(lsb, state)?.bits() as u32;
+                let msb = self.eval_expr_id(msb, state)?.bits() as u32;
+                let lsb = self.eval_expr_id(lsb, state)?.bits() as u32;
                 msb.max(lsb) - msb.min(lsb) + 1
             }
-            Expr::Concat(parts) => {
+            Expr::Concat(ref parts) => {
                 let mut total = 0;
-                for p in parts {
+                for &p in parts {
                     total += self.target_width(p, state)?;
                 }
                 total
             }
-            other => {
+            _ => {
                 return Err(EvalError::Unsupported(format!(
-                    "assignment target {other:?}"
+                    "assignment target {:?}",
+                    self.debug(target)
                 )))
             }
         })
     }
 
-    fn assign(&self, target: &Expr, value: Value, state: &mut EvalState) -> Result<(), EvalError> {
+    fn assign(&self, target: ExprId, value: Value, state: &mut EvalState) -> Result<(), EvalError> {
         let resolved = self.resolve_target(target, state)?;
         apply_resolved(state, resolved, value);
         Ok(())
     }
 
+    fn ident_name(&self, expr: ExprId) -> Result<String, EvalError> {
+        match self.arena[expr] {
+            Expr::Ident(sym) => Ok(self.symbols.resolve(sym).to_string()),
+            _ => Err(EvalError::Unsupported(format!(
+                "expected identifier, found {:?}",
+                self.debug(expr)
+            ))),
+        }
+    }
+
     // ----- expression evaluation -----
 
-    /// Evaluates an expression against the current state.
+    /// Evaluates an expression of this module's arena against the current
+    /// state.
     ///
     /// # Errors
     ///
     /// Returns [`EvalError::UnknownSignal`] for unresolved identifiers and
     /// [`EvalError::Unsupported`] for constructs outside the subset.
-    pub fn eval_expr(&self, expr: &Expr, state: &EvalState) -> Result<Value, EvalError> {
-        match expr {
-            Expr::Number { value, width } => Ok(Value::new(*value, width.unwrap_or(32).min(64))),
+    pub fn eval_expr_id(&self, expr: ExprId, state: &EvalState) -> Result<Value, EvalError> {
+        match self.arena[expr] {
+            Expr::Number { value, width } => Ok(Value::new(value, width.unwrap_or(32).min(64))),
             Expr::StringLit(_) => Ok(Value::zero(1)),
-            Expr::Ident(name) => {
+            Expr::Ident(sym) => {
+                let name = self.symbols.resolve(sym);
                 if let Some(v) = state.get(name) {
                     Ok(v)
-                } else if let Some(p) = self.parameters.get(name.as_str()) {
+                } else if let Some(p) = self.parameters.get(name) {
                     Ok(Value::new(*p as u64, 32))
                 } else {
                     Err(EvalError::UnknownSignal(name.to_string()))
                 }
             }
             Expr::Unary { op, operand } => {
-                let v = self.eval_expr(operand, state)?;
-                Ok(eval_unary(*op, v))
+                let v = self.eval_expr_id(operand, state)?;
+                Ok(eval_unary(op, v))
             }
             Expr::Binary { op, lhs, rhs } => {
-                let l = self.eval_expr(lhs, state)?;
-                let r = self.eval_expr(rhs, state)?;
-                Ok(eval_binary(*op, l, r))
+                let l = self.eval_expr_id(lhs, state)?;
+                let r = self.eval_expr_id(rhs, state)?;
+                Ok(eval_binary(op, l, r))
             }
             Expr::Ternary {
                 condition,
                 then_expr,
                 else_expr,
             } => {
-                if self.eval_expr(condition, state)?.is_true() {
-                    self.eval_expr(then_expr, state)
+                if self.eval_expr_id(condition, state)?.is_true() {
+                    self.eval_expr_id(then_expr, state)
                 } else {
-                    self.eval_expr(else_expr, state)
+                    self.eval_expr_id(else_expr, state)
                 }
             }
             Expr::Index { base, index } => {
-                let idx = self.eval_expr(index, state)?.bits();
-                if let Expr::Ident(name) = base.as_ref() {
-                    if let Some(mem) = state.memories.get(name.as_str()) {
+                let idx = self.eval_expr_id(index, state)?.bits();
+                if let Expr::Ident(sym) = self.arena[base] {
+                    let name = self.symbols.resolve(sym);
+                    if let Some(mem) = state.memories.get(name) {
                         return Ok(mem
                             .get(idx as usize)
                             .copied()
-                            .unwrap_or_else(|| Value::zero(self.signals[name.as_str()].width)));
+                            .unwrap_or_else(|| Value::zero(self.signals[name].width)));
                     }
                 }
-                let base_value = self.eval_expr(base, state)?;
+                let base_value = self.eval_expr_id(base, state)?;
                 Ok(base_value.select_bit(idx as u32))
             }
             Expr::Slice { base, msb, lsb } => {
-                let base_value = self.eval_expr(base, state)?;
-                let msb = self.eval_expr(msb, state)?.bits() as u32;
-                let lsb = self.eval_expr(lsb, state)?.bits() as u32;
+                let base_value = self.eval_expr_id(base, state)?;
+                let msb = self.eval_expr_id(msb, state)?.bits() as u32;
+                let lsb = self.eval_expr_id(lsb, state)?.bits() as u32;
                 Ok(base_value.select_range(msb.max(lsb), msb.min(lsb)))
             }
-            Expr::Concat(parts) => {
+            Expr::Concat(ref parts) => {
                 let mut acc: Option<Value> = None;
-                for part in parts {
-                    let v = self.eval_expr(part, state)?;
+                for &part in parts {
+                    let v = self.eval_expr_id(part, state)?;
                     acc = Some(match acc {
                         None => v,
                         Some(hi) => {
@@ -579,8 +639,8 @@ impl CompiledModule {
                 Ok(acc.unwrap_or_else(|| Value::zero(1)))
             }
             Expr::Repeat { count, value } => {
-                let n = self.eval_expr(count, state)?.bits();
-                let v = self.eval_expr(value, state)?;
+                let n = self.eval_expr_id(count, state)?.bits();
+                let v = self.eval_expr_id(value, state)?;
                 if n == 0 {
                     return Ok(Value::zero(1));
                 }
@@ -596,17 +656,18 @@ impl CompiledModule {
                 }
                 Ok(acc)
             }
-            Expr::Call { name, args } => {
+            Expr::Call { name, ref args } => {
                 // A handful of system functions appear in real code; $clog2
                 // and $signed/$unsigned are worth supporting, everything else
                 // evaluates its arguments and returns zero.
-                match name.as_str() {
+                let fn_name = self.symbols.resolve(name);
+                match fn_name {
                     "$clog2" => {
-                        let v = self.eval_expr(&args[0], state)?.bits();
+                        let v = self.eval_expr_id(args[0], state)?.bits();
                         Ok(Value::new(clog2(v), 32))
                     }
-                    "$signed" | "$unsigned" => self.eval_expr(&args[0], state),
-                    _ => Err(EvalError::Unsupported(format!("function call `{name}`"))),
+                    "$signed" | "$unsigned" => self.eval_expr_id(args[0], state),
+                    _ => Err(EvalError::Unsupported(format!("function call `{fn_name}`"))),
                 }
             }
         }
@@ -659,15 +720,6 @@ fn apply_resolved(state: &mut EvalState, target: ResolvedTarget, value: Value) {
                 apply_resolved(state, part, slice);
             }
         }
-    }
-}
-
-fn ident_name(expr: &Expr) -> Result<String, EvalError> {
-    match expr {
-        Expr::Ident(name) => Ok(name.to_string()),
-        other => Err(EvalError::Unsupported(format!(
-            "expected identifier, found {other:?}"
-        ))),
     }
 }
 
@@ -735,28 +787,35 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Value {
 }
 
 fn collect_parameters(
+    arena: &ExprArena,
+    symbols: &Interner,
     items: &[ModuleItem],
     parameters: &mut HashMap<String, i64>,
 ) -> Result<(), EvalError> {
     for item in items {
         match item {
             ModuleItem::Parameter(p) => {
-                let value = const_eval(&p.value, parameters)?;
-                parameters.insert(p.name.to_string(), value);
+                let value = const_eval(arena, symbols, p.value, parameters)?;
+                parameters.insert(symbols.resolve(p.name).to_string(), value);
             }
-            ModuleItem::Generate(inner) => collect_parameters(inner, parameters)?,
+            ModuleItem::Generate(inner) => collect_parameters(arena, symbols, inner, parameters)?,
             _ => {}
         }
     }
     Ok(())
 }
 
-fn range_width(range: Option<&Range>, parameters: &HashMap<String, i64>) -> Result<u32, EvalError> {
+fn range_width(
+    arena: &ExprArena,
+    symbols: &Interner,
+    range: Option<&Range>,
+    parameters: &HashMap<String, i64>,
+) -> Result<u32, EvalError> {
     match range {
         None => Ok(1),
         Some(range) => {
-            let msb = const_eval(&range.msb, parameters)?;
-            let lsb = const_eval(&range.lsb, parameters)?;
+            let msb = const_eval(arena, symbols, range.msb, parameters)?;
+            let lsb = const_eval(arena, symbols, range.lsb, parameters)?;
             let width = (msb - lsb).unsigned_abs() + 1;
             if width > u64::from(Value::MAX_WIDTH) {
                 return Err(EvalError::WidthTooLarge(format!(
@@ -769,15 +828,23 @@ fn range_width(range: Option<&Range>, parameters: &HashMap<String, i64>) -> Resu
 }
 
 /// Evaluates a constant expression over integer parameters.
-pub(crate) fn const_eval(expr: &Expr, parameters: &HashMap<String, i64>) -> Result<i64, EvalError> {
-    match expr {
-        Expr::Number { value, .. } => Ok(*value as i64),
-        Expr::Ident(name) => parameters
-            .get(name.as_str())
-            .copied()
-            .ok_or_else(|| EvalError::Elaboration(format!("unknown parameter `{name}`"))),
+pub(crate) fn const_eval(
+    arena: &ExprArena,
+    symbols: &Interner,
+    expr: ExprId,
+    parameters: &HashMap<String, i64>,
+) -> Result<i64, EvalError> {
+    match arena[expr] {
+        Expr::Number { value, .. } => Ok(value as i64),
+        Expr::Ident(sym) => {
+            let name = symbols.resolve(sym);
+            parameters
+                .get(name)
+                .copied()
+                .ok_or_else(|| EvalError::Elaboration(format!("unknown parameter `{name}`")))
+        }
         Expr::Unary { op, operand } => {
-            let v = const_eval(operand, parameters)?;
+            let v = const_eval(arena, symbols, operand, parameters)?;
             Ok(match op {
                 UnaryOp::Negate => -v,
                 UnaryOp::Plus => v,
@@ -791,8 +858,8 @@ pub(crate) fn const_eval(expr: &Expr, parameters: &HashMap<String, i64>) -> Resu
             })
         }
         Expr::Binary { op, lhs, rhs } => {
-            let a = const_eval(lhs, parameters)?;
-            let b = const_eval(rhs, parameters)?;
+            let a = const_eval(arena, symbols, lhs, parameters)?;
+            let b = const_eval(arena, symbols, rhs, parameters)?;
             Ok(match op {
                 BinaryOp::Add => a + b,
                 BinaryOp::Sub => a - b,
@@ -827,17 +894,18 @@ pub(crate) fn const_eval(expr: &Expr, parameters: &HashMap<String, i64>) -> Resu
             then_expr,
             else_expr,
         } => {
-            if const_eval(condition, parameters)? != 0 {
-                const_eval(then_expr, parameters)
+            if const_eval(arena, symbols, condition, parameters)? != 0 {
+                const_eval(arena, symbols, then_expr, parameters)
             } else {
-                const_eval(else_expr, parameters)
+                const_eval(arena, symbols, else_expr, parameters)
             }
         }
-        Expr::Call { name, args } if name == "$clog2" && args.len() == 1 => {
-            Ok(clog2(const_eval(&args[0], parameters)?.max(0) as u64) as i64)
+        Expr::Call { name, ref args } if symbols.resolve(name) == "$clog2" && args.len() == 1 => {
+            Ok(clog2(const_eval(arena, symbols, args[0], parameters)?.max(0) as u64) as i64)
         }
-        other => Err(EvalError::Elaboration(format!(
-            "expression {other:?} is not constant"
+        _ => Err(EvalError::Elaboration(format!(
+            "expression {:?} is not constant",
+            arena.expr_debug(symbols, expr)
         ))),
     }
 }

@@ -6,7 +6,7 @@
 //! instances `(* ... *)` and compiler directives (`` `define``, `` `include``
 //! and friends are consumed to end of line; `` `timescale`` likewise).
 //!
-//! Unlike the original frontend (retained as [`crate::reference`]), tokens
+//! Unlike the retired reference frontend, tokens
 //! carry no owned `String`s: identifiers are interned to `Copy`
 //! [`Symbol`](crate::intern::Symbol) ids, numbers and strings are
 //! `(offset, len)` [`Span`]s into the source, and operators are the
@@ -16,6 +16,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -72,13 +73,15 @@ impl std::error::Error for LexError {}
 
 /// The output of a full lex: the token stream and the identifier interner
 /// that resolves its [`TokenKind::Ident`] symbols. Spans resolve against
-/// the source string the lexer was created over.
+/// the source string the lexer was created over. The interner is frozen
+/// behind an [`Arc`] so parsed [`Module`](crate::ast::Module)s can share it
+/// without copying the name table.
 #[derive(Debug, Clone, Default)]
 pub struct LexedSource {
     /// The tokens, excluding the trailing `Eof`.
     pub tokens: Vec<Token>,
     /// Resolves the interned identifier symbols in `tokens`.
-    pub interner: Interner,
+    pub interner: Arc<Interner>,
 }
 
 impl LexedSource {
@@ -569,7 +572,7 @@ impl<'a> Lexer<'a> {
             if matches!(tok.kind, TokenKind::Eof) {
                 return Ok(LexedSource {
                     tokens,
-                    interner: self.interner,
+                    interner: Arc::new(self.interner),
                 });
             }
             if self.pos > self.src.len() {

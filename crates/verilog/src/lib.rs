@@ -43,14 +43,14 @@ pub mod interp;
 pub mod lexer;
 pub mod lint;
 pub mod parser;
-pub mod reference;
 pub mod sim;
 pub mod syntax;
 pub mod token;
 
 pub use ast::{
-    AlwaysBlock, BinaryOp, CaseArm, Declaration, EdgeKind, Expr, Module, ModuleItem, Net, NetKind,
-    Port, PortDirection, Range, SensitivityList, Statement, UnaryOp,
+    AlwaysBlock, BinaryOp, BoxedExprAlloc, CaseArm, Declaration, EdgeKind, Expr, ExprAlloc,
+    ExprArena, ExprId, Module, ModuleItem, Net, NetKind, Port, PortDirection, Range,
+    SensitivityList, Statement, UnaryOp,
 };
 pub use comments::{extract_header_comment, extract_modules, strip_comments};
 pub use frontend::ParsedFile;

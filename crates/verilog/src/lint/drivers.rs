@@ -10,12 +10,15 @@ use super::model::SymbolKind;
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
 
 pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
-    for name in &model.symbol_order {
-        let info = &model.symbols[name];
+    for &sym in &model.symbol_order {
+        let info = model
+            .symbol(sym)
+            .expect("symbol_order entries are declared");
         if info.kind != SymbolKind::Net {
             continue;
         }
-        let Some(drive) = model.drives.get(name) else {
+        let name = model.resolve(sym);
+        let Some(drive) = model.drive(sym) else {
             // Nothing drives the net at all.
             if info.direction == Some(PortDirection::Output) {
                 out.push(undriven(name));

@@ -9,28 +9,39 @@
 //! the same block (the blocking-assignment accumulator idiom) are not
 //! dependencies.
 //!
+//! The graph is keyed by [`Symbol`] ids, so building and traversing it
+//! never hashes or compares strings; names are resolved (and string-sorted,
+//! to keep message text stable) only when a diagnostic is rendered.
+//!
 //! The same traversal records each level-sensitive block's external read
 //! set for incomplete-sensitivity-list detection.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::ast::{Expr, Statement};
-use crate::intern::Name;
+use crate::ast::{Expr, ExprArena, ExprId, Statement};
+use crate::intern::Symbol;
 
-use super::model::{lvalue_targets, SymbolKind};
+use super::model::{lvalue_targets, AssignTarget, SymbolKind};
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
 
-type Edges = BTreeMap<Name, BTreeSet<Name>>;
+type Edges = BTreeMap<Symbol, BTreeSet<Symbol>>;
 
 pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    let arena = model.arena();
     let mut edges: Edges = BTreeMap::new();
     // Continuous assignments: target depends on every RHS read and every
     // selector read of the target itself.
-    for (target, value) in &model.continuous_assigns {
-        let mut deps: BTreeSet<Name> = value.referenced_idents().into_iter().collect();
-        collect_selector_reads(target, &mut deps);
-        for (name, _) in lvalue_targets(target) {
-            edges.entry(name).or_default().extend(deps.iter().cloned());
+    for &(target, value) in &model.continuous_assigns {
+        let mut deps: BTreeSet<Symbol> = arena.referenced_idents(value).into_iter().collect();
+        let targets = match target {
+            AssignTarget::Expr(id) => {
+                collect_selector_reads(arena, id, &mut deps);
+                lvalue_targets(arena, id)
+            }
+            AssignTarget::Net(sym) => vec![(sym, true)],
+        };
+        for (sym, _) in targets {
+            edges.entry(sym).or_default().extend(deps.iter().copied());
         }
     }
     // Combinational always blocks.
@@ -39,29 +50,23 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
             continue;
         }
         let mut walker = CombWalker::default();
-        walker.walk(&block.body, &mut edges);
+        walker.walk(arena, &block.body, &mut edges);
         // Incomplete sensitivity only applies to explicit level lists —
         // `@*` is complete by definition.
         if !block.sensitivity.star && !block.sensitivity.entries.is_empty() {
-            let listed: BTreeSet<&str> = block
-                .sensitivity
-                .entries
-                .iter()
-                .map(|(_, s)| s.as_str())
-                .collect();
-            let missing: Vec<Name> = walker
+            let listed: BTreeSet<Symbol> =
+                block.sensitivity.entries.iter().map(|&(_, s)| s).collect();
+            let mut missing: Vec<&str> = walker
                 .external_reads
                 .iter()
-                .filter(|name| !listed.contains(name.as_str()))
-                .filter(|name| {
-                    model
-                        .symbols
-                        .get(*name)
-                        .is_some_and(|s| s.kind == SymbolKind::Net)
-                })
-                .cloned()
+                .filter(|sym| !listed.contains(sym))
+                .filter(|&&sym| model.symbol(sym).is_some_and(|s| s.kind == SymbolKind::Net))
+                .map(|&sym| model.resolve(sym))
                 .collect();
             if !missing.is_empty() {
+                // String order, not symbol order, so the message text is
+                // independent of interning order.
+                missing.sort_unstable();
                 out.push(diag(
                     RuleId::IncompleteSensitivity,
                     format!("always #{index}"),
@@ -77,11 +82,11 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
     for scc in tarjan(&edges) {
         let is_loop = scc.len() > 1
             || edges
-                .get(scc[0].as_str())
-                .is_some_and(|deps| deps.contains(scc[0].as_str()));
+                .get(&scc[0])
+                .is_some_and(|deps| deps.contains(&scc[0]));
         if is_loop {
-            let mut members = scc.clone();
-            members.sort();
+            let mut members: Vec<&str> = scc.iter().map(|&sym| model.resolve(sym)).collect();
+            members.sort_unstable();
             out.push(diag(
                 RuleId::CombLoop,
                 format!("net '{}'", members[0]),
@@ -91,66 +96,64 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
     }
 }
 
-fn collect_selector_reads(target: &Expr, out: &mut BTreeSet<Name>) {
-    match target {
+fn collect_selector_reads(arena: &ExprArena, target: ExprId, out: &mut BTreeSet<Symbol>) {
+    match arena[target] {
         Expr::Ident(_) => {}
         Expr::Index { base, index } => {
-            out.extend(index.referenced_idents());
-            collect_selector_reads(base, out);
+            out.extend(arena.referenced_idents(index));
+            collect_selector_reads(arena, base, out);
         }
         Expr::Slice { base, msb, lsb } => {
-            out.extend(msb.referenced_idents());
-            out.extend(lsb.referenced_idents());
-            collect_selector_reads(base, out);
+            out.extend(arena.referenced_idents(msb));
+            out.extend(arena.referenced_idents(lsb));
+            collect_selector_reads(arena, base, out);
         }
-        Expr::Concat(parts) => {
-            for p in parts {
-                collect_selector_reads(p, out);
+        Expr::Concat(ref parts) => {
+            for &p in parts {
+                collect_selector_reads(arena, p, out);
             }
         }
-        other => out.extend(other.referenced_idents()),
+        _ => out.extend(arena.referenced_idents(target)),
     }
 }
 
-/// Walks one combinational block, tracking blocking-assigned names so that
-/// accumulator reads (`count = count + x` after `count = 0`) are not
+/// Walks one combinational block, tracking blocking-assigned symbols so
+/// that accumulator reads (`count = count + x` after `count = 0`) are not
 /// counted as external dependencies.
 #[derive(Default)]
 struct CombWalker {
-    /// Names definitely assigned (by blocking assignment) before the
+    /// Symbols definitely assigned (by blocking assignment) before the
     /// current point.
-    assigned: BTreeSet<Name>,
+    assigned: BTreeSet<Symbol>,
     /// Control-context reads (conditions of enclosing if/case/for).
-    context: Vec<Vec<Name>>,
+    context: Vec<Vec<Symbol>>,
     /// Every external read the block performs.
-    external_reads: BTreeSet<Name>,
+    external_reads: BTreeSet<Symbol>,
 }
 
 impl CombWalker {
-    fn walk(&mut self, statement: &Statement, edges: &mut Edges) {
+    fn walk(&mut self, arena: &ExprArena, statement: &Statement, edges: &mut Edges) {
         match statement {
             Statement::Block(stmts) => {
                 for s in stmts {
-                    self.walk(s, edges);
+                    self.walk(arena, s, edges);
                 }
             }
             Statement::Blocking { target, value } | Statement::NonBlocking { target, value } => {
-                let mut deps: BTreeSet<Name> = value.referenced_idents().into_iter().collect();
-                collect_selector_reads(target, &mut deps);
+                let mut deps: BTreeSet<Symbol> =
+                    arena.referenced_idents(*value).into_iter().collect();
+                collect_selector_reads(arena, *target, &mut deps);
                 for ctx in &self.context {
-                    deps.extend(ctx.iter().cloned());
+                    deps.extend(ctx.iter().copied());
                 }
                 deps.retain(|d| !self.assigned.contains(d));
-                self.external_reads.extend(deps.iter().cloned());
-                for (name, whole) in lvalue_targets(target) {
-                    edges
-                        .entry(name.clone())
-                        .or_default()
-                        .extend(deps.iter().cloned());
+                self.external_reads.extend(deps.iter().copied());
+                for (sym, whole) in lvalue_targets(arena, *target) {
+                    edges.entry(sym).or_default().extend(deps.iter().copied());
                     // Only blocking assignments make the value visible to
                     // later reads in the same block.
                     if whole && matches!(statement, Statement::Blocking { .. }) {
-                        self.assigned.insert(name);
+                        self.assigned.insert(sym);
                     }
                 }
             }
@@ -159,40 +162,40 @@ impl CombWalker {
                 then_branch,
                 else_branch,
             } => {
-                self.push_context(condition);
+                self.push_context(arena, *condition);
                 let before = self.assigned.clone();
-                self.walk(then_branch, edges);
+                self.walk(arena, then_branch, edges);
                 let after_then = std::mem::replace(&mut self.assigned, before.clone());
                 match else_branch {
                     Some(e) => {
-                        self.walk(e, edges);
+                        self.walk(arena, e, edges);
                         let after_else = std::mem::take(&mut self.assigned);
-                        self.assigned = after_then.intersection(&after_else).cloned().collect();
+                        self.assigned = after_then.intersection(&after_else).copied().collect();
                     }
                     None => self.assigned = before,
                 }
                 self.context.pop();
             }
             Statement::Case { subject, arms, .. } => {
-                self.push_context(subject);
+                self.push_context(arena, *subject);
                 let before = self.assigned.clone();
                 let has_default = arms.iter().any(|a| a.labels.is_empty());
-                let mut intersection: Option<BTreeSet<Name>> = None;
+                let mut intersection: Option<BTreeSet<Symbol>> = None;
                 for arm in arms {
-                    for label in &arm.labels {
-                        let reads: Vec<Name> = label
-                            .referenced_idents()
+                    for &label in &arm.labels {
+                        let reads: Vec<Symbol> = arena
+                            .referenced_idents(label)
                             .into_iter()
                             .filter(|d| !before.contains(d))
                             .collect();
                         self.external_reads.extend(reads);
                     }
                     self.assigned = before.clone();
-                    self.walk(&arm.body, edges);
+                    self.walk(arena, &arm.body, edges);
                     let after = std::mem::take(&mut self.assigned);
                     intersection = Some(match intersection {
                         None => after,
-                        Some(acc) => acc.intersection(&after).cloned().collect(),
+                        Some(acc) => acc.intersection(&after).copied().collect(),
                     });
                 }
                 self.assigned = if has_default {
@@ -208,71 +211,72 @@ impl CombWalker {
                 step,
                 body,
             } => {
-                self.walk(init, edges);
-                self.push_context(condition);
-                self.walk(body, edges);
-                self.walk(step, edges);
+                self.walk(arena, init, edges);
+                self.push_context(arena, *condition);
+                self.walk(arena, body, edges);
+                self.walk(arena, step, edges);
                 self.context.pop();
             }
             Statement::SystemCall { .. } | Statement::Empty => {}
         }
     }
 
-    fn push_context(&mut self, condition: &Expr) {
-        let reads: Vec<Name> = condition.referenced_idents();
+    fn push_context(&mut self, arena: &ExprArena, condition: ExprId) {
+        let reads: Vec<Symbol> = arena.referenced_idents(condition);
         self.external_reads.extend(
             reads
                 .iter()
                 .filter(|d| !self.assigned.contains(*d))
-                .cloned(),
+                .copied(),
         );
         self.context.push(reads);
     }
 }
 
 /// Tarjan's strongly-connected-components algorithm over the dependency
-/// graph. Deterministic: nodes are visited in sorted order.
-fn tarjan(edges: &Edges) -> Vec<Vec<String>> {
+/// graph. Deterministic: nodes are visited in symbol order, and component
+/// membership is independent of visit order.
+fn tarjan(edges: &Edges) -> Vec<Vec<Symbol>> {
     struct State<'e> {
         edges: &'e Edges,
         index: usize,
-        indices: BTreeMap<&'e str, usize>,
-        lowlinks: BTreeMap<&'e str, usize>,
-        on_stack: BTreeSet<&'e str>,
-        stack: Vec<&'e str>,
-        sccs: Vec<Vec<String>>,
+        indices: BTreeMap<Symbol, usize>,
+        lowlinks: BTreeMap<Symbol, usize>,
+        on_stack: BTreeSet<Symbol>,
+        stack: Vec<Symbol>,
+        sccs: Vec<Vec<Symbol>>,
     }
 
-    impl<'e> State<'e> {
-        fn connect(&mut self, node: &'e str) {
+    impl State<'_> {
+        fn connect(&mut self, node: Symbol) {
             self.indices.insert(node, self.index);
             self.lowlinks.insert(node, self.index);
             self.index += 1;
             self.stack.push(node);
             self.on_stack.insert(node);
-            if let Some(deps) = self.edges.get(node) {
-                for dep in deps {
+            if let Some(deps) = self.edges.get(&node) {
+                for &dep in deps {
                     // Only follow dependencies that are themselves driven
                     // combinationally (graph keys); everything else cannot
                     // be part of a cycle.
-                    if !self.edges.contains_key(dep.as_str()) {
+                    if !self.edges.contains_key(&dep) {
                         continue;
                     }
-                    if !self.indices.contains_key(dep.as_str()) {
+                    if !self.indices.contains_key(&dep) {
                         self.connect(dep);
-                        let low = self.lowlinks[dep.as_str()].min(self.lowlinks[node]);
+                        let low = self.lowlinks[&dep].min(self.lowlinks[&node]);
                         self.lowlinks.insert(node, low);
-                    } else if self.on_stack.contains(dep.as_str()) {
-                        let low = self.indices[dep.as_str()].min(self.lowlinks[node]);
+                    } else if self.on_stack.contains(&dep) {
+                        let low = self.indices[&dep].min(self.lowlinks[&node]);
                         self.lowlinks.insert(node, low);
                     }
                 }
             }
-            if self.lowlinks[node] == self.indices[node] {
+            if self.lowlinks[&node] == self.indices[&node] {
                 let mut component = Vec::new();
                 while let Some(top) = self.stack.pop() {
-                    self.on_stack.remove(top);
-                    component.push(top.to_string());
+                    self.on_stack.remove(&top);
+                    component.push(top);
                     if top == node {
                         break;
                     }
@@ -291,8 +295,8 @@ fn tarjan(edges: &Edges) -> Vec<Vec<String>> {
         stack: Vec::new(),
         sccs: Vec::new(),
     };
-    for node in edges.keys() {
-        if !state.indices.contains_key(node.as_str()) {
+    for &node in edges.keys() {
+        if !state.indices.contains_key(&node) {
             state.connect(node);
         }
     }

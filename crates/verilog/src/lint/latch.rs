@@ -10,24 +10,25 @@
 
 use std::collections::BTreeSet;
 
-use crate::ast::Statement;
-use crate::intern::Name;
+use crate::ast::{ExprArena, Statement};
+use crate::intern::Symbol;
 
 use super::model::SymbolKind;
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
 
 pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    let arena = model.arena();
     for (index, block) in model.always_blocks.iter().enumerate() {
         let locus = format!("always #{index}");
         if block.sensitivity.is_edge_triggered() {
             let mut offenders = BTreeSet::new();
-            blocking_targets(&block.body, false, &mut offenders);
-            for name in offenders {
+            blocking_targets(arena, &block.body, false, &mut offenders);
+            for sym in offenders {
                 let exempt = model
-                    .symbols
-                    .get(&name)
+                    .symbol(sym)
                     .is_some_and(|s| s.is_integer || s.kind != SymbolKind::Net);
                 if !exempt {
+                    let name = model.resolve(sym);
                     out.push(diag(
                         RuleId::BlockingInSequential,
                         format!("{locus}, net '{name}'"),
@@ -39,13 +40,13 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
         }
         // Combinational block: nonblocking misuse.
         let mut nonblocking = BTreeSet::new();
-        nonblocking_targets(&block.body, &mut nonblocking);
-        for name in &nonblocking {
+        nonblocking_targets(arena, &block.body, &mut nonblocking);
+        for &sym in &nonblocking {
             if model
-                .symbols
-                .get(name)
+                .symbol(sym)
                 .is_some_and(|s| s.kind == SymbolKind::Net && !s.is_integer)
             {
+                let name = model.resolve(sym);
                 out.push(diag(
                     RuleId::NonblockingInComb,
                     format!("{locus}, net '{name}'"),
@@ -59,14 +60,14 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
             continue;
         }
         let mut may = BTreeSet::new();
-        may_assign(&block.body, &mut may);
+        may_assign(arena, &block.body, &mut may);
         let definite = definite_assign(model, &block.body);
-        for name in may.difference(&definite) {
+        for &sym in may.difference(&definite) {
             if model
-                .symbols
-                .get(name)
+                .symbol(sym)
                 .is_some_and(|s| s.kind == SymbolKind::Net && !s.is_integer)
             {
+                let name = model.resolve(sym);
                 out.push(diag(
                     RuleId::InferredLatch,
                     format!("{locus}, net '{name}'"),
@@ -82,18 +83,23 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 
 /// Collects targets of blocking assignments, skipping `for` init/step
 /// bookkeeping.
-fn blocking_targets(statement: &Statement, in_for_header: bool, out: &mut BTreeSet<Name>) {
+fn blocking_targets(
+    arena: &ExprArena,
+    statement: &Statement,
+    in_for_header: bool,
+    out: &mut BTreeSet<Symbol>,
+) {
     match statement {
         Statement::Block(stmts) => {
             for s in stmts {
-                blocking_targets(s, in_for_header, out);
+                blocking_targets(arena, s, in_for_header, out);
             }
         }
         Statement::Blocking { target, .. } if !in_for_header => {
             out.extend(
-                super::model::lvalue_targets(target)
+                super::model::lvalue_targets(arena, *target)
                     .into_iter()
-                    .map(|(n, _)| n),
+                    .map(|(sym, _)| sym),
             );
         }
         Statement::If {
@@ -101,56 +107,57 @@ fn blocking_targets(statement: &Statement, in_for_header: bool, out: &mut BTreeS
             else_branch,
             ..
         } => {
-            blocking_targets(then_branch, in_for_header, out);
+            blocking_targets(arena, then_branch, in_for_header, out);
             if let Some(e) = else_branch {
-                blocking_targets(e, in_for_header, out);
+                blocking_targets(arena, e, in_for_header, out);
             }
         }
         Statement::Case { arms, .. } => {
             for arm in arms {
-                blocking_targets(&arm.body, in_for_header, out);
+                blocking_targets(arena, &arm.body, in_for_header, out);
             }
         }
         Statement::For {
             init, step, body, ..
         } => {
-            blocking_targets(init, true, out);
-            blocking_targets(step, true, out);
-            blocking_targets(body, in_for_header, out);
+            blocking_targets(arena, init, true, out);
+            blocking_targets(arena, step, true, out);
+            blocking_targets(arena, body, in_for_header, out);
         }
         _ => {}
     }
 }
 
 /// Collects targets of nonblocking assignments.
-fn nonblocking_targets(statement: &Statement, out: &mut BTreeSet<Name>) {
+fn nonblocking_targets(arena: &ExprArena, statement: &Statement, out: &mut BTreeSet<Symbol>) {
     super::width::walk_statements(statement, &mut |s| {
         if let Statement::NonBlocking { target, .. } = s {
             out.extend(
-                super::model::lvalue_targets(target)
+                super::model::lvalue_targets(arena, *target)
                     .into_iter()
-                    .map(|(n, _)| n),
+                    .map(|(sym, _)| sym),
             );
         }
     });
 }
 
-/// Every name the block might assign (whole or partial, either kind).
-fn may_assign(statement: &Statement, out: &mut BTreeSet<Name>) {
+/// Every symbol the block might assign (whole or partial, either kind).
+fn may_assign(arena: &ExprArena, statement: &Statement, out: &mut BTreeSet<Symbol>) {
     super::width::walk_statements(statement, &mut |s| {
         if let Statement::Blocking { target, .. } | Statement::NonBlocking { target, .. } = s {
             out.extend(
-                super::model::lvalue_targets(target)
+                super::model::lvalue_targets(arena, *target)
                     .into_iter()
-                    .map(|(n, _)| n),
+                    .map(|(sym, _)| sym),
             );
         }
     });
 }
 
-/// Names assigned on *every* path through the statement. Only whole-net
+/// Symbols assigned on *every* path through the statement. Only whole-net
 /// assignments count — a bit-select assignment never fully covers the net.
-fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<Name> {
+fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<Symbol> {
+    let arena = model.arena();
     match statement {
         Statement::Block(stmts) => {
             let mut acc = BTreeSet::new();
@@ -160,10 +167,10 @@ fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<N
             acc
         }
         Statement::Blocking { target, .. } | Statement::NonBlocking { target, .. } => {
-            super::model::lvalue_targets(target)
+            super::model::lvalue_targets(arena, *target)
                 .into_iter()
                 .filter(|(_, whole)| *whole)
-                .map(|(n, _)| n)
+                .map(|(sym, _)| sym)
                 .collect()
         }
         Statement::If {
@@ -173,7 +180,7 @@ fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<N
         } => {
             let a = definite_assign(model, then_branch);
             let b = definite_assign(model, e);
-            a.intersection(&b).cloned().collect()
+            a.intersection(&b).copied().collect()
         }
         // No else: nothing is definitely assigned.
         Statement::If { .. } => BTreeSet::new(),
@@ -182,14 +189,14 @@ fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<N
                 return BTreeSet::new();
             }
             let covers_all = arms.iter().any(|a| a.labels.is_empty())
-                || case_fully_covered(model, subject, arms);
+                || case_fully_covered(model, *subject, arms);
             if !covers_all {
                 return BTreeSet::new();
             }
             let mut iter = arms.iter().map(|a| definite_assign(model, &a.body));
             let first = iter.next().unwrap_or_default();
             iter.fold(first, |acc, next| {
-                acc.intersection(&next).cloned().collect()
+                acc.intersection(&next).copied().collect()
             })
         }
         // The loop body is assumed to execute at least once — synthesisable
@@ -211,7 +218,7 @@ fn definite_assign(model: &ModuleModel<'_>, statement: &Statement) -> BTreeSet<N
 /// subject: all labels constant-fold, are distinct, and count `2^width`.
 fn case_fully_covered(
     model: &ModuleModel<'_>,
-    subject: &crate::ast::Expr,
+    subject: crate::ast::ExprId,
     arms: &[crate::ast::CaseArm],
 ) -> bool {
     let Some(width) = super::width::infer_width(model, subject) else {
@@ -223,8 +230,8 @@ fn case_fully_covered(
     let needed = 1u64 << width;
     let mut seen = BTreeSet::new();
     for arm in arms {
-        for label in &arm.labels {
-            let Some(value) = super::model::const_eval(label, &model.params) else {
+        for &label in &arm.labels {
+            let Some(value) = super::model::const_eval(model.arena(), label, &model.params) else {
                 return false;
             };
             seen.insert(value);

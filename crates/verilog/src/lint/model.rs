@@ -1,13 +1,20 @@
 //! The shared semantic model the lint passes analyse: a symbol table with
 //! folded parameter values, resolved instances, and per-net drive/read
 //! summaries.
+//!
+//! The model is *symbol-keyed*: every table is a dense `Vec` indexed by the
+//! `Copy` [`Symbol`] ids the lexer interned, sized to the module's interner.
+//! Looking up a net's width, drives or reads is an array index — no string
+//! hashing anywhere on the lint hot path. Names are resolved back to text
+//! only when a pass renders a diagnostic, so message text is unchanged.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{
-    AlwaysBlock, Expr, Module, ModuleItem, Net, NetKind, PortDirection, Range, Statement,
+    AlwaysBlock, Expr, ExprArena, ExprId, Module, ModuleItem, Net, NetKind, PortDirection, Range,
+    Statement,
 };
-use crate::intern::Name;
+use crate::intern::{Name, Symbol};
 
 /// What a name in the module's scope refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,17 +92,30 @@ impl DriveInfo {
     }
 }
 
+/// A continuous-assignment target: either a real target expression from an
+/// `assign` item, or the bare net a declaration initialiser drives (the
+/// arena is immutable by lint time, so no `Ident` node is synthesised).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AssignTarget {
+    /// An `assign lhs = ...;` target expression.
+    Expr(ExprId),
+    /// The whole net of a declaration initialiser `wire x = ...;`.
+    Net(Symbol),
+}
+
 /// A connection of one instance port, classified against the resolved
 /// target module.
 #[derive(Debug, Clone)]
-pub(crate) struct ResolvedConnection<'a> {
+pub(crate) struct ResolvedConnection {
+    /// The port's name, kept as text for diagnostics.
     pub port_name: Name,
     pub direction: PortDirection,
     /// Folded width of the child port under the instance's parameter
     /// overrides.
     pub port_width: Option<u32>,
-    /// The connected expression (`None` for explicit `.port()`).
-    pub expr: Option<&'a Expr>,
+    /// The connected expression in the *parent* module's arena (`None` for
+    /// explicit `.port()`).
+    pub expr: Option<ExprId>,
 }
 
 /// One instantiation with its resolution against the sibling modules.
@@ -105,42 +125,44 @@ pub(crate) struct InstanceModel<'a> {
     /// The target module when it is defined in the same source.
     pub target: Option<&'a Module>,
     /// Classified connections (resolved instances only).
-    pub connections: Vec<ResolvedConnection<'a>>,
+    pub connections: Vec<ResolvedConnection>,
     /// Input ports of the resolved target left without a connection.
     pub missing_inputs: Vec<Name>,
 }
 
-/// The semantic model of one module, shared by every lint pass.
+/// The semantic model of one module, shared by every lint pass. All
+/// per-symbol tables are dense `Vec`s indexed by [`Symbol::index`], sized to
+/// the module's interner.
 pub(crate) struct ModuleModel<'a> {
     pub module: &'a Module,
-    /// Constant-folded parameter values, in declaration order.
-    pub params: HashMap<Name, u64>,
+    /// Constant-folded parameter values, by symbol.
+    pub params: Vec<Option<u64>>,
     /// Widths of sized parameter literals (`localparam S = 2'd1` → 2).
-    pub param_widths: HashMap<Name, u32>,
-    /// The symbol table.
-    pub symbols: HashMap<Name, SymbolInfo>,
-    /// Symbol names in declaration order (deterministic iteration).
-    pub symbol_order: Vec<Name>,
+    pub param_widths: Vec<Option<u32>>,
+    /// The symbol table (`None` = never declared).
+    pub symbols: Vec<Option<SymbolInfo>>,
+    /// Declared symbols in declaration order (deterministic iteration).
+    pub symbol_order: Vec<Symbol>,
     /// Every `always` block, in source order (generate regions included).
     pub always_blocks: Vec<&'a AlwaysBlock>,
     /// Every `initial` body, in source order.
     pub initial_blocks: Vec<&'a Statement>,
     /// Continuous assignments (`assign` items and net initialisers), as
-    /// `(target, value)` — initialisers synthesise an `Ident` target.
-    pub continuous_assigns: Vec<(Expr, &'a Expr)>,
+    /// `(target, value)` pairs in the module's arena.
+    pub continuous_assigns: Vec<(AssignTarget, ExprId)>,
     /// Instantiations with their resolution.
     pub instances: Vec<InstanceModel<'a>>,
     /// Names of sibling modules in the same source (including this one).
     pub sibling_names: BTreeSet<Name>,
-    /// Per-net drive summary.
-    pub drives: HashMap<Name, DriveInfo>,
-    /// Every identifier read anywhere (RHS, conditions, selects,
+    /// Per-net drive summary, by symbol.
+    pub drives: Vec<Option<DriveInfo>>,
+    /// Whether each symbol is read anywhere (RHS, conditions, selects,
     /// sensitivity lists, system-task arguments, unresolved connections).
-    pub reads: BTreeSet<Name>,
-    /// Identifiers read in positions that must resolve to a local symbol
+    pub reads: Vec<bool>,
+    /// Symbols read in positions that must resolve to a local symbol
     /// (excludes system-task arguments, where hierarchical names and
     /// module references are idiomatic).
-    pub strict_refs: Vec<Name>,
+    pub strict_refs: Vec<Symbol>,
 }
 
 impl<'a> ModuleModel<'a> {
@@ -148,19 +170,20 @@ impl<'a> ModuleModel<'a> {
     /// `siblings` (the other modules parsed from the same source).
     pub fn build(module: &'a Module, siblings: &'a [Module]) -> Self {
         let sibling_names: BTreeSet<Name> = siblings.iter().map(|m| m.name.clone()).collect();
+        let n = module.symbols.len();
         let mut model = Self {
             module,
-            params: HashMap::new(),
-            param_widths: HashMap::new(),
-            symbols: HashMap::new(),
+            params: vec![None; n],
+            param_widths: vec![None; n],
+            symbols: vec![None; n],
             symbol_order: Vec::new(),
             always_blocks: Vec::new(),
             initial_blocks: Vec::new(),
             continuous_assigns: Vec::new(),
             instances: Vec::new(),
             sibling_names,
-            drives: HashMap::new(),
-            reads: BTreeSet::new(),
+            drives: vec![None; n],
+            reads: vec![false; n],
             strict_refs: Vec::new(),
         };
         model.collect_symbols();
@@ -169,22 +192,52 @@ impl<'a> ModuleModel<'a> {
         model
     }
 
+    /// The module's expression arena.
+    pub fn arena(&self) -> &'a ExprArena {
+        &self.module.arena
+    }
+
+    /// The spelling of a symbol.
+    pub fn resolve(&self, sym: Symbol) -> &'a str {
+        self.module.symbols.resolve(sym)
+    }
+
+    /// The symbol-table entry for a symbol, if declared.
+    pub fn symbol(&self, sym: Symbol) -> Option<&SymbolInfo> {
+        self.symbols.get(sym.index()).and_then(Option::as_ref)
+    }
+
+    /// The drive summary for a symbol, if anything drives it.
+    pub fn drive(&self, sym: Symbol) -> Option<&DriveInfo> {
+        self.drives.get(sym.index()).and_then(Option::as_ref)
+    }
+
+    /// Whether the symbol is read anywhere.
+    pub fn is_read(&self, sym: Symbol) -> bool {
+        self.reads.get(sym.index()).copied().unwrap_or(false)
+    }
+
     /// The width of a symbol, if known (scalars are 1 bit wide).
-    pub fn symbol_width(&self, name: &str) -> Option<u32> {
-        if let Some(w) = self.param_widths.get(name) {
-            return Some(*w);
+    pub fn symbol_width(&self, sym: Symbol) -> Option<u32> {
+        if let Some(w) = self.param_widths.get(sym.index()).copied().flatten() {
+            return Some(w);
         }
-        self.symbols.get(name).and_then(|s| match s.kind {
+        self.symbol(sym).and_then(|s| match s.kind {
             SymbolKind::Net => s.width,
             SymbolKind::Param | SymbolKind::Genvar => None,
         })
     }
 
-    fn declare(&mut self, name: &Name, info: SymbolInfo) {
-        if !self.symbols.contains_key(name) {
-            self.symbol_order.push(name.clone());
+    fn declare(&mut self, sym: Symbol, info: SymbolInfo) {
+        let slot = &mut self.symbols[sym.index()];
+        if slot.is_none() {
+            self.symbol_order.push(sym);
+            *slot = Some(info);
         }
-        self.symbols.entry(name.clone()).or_insert(info);
+    }
+
+    fn drive_mut(&mut self, sym: Symbol) -> &mut DriveInfo {
+        self.drives[sym.index()].get_or_insert_with(DriveInfo::default)
     }
 
     fn collect_symbols(&mut self) {
@@ -192,25 +245,26 @@ impl<'a> ModuleModel<'a> {
         // parameter declarations may appear in the body *after* the header
         // uses them, but defaults are folded in declaration order, which
         // matches the synthesisable subset in practice).
-        for port in &self.module.ports {
+        let module = self.module;
+        for port in &module.ports {
             let mut info = SymbolInfo::net(Some(port.direction));
             info.is_reg = port.is_reg;
-            self.declare(&port.name, info);
+            self.declare(port.name, info);
         }
         // Walk items in source order, folding parameters as they appear so
         // later ranges can use them.
-        fn walk<'m>(model: &mut ModuleModel<'m>, items: &'m [ModuleItem]) {
+        fn walk<'m>(model: &mut ModuleModel<'m>, arena: &ExprArena, items: &'m [ModuleItem]) {
             for item in items {
                 match item {
                     ModuleItem::Parameter(p) => {
-                        if let Some(v) = const_eval(&p.value, &model.params) {
-                            model.params.insert(p.name.clone(), v);
+                        if let Some(v) = const_eval(arena, p.value, &model.params) {
+                            model.params[p.name.index()] = Some(v);
                         }
-                        if let Expr::Number { width: Some(w), .. } = p.value {
-                            model.param_widths.insert(p.name.clone(), w);
+                        if let Expr::Number { width: Some(w), .. } = arena[p.value] {
+                            model.param_widths[p.name.index()] = Some(w);
                         }
                         model.declare(
-                            &p.name,
+                            p.name,
                             SymbolInfo {
                                 kind: SymbolKind::Param,
                                 direction: None,
@@ -228,20 +282,19 @@ impl<'a> ModuleModel<'a> {
                             model.declare_net(decl.direction, net);
                         }
                     }
-                    ModuleItem::Generate(inner) => walk(model, inner),
+                    ModuleItem::Generate(inner) => walk(model, arena, inner),
                     _ => {}
                 }
             }
         }
-        let module = self.module;
-        walk(self, &module.items);
+        walk(self, &module.arena, &module.items);
         // Fold ANSI port ranges now that every parameter default is known.
         for port in &module.ports {
-            let width = match &port.range {
-                Some(range) => range_width(range, &self.params),
+            let width = match port.range {
+                Some(range) => range_width(&module.arena, &range, &self.params),
                 None => Some(1),
             };
-            if let Some(info) = self.symbols.get_mut(&port.name) {
+            if let Some(info) = self.symbols[port.name.index()].as_mut() {
                 if info.width.is_none() {
                     info.width = width;
                 }
@@ -255,12 +308,12 @@ impl<'a> ModuleModel<'a> {
         let width = if net.kind == NetKind::Integer {
             None
         } else {
-            match &net.range {
-                Some(range) => range_width(range, &self.params),
+            match net.range {
+                Some(range) => range_width(&self.module.arena, &range, &self.params),
                 None => Some(1),
             }
         };
-        if let Some(existing) = self.symbols.get_mut(&net.name) {
+        if let Some(existing) = self.symbols[net.name.index()].as_mut() {
             // Merging a non-ANSI port declaration (or the matching data-type
             // declaration) into the port symbol.
             if direction.is_some() {
@@ -288,7 +341,7 @@ impl<'a> ModuleModel<'a> {
             SymbolKind::Net
         };
         self.declare(
-            &net.name,
+            net.name,
             SymbolInfo {
                 kind,
                 direction,
@@ -307,24 +360,29 @@ impl<'a> ModuleModel<'a> {
             for item in items {
                 match item {
                     ModuleItem::ContinuousAssign { target, value } => {
-                        model.continuous_assigns.push((target.clone(), value));
+                        model
+                            .continuous_assigns
+                            .push((AssignTarget::Expr(*target), *value));
                     }
                     ModuleItem::Declaration(decl) => {
                         for net in &decl.nets {
-                            if let Some(init) = &net.init {
+                            if let Some(init) = net.init {
                                 model
                                     .continuous_assigns
-                                    .push((Expr::Ident(net.name.clone()), init));
+                                    .push((AssignTarget::Net(net.name), init));
                             }
                         }
                     }
                     ModuleItem::Always(block) => model.always_blocks.push(block),
                     ModuleItem::Initial(body) => model.initial_blocks.push(body),
                     ModuleItem::Instance(inst) => {
+                        // Siblings may come from a different parse, so the
+                        // match is by resolved text, not symbol id.
+                        let inst_module = model.resolve(inst.module);
                         let target = siblings
                             .iter()
-                            .find(|m| m.name == inst.module && m.name != model.module.name);
-                        let resolved = resolve_instance(&model.params, inst, target);
+                            .find(|m| m.name == inst_module && m.name != model.module.name);
+                        let resolved = resolve_instance(model.module, &model.params, inst, target);
                         model.instances.push(resolved);
                     }
                     ModuleItem::Generate(inner) => walk(model, inner, siblings),
@@ -338,17 +396,17 @@ impl<'a> ModuleModel<'a> {
 
     fn collect_drives_and_reads(&mut self) {
         // Continuous assignments.
-        let assigns: Vec<(Expr, &'a Expr)> = self.continuous_assigns.clone();
-        for (target, value) in &assigns {
-            self.record_lvalue(target, DriveSite::Continuous);
+        let assigns = self.continuous_assigns.clone();
+        for (target, value) in assigns {
+            self.record_assign_target(target, DriveSite::Continuous);
             self.record_reads(value, true);
         }
         // Always blocks.
         let blocks = self.always_blocks.clone();
         for (index, block) in blocks.iter().enumerate() {
-            for (_, signal) in &block.sensitivity.entries {
-                self.reads.insert(signal.clone());
-                self.strict_refs.push(signal.clone());
+            for &(_, signal) in &block.sensitivity.entries {
+                self.reads[signal.index()] = true;
+                self.strict_refs.push(signal);
             }
             self.collect_statement(&block.body, DriveSite::Always(index));
         }
@@ -374,26 +432,27 @@ impl<'a> ModuleModel<'a> {
                             }
                         }
                     }
-                    for (_, value) in &inst.instance.parameter_overrides {
+                    for &(_, value) in &inst.instance.parameter_overrides {
                         self.record_reads(value, true);
                     }
                 }
                 None => {
                     // Unknown direction: every connected ident both reads
                     // and may be driven externally.
-                    let exprs = inst
+                    let exprs: Vec<ExprId> = inst
                         .instance
                         .named_connections
                         .iter()
-                        .filter_map(|(_, e)| e.as_ref())
-                        .chain(inst.instance.ordered_connections.iter());
+                        .filter_map(|(_, e)| *e)
+                        .chain(inst.instance.ordered_connections.iter().copied())
+                        .collect();
                     for expr in exprs {
                         self.record_reads(expr, true);
-                        for ident in expr.referenced_idents() {
-                            self.drives.entry(ident).or_default().maybe_external = true;
+                        for ident in self.module.arena.referenced_idents(expr) {
+                            self.drive_mut(ident).maybe_external = true;
                         }
                     }
-                    for (_, value) in &inst.instance.parameter_overrides {
+                    for &(_, value) in &inst.instance.parameter_overrides {
                         self.record_reads(value, true);
                     }
                 }
@@ -409,25 +468,25 @@ impl<'a> ModuleModel<'a> {
                 }
             }
             Statement::Blocking { target, value } | Statement::NonBlocking { target, value } => {
-                self.record_lvalue(target, site);
-                self.record_selector_reads(target);
-                self.record_reads(value, true);
+                self.record_lvalue(*target, site);
+                self.record_selector_reads(*target);
+                self.record_reads(*value, true);
             }
             Statement::If {
                 condition,
                 then_branch,
                 else_branch,
             } => {
-                self.record_reads(condition, true);
+                self.record_reads(*condition, true);
                 self.collect_statement(then_branch, site);
                 if let Some(e) = else_branch {
                     self.collect_statement(e, site);
                 }
             }
             Statement::Case { subject, arms, .. } => {
-                self.record_reads(subject, true);
+                self.record_reads(*subject, true);
                 for arm in arms {
-                    for label in &arm.labels {
+                    for &label in &arm.labels {
                         self.record_reads(label, true);
                     }
                     self.collect_statement(&arm.body, site);
@@ -440,7 +499,7 @@ impl<'a> ModuleModel<'a> {
                 body,
             } => {
                 self.collect_statement(init, site);
-                self.record_reads(condition, true);
+                self.record_reads(*condition, true);
                 self.collect_statement(step, site);
                 self.collect_statement(body, site);
             }
@@ -448,7 +507,7 @@ impl<'a> ModuleModel<'a> {
                 // Arguments are reads but not strict references: system
                 // tasks legitimately name modules and hierarchical paths
                 // (`$dumpvars(0, tb)`).
-                for arg in args {
+                for &arg in args {
                     self.record_reads(arg, false);
                 }
             }
@@ -456,9 +515,12 @@ impl<'a> ModuleModel<'a> {
         }
     }
 
-    fn record_reads(&mut self, expr: &Expr, strict: bool) {
-        for ident in expr.referenced_idents() {
-            self.reads.insert(ident.clone());
+    fn record_reads(&mut self, expr: ExprId, strict: bool) {
+        let module = self.module;
+        let mut idents = Vec::new();
+        module.arena.collect_idents(expr, &mut idents);
+        for ident in idents {
+            self.reads[ident.index()] = true;
             if strict {
                 self.strict_refs.push(ident);
             }
@@ -467,8 +529,9 @@ impl<'a> ModuleModel<'a> {
 
     /// Records the reads hidden inside an assignment target: index and
     /// part-select bound expressions.
-    fn record_selector_reads(&mut self, target: &Expr) {
-        match target {
+    fn record_selector_reads(&mut self, target: ExprId) {
+        let module = self.module;
+        match module.arena[target] {
             Expr::Ident(_) => {}
             Expr::Index { base, index } => {
                 self.record_reads(index, true);
@@ -479,22 +542,34 @@ impl<'a> ModuleModel<'a> {
                 self.record_reads(lsb, true);
                 self.record_selector_reads(base);
             }
-            Expr::Concat(parts) => {
-                for p in parts {
+            Expr::Concat(ref parts) => {
+                for &p in parts.clone().iter() {
                     self.record_selector_reads(p);
                 }
             }
             // Anything else in target position is not a well-formed lvalue;
             // treat it as a read so analysis stays conservative.
-            other => self.record_reads(other, true),
+            _ => self.record_reads(target, true),
         }
     }
 
-    fn record_lvalue(&mut self, target: &Expr, site: DriveSite) {
-        for (name, whole) in lvalue_targets(target) {
+    fn record_assign_target(&mut self, target: AssignTarget, site: DriveSite) {
+        match target {
+            AssignTarget::Expr(id) => self.record_lvalue(id, site),
+            AssignTarget::Net(sym) => self.record_lvalue_symbols(&[(sym, true)], site),
+        }
+    }
+
+    fn record_lvalue(&mut self, target: ExprId, site: DriveSite) {
+        let targets = lvalue_targets(&self.module.arena, target);
+        self.record_lvalue_symbols(&targets, site);
+    }
+
+    fn record_lvalue_symbols(&mut self, targets: &[(Symbol, bool)], site: DriveSite) {
+        for &(sym, whole) in targets {
             // The target name itself must resolve locally.
-            self.strict_refs.push(name.clone());
-            let drive = self.drives.entry(name).or_default();
+            self.strict_refs.push(sym);
+            let drive = self.drive_mut(sym);
             match site {
                 DriveSite::Continuous | DriveSite::InstanceOutput => {
                     if whole {
@@ -521,34 +596,35 @@ enum DriveSite {
     Initial,
 }
 
-/// Decomposes an assignment target into `(base name, is whole-net)` pairs.
-pub(crate) fn lvalue_targets(target: &Expr) -> Vec<(Name, bool)> {
+/// Decomposes an assignment target into `(base symbol, is whole-net)` pairs.
+pub(crate) fn lvalue_targets(arena: &ExprArena, target: ExprId) -> Vec<(Symbol, bool)> {
     let mut out = Vec::new();
-    fn walk(expr: &Expr, whole: bool, out: &mut Vec<(Name, bool)>) {
-        match expr {
-            Expr::Ident(name) => out.push((name.clone(), whole)),
-            Expr::Index { base, .. } | Expr::Slice { base, .. } => walk(base, false, out),
-            Expr::Concat(parts) => {
-                for p in parts {
-                    walk(p, whole, out);
+    fn walk(arena: &ExprArena, expr: ExprId, whole: bool, out: &mut Vec<(Symbol, bool)>) {
+        match arena[expr] {
+            Expr::Ident(sym) => out.push((sym, whole)),
+            Expr::Index { base, .. } | Expr::Slice { base, .. } => walk(arena, base, false, out),
+            Expr::Concat(ref parts) => {
+                for &p in parts {
+                    walk(arena, p, whole, out);
                 }
             }
             _ => {}
         }
     }
-    walk(target, true, &mut out);
+    walk(arena, target, true, &mut out);
     out
 }
 
-/// Constant-folds an expression under a parameter environment. Returns
-/// `None` for anything that is not a compile-time constant.
-pub(crate) fn const_eval(expr: &Expr, params: &HashMap<Name, u64>) -> Option<u64> {
+/// Constant-folds an expression under a dense symbol-indexed parameter
+/// environment. Returns `None` for anything that is not a compile-time
+/// constant.
+pub(crate) fn const_eval(arena: &ExprArena, expr: ExprId, params: &[Option<u64>]) -> Option<u64> {
     use crate::ast::{BinaryOp, UnaryOp};
-    match expr {
-        Expr::Number { value, .. } => Some(*value),
-        Expr::Ident(name) => params.get(name).copied(),
+    match arena[expr] {
+        Expr::Number { value, .. } => Some(value),
+        Expr::Ident(sym) => params.get(sym.index()).copied().flatten(),
         Expr::Unary { op, operand } => {
-            let v = const_eval(operand, params)?;
+            let v = const_eval(arena, operand, params)?;
             match op {
                 UnaryOp::Plus => Some(v),
                 UnaryOp::Not => Some(u64::from(v == 0)),
@@ -558,8 +634,8 @@ pub(crate) fn const_eval(expr: &Expr, params: &HashMap<Name, u64>) -> Option<u64
             }
         }
         Expr::Binary { op, lhs, rhs } => {
-            let a = const_eval(lhs, params)?;
-            let b = const_eval(rhs, params)?;
+            let a = const_eval(arena, lhs, params)?;
+            let b = const_eval(arena, rhs, params)?;
             match op {
                 BinaryOp::Add => a.checked_add(b),
                 BinaryOp::Sub => a.checked_sub(b),
@@ -586,11 +662,11 @@ pub(crate) fn const_eval(expr: &Expr, params: &HashMap<Name, u64>) -> Option<u64
             then_expr,
             else_expr,
         } => {
-            let c = const_eval(condition, params)?;
+            let c = const_eval(arena, condition, params)?;
             if c != 0 {
-                const_eval(then_expr, params)
+                const_eval(arena, then_expr, params)
             } else {
-                const_eval(else_expr, params)
+                const_eval(arena, else_expr, params)
             }
         }
         _ => None,
@@ -598,17 +674,21 @@ pub(crate) fn const_eval(expr: &Expr, params: &HashMap<Name, u64>) -> Option<u64
 }
 
 /// Folds a packed range into its width in bits.
-pub(crate) fn range_width(range: &Range, params: &HashMap<Name, u64>) -> Option<u32> {
-    let msb = const_eval(&range.msb, params)?;
-    let lsb = const_eval(&range.lsb, params)?;
+pub(crate) fn range_width(arena: &ExprArena, range: &Range, params: &[Option<u64>]) -> Option<u32> {
+    let msb = const_eval(arena, range.msb, params)?;
+    let lsb = const_eval(arena, range.lsb, params)?;
     u32::try_from(msb.abs_diff(lsb) + 1).ok()
 }
 
 /// Resolves one instance against a possible target module: classifies each
 /// connection by the child port's direction and folds the child port widths
-/// under the instance's parameter overrides.
+/// under the instance's parameter overrides. Override expressions live in
+/// the parent's arena and fold under the parent's parameters; child default
+/// expressions live in the child's arena and fold under the child's. Names
+/// cross the module boundary as resolved text.
 fn resolve_instance<'a>(
-    parent_params: &HashMap<Name, u64>,
+    parent: &Module,
+    parent_params: &[Option<u64>],
     inst: &'a crate::ast::Instance,
     target: Option<&'a Module>,
 ) -> InstanceModel<'a> {
@@ -622,76 +702,77 @@ fn resolve_instance<'a>(
     };
     // Child parameter environment: defaults, then overrides folded in the
     // parent's environment.
-    let mut child_params: HashMap<Name, u64> = HashMap::new();
-    let mut positional = inst
-        .parameter_overrides
-        .iter()
-        .filter(|(n, _)| n.is_empty());
+    let mut child_params: Vec<Option<u64>> = vec![None; target_module.symbols.len()];
+    let mut positional = inst.parameter_overrides.iter().filter(|(n, _)| n.is_none());
     for item in &target_module.items {
         if let ModuleItem::Parameter(p) = item {
             if p.local {
-                if let Some(v) = const_eval(&p.value, &child_params) {
-                    child_params.insert(p.name.clone(), v);
+                if let Some(v) = const_eval(&target_module.arena, p.value, &child_params) {
+                    child_params[p.name.index()] = Some(v);
                 }
                 continue;
             }
+            let child_param_name = target_module.resolve(p.name);
             let named = inst
                 .parameter_overrides
                 .iter()
-                .find(|(n, _)| n == &p.name)
-                .map(|(_, v)| v);
+                .find(|(n, _)| n.is_some_and(|sym| parent.resolve(sym) == child_param_name))
+                .map(|&(_, v)| v);
             let by_position = if named.is_none() {
-                positional.next().map(|(_, v)| v)
+                positional.next().map(|&(_, v)| v)
             } else {
                 None
             };
             let value = match (named, by_position) {
-                (Some(v), _) | (None, Some(v)) => const_eval(v, parent_params),
-                (None, None) => const_eval(&p.value, &child_params),
+                (Some(v), _) | (None, Some(v)) => const_eval(&parent.arena, v, parent_params),
+                (None, None) => const_eval(&target_module.arena, p.value, &child_params),
             };
             if let Some(v) = value {
-                child_params.insert(p.name.clone(), v);
+                child_params[p.name.index()] = Some(v);
             }
         }
     }
     let port_width = |name: &str| -> Option<u32> {
         let port = target_module.port(name)?;
-        match &port.range {
-            Some(range) => range_width(range, &child_params),
+        match port.range {
+            Some(range) => range_width(&target_module.arena, &range, &child_params),
             None => Some(1),
         }
     };
     let mut connections = Vec::new();
     let mut connected: BTreeMap<Name, bool> = BTreeMap::new();
     if !inst.named_connections.is_empty() || inst.ordered_connections.is_empty() {
-        for (port_name, expr) in &inst.named_connections {
+        for &(port_sym, expr) in &inst.named_connections {
+            let port_name = parent.resolve(port_sym);
             if let Some(port) = target_module.port(port_name) {
+                let direction = port.direction;
                 connections.push(ResolvedConnection {
-                    port_name: port_name.clone(),
-                    direction: port.direction,
-                    port_width: port_width(port_name.as_str()),
-                    expr: expr.as_ref(),
+                    port_name: parent.name_of(port_sym),
+                    direction,
+                    port_width: port_width(port_name),
+                    expr,
                 });
-                connected.insert(port_name.clone(), expr.is_some());
+                connected.insert(parent.name_of(port_sym), expr.is_some());
             }
         }
     } else {
-        for (port, expr) in target_module.ports.iter().zip(&inst.ordered_connections) {
+        for (port, &expr) in target_module.ports.iter().zip(&inst.ordered_connections) {
+            let port_name = target_module.name_of(port.name);
             connections.push(ResolvedConnection {
-                port_name: port.name.clone(),
+                port_name: port_name.clone(),
                 direction: port.direction,
-                port_width: port_width(port.name.as_str()),
+                port_width: port_width(&port_name),
                 expr: Some(expr),
             });
-            connected.insert(port.name.clone(), true);
+            connected.insert(port_name, true);
         }
     }
     let missing_inputs = target_module
         .ports
         .iter()
         .filter(|p| p.direction == PortDirection::Input)
-        .filter(|p| !matches!(connected.get(&p.name), Some(true)))
-        .map(|p| p.name.clone())
+        .filter(|p| !matches!(connected.get(target_module.resolve(p.name)), Some(true)))
+        .map(|p| target_module.name_of(p.name))
         .collect();
     InstanceModel {
         instance: inst,

@@ -7,7 +7,8 @@
 
 use std::collections::BTreeSet;
 
-use crate::ast::{Expr, PortDirection};
+use crate::ast::{Expr, ExprArena, ExprId, PortDirection};
+use crate::intern::Symbol;
 
 use super::model::SymbolKind;
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
@@ -20,20 +21,18 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 }
 
 fn undeclared(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
-    let mut reported = BTreeSet::new();
-    let instance_names: BTreeSet<&str> = model
-        .instances
-        .iter()
-        .map(|i| i.instance.name.as_str())
-        .collect();
-    for name in &model.strict_refs {
-        if model.symbols.contains_key(name)
-            || model.sibling_names.contains(name)
-            || instance_names.contains(name.as_str())
-            || !reported.insert(name.clone())
+    let mut reported: BTreeSet<Symbol> = BTreeSet::new();
+    let instance_names: BTreeSet<Symbol> =
+        model.instances.iter().map(|i| i.instance.name).collect();
+    for &sym in &model.strict_refs {
+        if model.symbol(sym).is_some()
+            || instance_names.contains(&sym)
+            || model.sibling_names.contains(model.resolve(sym))
+            || !reported.insert(sym)
         {
             continue;
         }
+        let name = model.resolve(sym);
         out.push(diag(
             RuleId::UndeclaredIdent,
             format!("net '{name}'"),
@@ -43,11 +42,14 @@ fn undeclared(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 }
 
 fn redeclared(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
-    for name in &model.symbol_order {
-        let info = &model.symbols[name];
+    for &sym in &model.symbol_order {
+        let info = model
+            .symbol(sym)
+            .expect("symbol_order entries are declared");
         // A port legitimately pairs one non-ANSI direction declaration with
         // one data-type declaration; anything beyond that is a redeclaration.
         if info.port_dir_decls > 1 || info.data_decls > 1 {
+            let name = model.resolve(sym);
             out.push(diag(
                 RuleId::RedeclaredIdent,
                 format!("net '{name}'"),
@@ -58,8 +60,10 @@ fn redeclared(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 }
 
 fn unused(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
-    for name in &model.symbol_order {
-        let info = &model.symbols[name];
+    for &sym in &model.symbol_order {
+        let info = model
+            .symbol(sym)
+            .expect("symbol_order entries are declared");
         if info.kind != SymbolKind::Net {
             // Parameters and genvars document intent even when unread.
             continue;
@@ -71,7 +75,8 @@ fn unused(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
             // Outputs are read by the parent.
             continue;
         }
-        if !model.reads.contains(name) {
+        if !model.is_read(sym) {
+            let name = model.resolve(sym);
             let what = match info.direction {
                 Some(PortDirection::Input) => "input port",
                 _ => "signal",
@@ -86,11 +91,13 @@ fn unused(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 }
 
 fn instances(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    let arena = model.arena();
     for inst in &model.instances {
         let Some(target) = inst.target else { continue };
-        let locus = format!("instance '{}'", inst.instance.name);
+        let locus = format!("instance '{}'", model.resolve(inst.instance.name));
         // Named connections to ports the target does not have.
-        for (port_name, _) in &inst.instance.named_connections {
+        for &(port_sym, _) in &inst.instance.named_connections {
+            let port_name = model.resolve(port_sym);
             if target.port(port_name).is_none() {
                 out.push(diag(
                     RuleId::UnknownPort,
@@ -135,7 +142,7 @@ fn instances(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
                 continue;
             }
             let Some(expr) = conn.expr else { continue };
-            if !is_drivable(expr) {
+            if !is_drivable(arena, expr) {
                 out.push(diag(
                     RuleId::PortDirectionMismatch,
                     locus.clone(),
@@ -148,9 +155,10 @@ fn instances(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
             }
             // Driving one of the parent's *input* ports from inside the
             // parent conflicts with the external driver.
-            for (name, _) in super::model::lvalue_targets(expr) {
-                if let Some(info) = model.symbols.get(&name) {
+            for (sym, _) in super::model::lvalue_targets(arena, expr) {
+                if let Some(info) = model.symbol(sym) {
                     if info.direction == Some(PortDirection::Input) {
+                        let name = model.resolve(sym);
                         out.push(diag(
                             RuleId::PortDirectionMismatch,
                             locus.clone(),
@@ -168,11 +176,11 @@ fn instances(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 
 /// Whether an expression has lvalue shape (identifier, bit/part select, or
 /// a concatenation of those).
-fn is_drivable(expr: &Expr) -> bool {
-    match expr {
+fn is_drivable(arena: &ExprArena, expr: ExprId) -> bool {
+    match arena[expr] {
         Expr::Ident(_) => true,
-        Expr::Index { base, .. } | Expr::Slice { base, .. } => is_drivable(base),
-        Expr::Concat(parts) => parts.iter().all(is_drivable),
+        Expr::Index { base, .. } | Expr::Slice { base, .. } => is_drivable(arena, base),
+        Expr::Concat(ref parts) => parts.iter().all(|&p| is_drivable(arena, p)),
         _ => false,
     }
 }

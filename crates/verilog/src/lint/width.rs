@@ -1,24 +1,26 @@
 //! Pass 3 — bit-width inference and mismatch detection.
 //!
-//! Widths are inferred bottom-up over [`Expr`] with parameter
-//! constant-folding; anything that cannot be folded is `None` and never
-//! warns. The pass is deliberately truncation-only: implicit zero/sign
-//! extension (`assign wide = narrow;`) is idiomatic Verilog, while silently
-//! dropping bits (`assign narrow = wide_expr;`) is the defect class worth
-//! surfacing. Unsized literals adapt to their context and are skipped —
-//! except directly inside concatenations, where their width is genuinely
-//! ambiguous.
+//! Widths are inferred bottom-up over the arena-allocated [`Expr`] tree
+//! with parameter constant-folding; anything that cannot be folded is
+//! `None` and never warns. The pass is deliberately truncation-only:
+//! implicit zero/sign extension (`assign wide = narrow;`) is idiomatic
+//! Verilog, while silently dropping bits (`assign narrow = wide_expr;`) is
+//! the defect class worth surfacing. Unsized literals adapt to their
+//! context and are skipped — except directly inside concatenations, where
+//! their width is genuinely ambiguous.
 
-use crate::ast::{BinaryOp, Expr, PortDirection, Statement, UnaryOp};
+use crate::ast::{BinaryOp, Expr, ExprArena, ExprId, PortDirection, Statement, UnaryOp};
+use crate::intern::Symbol;
 
-use super::model::{const_eval, lvalue_targets};
+use super::model::{const_eval, lvalue_targets, AssignTarget};
 use super::{diag, LintDiagnostic, ModuleModel, RuleId};
 
 pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    let arena = model.arena();
     // Continuous assignments (including net initialisers).
-    for (target, value) in &model.continuous_assigns {
+    for &(target, value) in &model.continuous_assigns {
         check_assignment(model, target, value, "assign", out);
-        check_concats(value, "assign", out);
+        check_concats(arena, value, "assign", out);
     }
     // Procedural assignments.
     for (index, block) in model.always_blocks.iter().enumerate() {
@@ -27,8 +29,8 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
             if let Statement::Blocking { target, value }
             | Statement::NonBlocking { target, value } = s
             {
-                check_assignment(model, target, value, &locus, out);
-                check_concats(value, &locus, out);
+                check_assignment(model, AssignTarget::Expr(*target), *value, &locus, out);
+                check_concats(arena, *value, &locus, out);
             }
         });
     }
@@ -37,7 +39,7 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
         if inst.target.is_none() {
             continue;
         }
-        let locus = format!("instance '{}'", inst.instance.name);
+        let locus = format!("instance '{}'", model.resolve(inst.instance.name));
         for conn in &inst.connections {
             let (Some(expr), Some(port_width)) = (conn.expr, conn.port_width) else {
                 continue;
@@ -66,19 +68,26 @@ pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
 
 fn check_assignment(
     model: &ModuleModel<'_>,
-    target: &Expr,
-    value: &Expr,
+    target: AssignTarget,
+    value: ExprId,
     locus: &str,
     out: &mut Vec<LintDiagnostic>,
 ) {
-    let (Some(lhs), Some(rhs)) = (lvalue_width(model, target), infer_width(model, value)) else {
+    let lhs_width = match target {
+        AssignTarget::Expr(id) => lvalue_width(model, id),
+        AssignTarget::Net(sym) => symbol_lvalue_width(model, sym),
+    };
+    let (Some(lhs), Some(rhs)) = (lhs_width, infer_width(model, value)) else {
         return;
     };
     if rhs > lhs {
-        let name = lvalue_targets(target)
-            .first()
-            .map(|(n, _)| n.clone())
-            .unwrap_or_else(|| "?".into());
+        let name = match target {
+            AssignTarget::Net(sym) => model.resolve(sym),
+            AssignTarget::Expr(id) => lvalue_targets(model.arena(), id)
+                .first()
+                .map(|&(sym, _)| model.resolve(sym))
+                .unwrap_or("?"),
+        };
         out.push(diag(
             RuleId::WidthMismatch,
             format!("{locus}, net '{name}'"),
@@ -90,73 +99,77 @@ fn check_assignment(
 /// Flags unsized literals appearing directly inside a concatenation, whose
 /// width is ambiguous (illegal in strict Verilog, silently 32 bits in most
 /// tools).
-fn check_concats(expr: &Expr, locus: &str, out: &mut Vec<LintDiagnostic>) {
-    match expr {
-        Expr::Concat(parts) => {
-            for part in parts {
-                if matches!(part, Expr::Number { width: None, .. }) {
+fn check_concats(arena: &ExprArena, expr: ExprId, locus: &str, out: &mut Vec<LintDiagnostic>) {
+    match arena[expr] {
+        Expr::Concat(ref parts) => {
+            for &part in parts {
+                if matches!(arena[part], Expr::Number { width: None, .. }) {
                     out.push(diag(
                         RuleId::WidthMismatch,
                         locus.to_string(),
                         "unsized literal inside a concatenation has ambiguous width".to_string(),
                     ));
                 }
-                check_concats(part, locus, out);
+                check_concats(arena, part, locus, out);
             }
         }
-        Expr::Unary { operand, .. } => check_concats(operand, locus, out),
+        Expr::Unary { operand, .. } => check_concats(arena, operand, locus, out),
         Expr::Binary { lhs, rhs, .. } => {
-            check_concats(lhs, locus, out);
-            check_concats(rhs, locus, out);
+            check_concats(arena, lhs, locus, out);
+            check_concats(arena, rhs, locus, out);
         }
         Expr::Ternary {
             condition,
             then_expr,
             else_expr,
         } => {
-            check_concats(condition, locus, out);
-            check_concats(then_expr, locus, out);
-            check_concats(else_expr, locus, out);
+            check_concats(arena, condition, locus, out);
+            check_concats(arena, then_expr, locus, out);
+            check_concats(arena, else_expr, locus, out);
         }
         Expr::Index { base, index } => {
-            check_concats(base, locus, out);
-            check_concats(index, locus, out);
+            check_concats(arena, base, locus, out);
+            check_concats(arena, index, locus, out);
         }
-        Expr::Slice { base, .. } => check_concats(base, locus, out),
-        Expr::Repeat { value, .. } => check_concats(value, locus, out),
-        Expr::Call { args, .. } => {
-            for a in args {
-                check_concats(a, locus, out);
+        Expr::Slice { base, .. } => check_concats(arena, base, locus, out),
+        Expr::Repeat { value, .. } => check_concats(arena, value, locus, out),
+        Expr::Call { ref args, .. } => {
+            for &a in args {
+                check_concats(arena, a, locus, out);
             }
         }
         _ => {}
     }
 }
 
+/// Width of a whole-net target (net initialisers, identifiers).
+fn symbol_lvalue_width(model: &ModuleModel<'_>, sym: Symbol) -> Option<u32> {
+    let info = model.symbol(sym)?;
+    if info.is_array {
+        return None;
+    }
+    model.symbol_width(sym)
+}
+
 /// Width of an assignment target.
-pub(crate) fn lvalue_width(model: &ModuleModel<'_>, target: &Expr) -> Option<u32> {
-    match target {
-        Expr::Ident(name) => {
-            let info = model.symbols.get(name)?;
-            if info.is_array {
-                return None;
-            }
-            model.symbol_width(name)
-        }
-        Expr::Index { base, .. } => match base.as_ref() {
-            Expr::Ident(name) if model.symbols.get(name).is_some_and(|s| s.is_array) => {
-                model.symbol_width(name)
+pub(crate) fn lvalue_width(model: &ModuleModel<'_>, target: ExprId) -> Option<u32> {
+    let arena = model.arena();
+    match arena[target] {
+        Expr::Ident(sym) => symbol_lvalue_width(model, sym),
+        Expr::Index { base, .. } => match arena[base] {
+            Expr::Ident(sym) if model.symbol(sym).is_some_and(|s| s.is_array) => {
+                model.symbol_width(sym)
             }
             _ => Some(1),
         },
         Expr::Slice { msb, lsb, .. } => {
-            let msb = const_eval(msb, &model.params)?;
-            let lsb = const_eval(lsb, &model.params)?;
+            let msb = const_eval(arena, msb, &model.params)?;
+            let lsb = const_eval(arena, lsb, &model.params)?;
             u32::try_from(msb.abs_diff(lsb) + 1).ok()
         }
-        Expr::Concat(parts) => {
+        Expr::Concat(ref parts) => {
             let mut total = 0u32;
-            for p in parts {
+            for &p in parts {
                 total = total.checked_add(lvalue_width(model, p)?)?;
             }
             Some(total)
@@ -166,16 +179,11 @@ pub(crate) fn lvalue_width(model: &ModuleModel<'_>, target: &Expr) -> Option<u32
 }
 
 /// Bottom-up width inference; `None` means "unknown", which never warns.
-pub(crate) fn infer_width(model: &ModuleModel<'_>, expr: &Expr) -> Option<u32> {
-    match expr {
-        Expr::Number { width, .. } => *width,
-        Expr::Ident(name) => {
-            let info = model.symbols.get(name)?;
-            if info.is_array {
-                return None;
-            }
-            model.symbol_width(name)
-        }
+pub(crate) fn infer_width(model: &ModuleModel<'_>, expr: ExprId) -> Option<u32> {
+    let arena = model.arena();
+    match arena[expr] {
+        Expr::Number { width, .. } => width,
+        Expr::Ident(sym) => symbol_lvalue_width(model, sym),
         Expr::Unary { op, operand } => match op {
             UnaryOp::Not
             | UnaryOp::ReduceAnd
@@ -224,26 +232,26 @@ pub(crate) fn infer_width(model: &ModuleModel<'_>, expr: &Expr) -> Option<u32> {
             let b = infer_width(model, else_expr)?;
             Some(a.max(b))
         }
-        Expr::Index { base, .. } => match base.as_ref() {
-            Expr::Ident(name) if model.symbols.get(name).is_some_and(|s| s.is_array) => {
-                model.symbol_width(name)
+        Expr::Index { base, .. } => match arena[base] {
+            Expr::Ident(sym) if model.symbol(sym).is_some_and(|s| s.is_array) => {
+                model.symbol_width(sym)
             }
             _ => Some(1),
         },
         Expr::Slice { msb, lsb, .. } => {
-            let msb = const_eval(msb, &model.params)?;
-            let lsb = const_eval(lsb, &model.params)?;
+            let msb = const_eval(arena, msb, &model.params)?;
+            let lsb = const_eval(arena, lsb, &model.params)?;
             u32::try_from(msb.abs_diff(lsb) + 1).ok()
         }
-        Expr::Concat(parts) => {
+        Expr::Concat(ref parts) => {
             let mut total = 0u32;
-            for p in parts {
+            for &p in parts {
                 total = total.checked_add(infer_width(model, p)?)?;
             }
             Some(total)
         }
         Expr::Repeat { count, value } => {
-            let count = u32::try_from(const_eval(count, &model.params)?).ok()?;
+            let count = u32::try_from(const_eval(arena, count, &model.params)?).ok()?;
             let value = infer_width(model, value)?;
             count.checked_mul(value)
         }

@@ -2,17 +2,23 @@
 //!
 //! The parser works over a borrowed token slice with an index-based
 //! `peek` — tokens are `Copy`, so stepping never clones a `String` the way
-//! the original frontend ([`crate::reference`]) did. Identifiers enter the
-//! AST as interned [`Name`](crate::intern::Name)s resolved through the
-//! lexer's interner; diagnostics text (parse errors, and the lint
-//! diagnostics downstream) is unchanged byte for byte.
+//! the retired reference frontend did. Identifiers stay interned
+//! [`Symbol`](crate::intern::Symbol)s all the way into the AST, and every
+//! expression node is allocated into the module's [`ExprArena`] through the
+//! [`ExprAlloc`] the parser is instantiated with: the default [`ExprArena`]
+//! costs one `Vec` push per node, while [`BoxedExprAlloc`] reproduces the
+//! retired frontend's one-`Box`-per-node cost model for benchmarking and
+//! equivalence testing ([`Parser::parse_source_boxed`]). Diagnostics text
+//! (parse errors, and the lint diagnostics downstream) is unchanged byte
+//! for byte.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::ast::*;
-use crate::intern::{Interner, Name};
+use crate::intern::{Interner, Symbol};
 use crate::lexer::{LexError, LexedSource, Lexer};
 use crate::token::{Keyword, Op, Token, TokenKind};
 
@@ -63,22 +69,18 @@ impl From<LexError> for ParseError {
 /// # Ok::<(), verilog::ParseError>(())
 /// ```
 #[derive(Debug)]
-pub struct Parser<'a> {
+pub struct Parser<'a, A: ExprAlloc = ExprArena> {
     src: &'a str,
     tokens: &'a [Token],
-    interner: &'a Interner,
+    interner: &'a Arc<Interner>,
     pos: usize,
+    arena: A,
 }
 
 impl<'a> Parser<'a> {
-    /// Creates a parser over a lexed source.
+    /// Creates an arena-allocating parser over a lexed source.
     pub fn new(src: &'a str, lexed: &'a LexedSource) -> Self {
-        Self {
-            src,
-            tokens: &lexed.tokens,
-            interner: &lexed.interner,
-            pos: 0,
-        }
+        Self::with_alloc(src, lexed)
     }
 
     /// Lexes and parses a full source file into its modules.
@@ -89,6 +91,41 @@ impl<'a> Parser<'a> {
     pub fn parse_source(src: &str) -> Result<Vec<Module>, ParseError> {
         let lexed = Lexer::new(src).tokenize()?;
         Parser::new(src, &lexed).parse_modules()
+    }
+
+    /// Like [`Parser::parse_source`], but allocating every expression node
+    /// through [`BoxedExprAlloc`] — one heap `Box` per node, the retired
+    /// reference frontend's cost model. The resulting modules are identical
+    /// to the arena parse (same ids, same arena layout); only the allocation
+    /// pattern differs. This is the baseline `bench_parse` measures
+    /// `speedup_vs_boxed` against, and the oracle the arena≡boxed property
+    /// tests compare with.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexing or parsing error encountered.
+    pub fn parse_source_boxed(src: &str) -> Result<Vec<Module>, ParseError> {
+        let lexed = Lexer::new(src).tokenize()?;
+        Parser::<BoxedExprAlloc>::with_alloc(src, &lexed).parse_modules()
+    }
+}
+
+impl<'a, A: ExprAlloc> Parser<'a, A> {
+    /// Creates a parser over a lexed source with an explicit expression
+    /// allocator.
+    pub fn with_alloc(src: &'a str, lexed: &'a LexedSource) -> Self {
+        Self {
+            src,
+            tokens: &lexed.tokens,
+            interner: &lexed.interner,
+            pos: 0,
+            arena: A::default(),
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, expr: Expr) -> ExprId {
+        self.arena.alloc(expr)
     }
 
     #[inline]
@@ -170,11 +207,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<Name, ParseError> {
+    fn expect_ident(&mut self) -> Result<Symbol, ParseError> {
         match self.peek() {
             TokenKind::Ident(sym) => {
                 self.pos += 1;
-                Ok(self.interner.name(sym))
+                Ok(sym)
             }
             other => Err(self.error(format!(
                 "expected identifier, found {}",
@@ -207,9 +244,11 @@ impl<'a> Parser<'a> {
         self.expect_keyword(Keyword::Module)?;
         let name = self.expect_ident()?;
         let mut module = Module {
-            name,
+            name: self.interner.name(name),
             ports: Vec::new(),
             items: Vec::new(),
+            arena: ExprArena::new(),
+            symbols: Arc::clone(self.interner),
         };
 
         // Optional parameter port list: #(parameter WIDTH = 8, ...)
@@ -260,6 +299,9 @@ impl<'a> Parser<'a> {
 
         // Promote non-ANSI port declarations to ports, preserving header order.
         promote_non_ansi_ports(&mut module);
+        // The module takes ownership of its expressions; the parser starts a
+        // fresh allocation for the next module in the file.
+        module.arena = std::mem::take(&mut self.arena).finish();
         Ok(module)
     }
 
@@ -293,20 +335,19 @@ impl<'a> Parser<'a> {
                     module.ports.push(Port {
                         name,
                         direction: current_direction.unwrap(),
-                        range: current_range.clone(),
+                        range: current_range,
                         is_reg: current_is_reg,
                         signed: current_signed,
                     });
                 }
                 TokenKind::Ident(sym) => {
                     self.pos += 1;
-                    let name = self.interner.name(sym);
                     if let Some(direction) = current_direction {
                         // Continuation of an ANSI group: `input a, b, c`.
                         module.ports.push(Port {
-                            name,
+                            name: sym,
                             direction,
-                            range: current_range.clone(),
+                            range: current_range,
                             is_reg: current_is_reg,
                             signed: current_signed,
                         });
@@ -314,7 +355,7 @@ impl<'a> Parser<'a> {
                         // Non-ANSI header: record the name; the direction
                         // arrives later in the body.
                         module.ports.push(Port {
-                            name,
+                            name: sym,
                             direction: PortDirection::Input,
                             range: None,
                             is_reg: false,
@@ -412,7 +453,7 @@ impl<'a> Parser<'a> {
                     nets.push(Net {
                         name,
                         kind,
-                        range: range.clone(),
+                        range,
                         array,
                         signed,
                         init,
@@ -506,10 +547,10 @@ impl<'a> Parser<'a> {
                         self.expect_op(Op::LParen)?;
                         let value = self.parse_expr()?;
                         self.expect_op(Op::RParen)?;
-                        parameter_overrides.push((pname, value));
+                        parameter_overrides.push((Some(pname), value));
                     } else {
                         let value = self.parse_expr()?;
-                        parameter_overrides.push((Name::default(), value));
+                        parameter_overrides.push((None, value));
                     }
                     if !self.eat_op(Op::Comma) {
                         break;
@@ -696,7 +737,6 @@ impl<'a> Parser<'a> {
             }
             TokenKind::Ident(sym) if self.interner.resolve(sym).starts_with('$') => {
                 self.pos += 1;
-                let name = self.interner.name(sym);
                 let mut args = Vec::new();
                 if self.eat_op(Op::LParen) && !self.eat_op(Op::RParen) {
                     loop {
@@ -708,7 +748,7 @@ impl<'a> Parser<'a> {
                     self.expect_op(Op::RParen)?;
                 }
                 self.expect_op(Op::Semi)?;
-                Ok(Statement::SystemCall { name, args })
+                Ok(Statement::SystemCall { name: sym, args })
             }
             _ => {
                 let stmt = self.parse_assignment_no_semi()?;
@@ -738,32 +778,32 @@ impl<'a> Parser<'a> {
     /// statement parser can decide blocking vs non-blocking. Targets are
     /// primaries with optional selects or concatenations, so full precedence
     /// parsing is unnecessary (and would swallow `<=`).
-    fn parse_expr_no_comparison_shortcut(&mut self) -> Result<Expr, ParseError> {
+    fn parse_expr_no_comparison_shortcut(&mut self) -> Result<ExprId, ParseError> {
         self.parse_postfix()
     }
 
     // ----- expression parsing (precedence climbing) -----
 
-    /// Parses a full expression.
+    /// Parses a full expression into the parser's allocator, returning its id.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] if the token stream is not an expression.
-    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+    pub fn parse_expr(&mut self) -> Result<ExprId, ParseError> {
         self.parse_ternary()
     }
 
-    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_ternary(&mut self) -> Result<ExprId, ParseError> {
         let condition = self.parse_binary(0)?;
         if self.eat_op(Op::Question) {
             let then_expr = self.parse_ternary()?;
             self.expect_op(Op::Colon)?;
             let else_expr = self.parse_ternary()?;
-            Ok(Expr::Ternary {
-                condition: Box::new(condition),
-                then_expr: Box::new(then_expr),
-                else_expr: Box::new(else_expr),
-            })
+            Ok(self.alloc(Expr::Ternary {
+                condition,
+                then_expr,
+                else_expr,
+            }))
         } else {
             Ok(condition)
         }
@@ -806,9 +846,8 @@ impl<'a> Parser<'a> {
     /// Precedence-climbing loop over [`Self::binary_op`]. `**` is
     /// right-associative (its right operand re-admits precedence 11);
     /// everything else is left-associative, exactly like the ladder it
-    /// replaces — the differential tests against [`crate::reference`] pin
-    /// the grouping.
-    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+    /// replaces — the differential fixtures pin the grouping.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<ExprId, ParseError> {
         let mut lhs = self.parse_unary()?;
         loop {
             let TokenKind::Op(op) = self.peek() else {
@@ -827,15 +866,11 @@ impl<'a> Parser<'a> {
                 prec + 1
             };
             let rhs = self.parse_binary(next_min)?;
-            lhs = Expr::Binary {
-                op: bin,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = self.alloc(Expr::Binary { op: bin, lhs, rhs });
         }
     }
 
-    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_unary(&mut self) -> Result<ExprId, ParseError> {
         let op = if self.eat_op(Op::Bang) {
             Some(UnaryOp::Not)
         } else if self.eat_op(Op::TildeAmp) {
@@ -862,16 +897,13 @@ impl<'a> Parser<'a> {
         match op {
             Some(op) => {
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary {
-                    op,
-                    operand: Box::new(operand),
-                })
+                Ok(self.alloc(Expr::Unary { op, operand }))
             }
             None => self.parse_postfix(),
         }
     }
 
-    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+    fn parse_postfix(&mut self) -> Result<ExprId, ParseError> {
         let mut expr = self.parse_primary()?;
         loop {
             if self.eat_op(Op::LBracket) {
@@ -879,27 +911,27 @@ impl<'a> Parser<'a> {
                 if self.eat_op(Op::Colon) {
                     let lsb = self.parse_expr()?;
                     self.expect_op(Op::RBracket)?;
-                    expr = Expr::Slice {
-                        base: Box::new(expr),
-                        msb: Box::new(first),
-                        lsb: Box::new(lsb),
-                    };
+                    expr = self.alloc(Expr::Slice {
+                        base: expr,
+                        msb: first,
+                        lsb,
+                    });
                 } else if self.eat_op(Op::PlusColon) || self.eat_op(Op::MinusColon) {
                     // Indexed part selects are approximated as a slice with
                     // the same base/width information.
                     let width = self.parse_expr()?;
                     self.expect_op(Op::RBracket)?;
-                    expr = Expr::Slice {
-                        base: Box::new(expr),
-                        msb: Box::new(first),
-                        lsb: Box::new(width),
-                    };
+                    expr = self.alloc(Expr::Slice {
+                        base: expr,
+                        msb: first,
+                        lsb: width,
+                    });
                 } else {
                     self.expect_op(Op::RBracket)?;
-                    expr = Expr::Index {
-                        base: Box::new(expr),
-                        index: Box::new(first),
-                    };
+                    expr = self.alloc(Expr::Index {
+                        base: expr,
+                        index: first,
+                    });
                 }
             } else {
                 return Ok(expr);
@@ -907,22 +939,22 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_primary(&mut self) -> Result<ExprId, ParseError> {
         match self.peek() {
             TokenKind::Number(span) => {
                 self.pos += 1;
                 let text = span.text(self.src);
                 let (value, width) = parse_number_literal(text)
                     .ok_or_else(|| self.error(format!("invalid number literal `{text}`")))?;
-                Ok(Expr::Number { value, width })
+                Ok(self.alloc(Expr::Number { value, width }))
             }
             TokenKind::StringLit(span) => {
                 self.pos += 1;
-                Ok(Expr::StringLit(Lexer::string_value(self.src, span)))
+                let value = Lexer::string_value(self.src, span);
+                Ok(self.alloc(Expr::StringLit(value)))
             }
             TokenKind::Ident(sym) => {
                 self.pos += 1;
-                let name = self.interner.name(sym);
                 if self.eat_op(Op::LParen) {
                     let mut args = Vec::new();
                     if !self.eat_op(Op::RParen) {
@@ -934,9 +966,9 @@ impl<'a> Parser<'a> {
                         }
                         self.expect_op(Op::RParen)?;
                     }
-                    Ok(Expr::Call { name, args })
+                    Ok(self.alloc(Expr::Call { name: sym, args }))
                 } else {
-                    Ok(Expr::Ident(name))
+                    Ok(self.alloc(Expr::Ident(sym)))
                 }
             }
             TokenKind::Op(Op::LParen) => {
@@ -953,17 +985,17 @@ impl<'a> Parser<'a> {
                     let value = self.parse_expr()?;
                     self.expect_op(Op::RBrace)?;
                     self.expect_op(Op::RBrace)?;
-                    return Ok(Expr::Repeat {
-                        count: Box::new(first),
-                        value: Box::new(value),
-                    });
+                    return Ok(self.alloc(Expr::Repeat {
+                        count: first,
+                        value,
+                    }));
                 }
                 let mut parts = vec![first];
                 while self.eat_op(Op::Comma) {
                     parts.push(self.parse_expr()?);
                 }
                 self.expect_op(Op::RBrace)?;
-                Ok(Expr::Concat(parts))
+                Ok(self.alloc(Expr::Concat(parts)))
             }
             other => Err(self.error(format!(
                 "expected expression, found {}",
@@ -977,29 +1009,24 @@ impl<'a> Parser<'a> {
 /// declared in the body) into fully-populated port lists.
 pub(crate) fn promote_non_ansi_ports(module: &mut Module) {
     use std::collections::HashMap;
-    let mut decls: HashMap<Name, (PortDirection, Option<Range>, bool, bool)> = HashMap::new();
+    let mut decls: HashMap<Symbol, (PortDirection, Option<Range>, bool, bool)> = HashMap::new();
     for item in &module.items {
         if let ModuleItem::Declaration(decl) = item {
             if let Some(direction) = decl.direction {
                 for net in &decl.nets {
                     decls.insert(
-                        net.name.clone(),
-                        (
-                            direction,
-                            net.range.clone(),
-                            net.kind == NetKind::Reg,
-                            net.signed,
-                        ),
+                        net.name,
+                        (direction, net.range, net.kind == NetKind::Reg, net.signed),
                     );
                 }
             }
         }
     }
     for port in &mut module.ports {
-        if let Some((direction, range, is_reg, signed)) = decls.get(port.name.as_str()) {
+        if let Some((direction, range, is_reg, signed)) = decls.get(&port.name) {
             port.direction = *direction;
             if port.range.is_none() {
-                port.range = range.clone();
+                port.range = *range;
             }
             port.is_reg |= *is_reg;
             port.signed |= *signed;
@@ -1167,7 +1194,9 @@ mod tests {
             })
             .collect();
         assert_eq!(params.len(), 3);
-        assert!(params.iter().any(|p| p.name == "ADDR" && p.local));
+        assert!(params
+            .iter()
+            .any(|p| m.resolve(p.name) == "ADDR" && p.local));
     }
 
     #[test]
@@ -1226,6 +1255,7 @@ mod tests {
         assert_eq!(instances[0].named_connections.len(), 2);
         assert_eq!(instances[1].ordered_connections.len(), 2);
         assert_eq!(instances[2].parameter_overrides.len(), 1);
+        assert!(instances[2].parameter_overrides[0].0.is_some());
     }
 
     #[test]
@@ -1235,7 +1265,7 @@ mod tests {
              assign y = {a[7:4], {2{a[1:0]}}, 4'b0000};\nendmodule",
         );
         if let ModuleItem::ContinuousAssign { value, .. } = &m.items[0] {
-            assert!(matches!(value, Expr::Concat(parts) if parts.len() == 3));
+            assert!(matches!(&m.arena[*value], Expr::Concat(parts) if parts.len() == 3));
         } else {
             panic!("expected assign");
         }
@@ -1248,7 +1278,7 @@ mod tests {
              assign y = sel ? &a : |a;\nendmodule",
         );
         if let ModuleItem::ContinuousAssign { value, .. } = &m.items[0] {
-            assert!(matches!(value, Expr::Ternary { .. }));
+            assert!(matches!(&m.arena[*value], Expr::Ternary { .. }));
         } else {
             panic!("expected assign");
         }
@@ -1281,6 +1311,29 @@ mod tests {
         .unwrap();
         assert_eq!(modules.len(), 2);
         assert_eq!(modules[1].name, "b");
+    }
+
+    #[test]
+    fn each_module_owns_a_compact_arena() {
+        let modules = Parser::parse_source(
+            "module a(input x, output y); assign y = x & 1; endmodule\n\
+             module b(input x, output y); assign y = x; endmodule",
+        )
+        .unwrap();
+        // Arenas are per-module: the second module's arena holds only its own
+        // expressions, not module `a`'s.
+        assert!(modules[0].arena.len() > modules[1].arena.len());
+    }
+
+    #[test]
+    fn boxed_alloc_parses_to_identical_modules() {
+        let src =
+            "module m #(parameter W = 4)(input [W-1:0] a, input sel, output reg [W-1:0] y);\n\
+                   wire t = a[0] ^ a[1];\n\
+                   always @* begin\n if (sel) y = {W{t}}; else y = a + 4'd1;\nend\nendmodule";
+        let arena = Parser::parse_source(src).unwrap();
+        let boxed = Parser::parse_source_boxed(src).unwrap();
+        assert_eq!(arena, boxed);
     }
 
     #[test]

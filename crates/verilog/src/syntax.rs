@@ -126,7 +126,7 @@ impl SyntaxChecker {
         let mut unresolved: Vec<String> = Vec::new();
         for module in modules {
             for inst in module.instances() {
-                let target = inst.module.as_str();
+                let target = module.resolve(inst.module);
                 if !module_names.iter().any(|n| n == target)
                     && !unresolved.iter().any(|n| n == target)
                 {

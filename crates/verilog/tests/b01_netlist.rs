@@ -34,7 +34,7 @@ fn b01_netlist_parses_with_the_benchmark_interface() {
     assert_eq!(parsed.modules().len(), 1);
     let b01 = parsed.first_module().expect("one module");
     assert_eq!(b01.name, "b01");
-    let port_names: Vec<&str> = b01.ports.iter().map(|p| p.name.as_str()).collect();
+    let port_names: Vec<&str> = b01.ports.iter().map(|p| b01.resolve(p.name)).collect();
     assert_eq!(
         port_names,
         ["clock", "reset", "line1", "line2", "outp", "overflw"],

@@ -1,22 +1,24 @@
-//! Differential tests: the zero-copy frontend against the retained
-//! string-token reference implementation ([`verilog::reference`]).
+//! Differential tests: the arena-allocating parser against the boxed
+//! allocation strategy ([`verilog::BoxedExprAlloc`]).
 //!
-//! The reference path is the pre-rewrite lexer and parser kept verbatim;
-//! both paths build the same AST type, so plain `==` (and `Debug` byte
-//! comparison) pins the rewrite to the old behaviour: identical module
-//! lists on success, identical error messages on failure, and identical
-//! lint diagnostics downstream.
+//! Both paths run the same grammar; only the expression allocator differs.
+//! `BoxedExprAlloc::finish` flattens its boxed nodes into the same
+//! post-order arena layout, so plain `==` (and `Debug` byte comparison)
+//! pins the default path to allocation-strategy independence: identical
+//! module lists on success, identical error messages on failure, and
+//! identical lint diagnostics downstream.
 
 use proptest::prelude::*;
-use verilog::{reference, Lexer, Linter, Parser, TokenKind};
+use verilog::{Lexer, Linter, Parser, TokenKind};
 
 const B01_NET: &str = include_str!("fixtures/b01_net.v");
 
-/// Both frontends over one source: equal modules or equal errors.
+/// Both allocation strategies over one source: equal modules or equal
+/// errors.
 fn assert_frontends_agree(src: &str) {
-    let new = Parser::parse_source(src);
-    let old = reference::Parser::parse_source(src);
-    match (&new, &old) {
+    let arena = Parser::parse_source(src);
+    let boxed = Parser::parse_source_boxed(src);
+    match (&arena, &boxed) {
         (Ok(a), Ok(b)) => {
             assert_eq!(a, b, "module lists diverged for:\n{src}");
             assert_eq!(
@@ -38,7 +40,7 @@ fn assert_frontends_agree(src: &str) {
                 "error messages diverged for:\n{src}"
             );
         }
-        _ => panic!("verdicts diverged for:\n{src}\nnew: {new:?}\nold: {old:?}"),
+        _ => panic!("verdicts diverged for:\n{src}\narena: {arena:?}\nboxed: {boxed:?}"),
     }
 }
 
@@ -150,9 +152,9 @@ proptest! {
     }
 
     /// Lex → parse round-trip over seeded corpora: a successful parse of the
-    /// new frontend re-lexes its own source to the identical token stream
+    /// arena frontend re-lexes its own source to the identical token stream
     /// (lexing is deterministic and the parsed AST resolves to the same
-    /// identifier spellings the reference path produces).
+    /// identifier spellings under either allocation strategy).
     #[test]
     fn lex_parse_round_trip_is_deterministic(src in simple_module_strategy()) {
         let first = Lexer::new(&src).tokenize().expect("lexes");

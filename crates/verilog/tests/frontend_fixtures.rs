@@ -1,0 +1,98 @@
+//! Pinned-snapshot fixtures for the frontend: parse verdicts, syntax-check
+//! verdicts and lint diagnostics over the handwritten corner-case corpus
+//! and the b01 netlist, captured from the pre-arena frontend and required
+//! byte-identical ever since.
+//!
+//! The fixture file is regenerated with `FFH_REGEN_FIXTURES=1 cargo test`;
+//! a normal run compares against the committed snapshot, so any refactor
+//! that changes a parse error, a syntax verdict or a lint message fails
+//! here with a diff instead of slipping through.
+
+use std::fmt::Write as _;
+
+use verilog::{Linter, Parser, SyntaxChecker};
+
+const B01_NET: &str = include_str!("fixtures/b01_net.v");
+
+/// The corner-case corpus: operator dispatch, escaped identifiers,
+/// strings, attributes, directives, non-ANSI ports, part selects,
+/// instances — and sources that must fail with exactly the pinned message.
+const CORNER_CASES: &[&str] = &[
+    "module m(input signed [7:0] a, output reg [7:0] y);\n\
+     always @* begin y = (a <<< 2) >>> 1; y = a ** 2; end\nendmodule",
+    "module m(input a, input b, output y);\n\
+     assign y = (a !== b) ? a ~^ b : a ^~ b;\nendmodule",
+    "`define X 8\nmodule \\weird$name (input a, output y);\n\
+     (* keep = \"true\" *) assign y = a;\nendmodule",
+    "module m; initial $display(\"a\\\"b\\n\"); endmodule",
+    "module m(a, y); input [3:0] a; output [3:0] y;\n\
+     assign y[3:1] = a[2:0]; assign y[0] = a[3];\nendmodule",
+    "module top(input clk); sub #(.W(4)) u0 (.clk(clk)); endmodule",
+    "module m(input a output y); endmodule",
+    "module m(input a, output y); assign y = ; endmodule",
+    "module m; \"unterminated",
+    "module m; assign y = 1 @# 2; endmodule",
+    "",
+    "not verilog at all",
+];
+
+/// Renders one source's complete frontend verdict: parse outcome, syntax
+/// check, and lint diagnostics, one line each.
+fn render_case(out: &mut String, name: &str, src: &str) {
+    writeln!(out, "==== case {name}").unwrap();
+    match Parser::parse_source(src) {
+        Ok(modules) => {
+            let names: Vec<String> = modules.iter().map(|m| m.name.to_string()).collect();
+            writeln!(out, "parse: ok modules=[{}]", names.join(", ")).unwrap();
+        }
+        Err(e) => writeln!(out, "parse: err {e}").unwrap(),
+    }
+    match SyntaxChecker::new().check(src) {
+        Ok(report) => writeln!(
+            out,
+            "syntax: ok unresolved=[{}]",
+            report.unresolved_instances.join(", ")
+        )
+        .unwrap(),
+        Err(e) => writeln!(out, "syntax: err {e}").unwrap(),
+    }
+    match Linter::new().lint_source(src) {
+        Ok(diags) => {
+            writeln!(out, "lint: {} findings", diags.len()).unwrap();
+            for d in diags {
+                writeln!(out, "  {d}").unwrap();
+            }
+        }
+        Err(e) => writeln!(out, "lint: err {e}").unwrap(),
+    }
+}
+
+fn check_snapshot(rel: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    if std::env::var_os("FFH_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with FFH_REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "frontend output diverged from the pinned pre-arena snapshot \
+         ({rel}); if the change is intentional, regenerate with \
+         FFH_REGEN_FIXTURES=1"
+    );
+}
+
+#[test]
+fn corner_cases_and_b01_match_pinned_oracle() {
+    let mut out = String::new();
+    for (i, src) in CORNER_CASES.iter().enumerate() {
+        render_case(&mut out, &format!("corner_{i:02}"), src);
+    }
+    render_case(&mut out, "b01_net", B01_NET);
+    check_snapshot("tests/fixtures/frontend_oracle.txt", &out);
+}

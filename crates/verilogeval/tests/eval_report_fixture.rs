@@ -1,0 +1,61 @@
+//! Pins a deterministic tiny [`verilogeval::EvalReport`] byte-for-byte.
+//!
+//! The runner's sampling is fully seed-derived and the judge runs the
+//! interpreter plus the lint gate over every candidate, so the report is a
+//! stable fingerprint of the whole eval path: tokenizer, model, sampler,
+//! parser, simulator and linter. Any frontend refactor that changes one
+//! functional or lint verdict moves a count here.
+//!
+//! Regenerate with `FFH_REGEN_FIXTURES=1 cargo test`.
+
+use hwlm::{ExecutionMode, NgramModel, TrainConfig};
+use verilogeval::{EvalConfig, ProblemSuite, Runner};
+
+fn check_snapshot(rel: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    if std::env::var_os("FFH_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with FFH_REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "eval report diverged from the pinned pre-arena snapshot ({rel}); \
+         if the change is intentional, regenerate with FFH_REGEN_FIXTURES=1"
+    );
+}
+
+/// A model good enough to sometimes pass problems (trained on the golden
+/// solutions themselves), so the pinned report has non-trivial counts.
+fn model(suite: &ProblemSuite) -> NgramModel {
+    let corpus: Vec<String> = suite
+        .problems()
+        .iter()
+        .map(|p| p.golden_solution.clone())
+        .collect();
+    NgramModel::train_named("fixture-model", &corpus, &TrainConfig::default())
+}
+
+#[test]
+fn tiny_eval_report_matches_pinned_snapshot() {
+    let suite = ProblemSuite::verilog_eval_human().truncated(4);
+    let model = model(&suite);
+    let config = EvalConfig {
+        samples_per_problem: 4,
+        ks: vec![1, 4],
+        temperatures: vec![0.2, 0.8],
+        max_new_tokens: 200,
+        lint_gate: true,
+        seed: 0xF1C5,
+        execution: ExecutionMode::Serial,
+    };
+    let report = Runner::new(suite, config).evaluate(&model);
+    let rendered = format!("{report:#?}\n");
+    check_snapshot("tests/fixtures/eval_report_tiny.txt", &rendered);
+}
