@@ -7,6 +7,7 @@
 //! broken files for the curation funnel's lint stage to reject.
 
 use serde::{Deserialize, Serialize};
+use verilog::RuleId;
 
 /// A deliberately planted semantic defect.
 ///
@@ -49,11 +50,23 @@ pub enum DefectKind {
     BlockingInSequential,
     /// Uses a non-blocking assignment in a combinational block.
     NonblockingInComb,
+    /// Samples a register from another clock domain with no synchronizer.
+    UnsynchronizedCdc,
+    /// Clocks one block on posedge and another on negedge of one clock.
+    MixedClockEdge,
+    /// Lists a reset on negedge but tests it active-high.
+    AsyncResetPolarity,
+    /// Uses one reset asynchronously in one block, synchronously in another.
+    MixedResetStyle,
+    /// Shadows a specific casez arm behind an earlier wildcard arm.
+    CaseArmOverlap,
+    /// Feeds a narrow wire into a wider child input port.
+    PortWidthMismatch,
 }
 
 impl DefectKind {
     /// Every defect kind, in a stable order.
-    pub const ALL: [DefectKind; 17] = [
+    pub const ALL: [DefectKind; 23] = [
         DefectKind::UndeclaredIdent,
         DefectKind::RedeclaredIdent,
         DefectKind::UnusedSignal,
@@ -71,28 +84,39 @@ impl DefectKind {
         DefectKind::IncompleteCase,
         DefectKind::BlockingInSequential,
         DefectKind::NonblockingInComb,
+        DefectKind::UnsynchronizedCdc,
+        DefectKind::MixedClockEdge,
+        DefectKind::AsyncResetPolarity,
+        DefectKind::MixedResetStyle,
+        DefectKind::CaseArmOverlap,
+        DefectKind::PortWidthMismatch,
     ];
 
-    /// The kebab-case id of the lint rule this defect must trigger
-    /// (matching [`verilog::lint::RuleId::id`]).
-    pub fn expected_rule(&self) -> &'static str {
+    /// The lint rule this defect must trigger.
+    pub fn expected_rule(&self) -> RuleId {
         match self {
-            DefectKind::UndeclaredIdent => "undeclared-ident",
-            DefectKind::RedeclaredIdent => "redeclared-ident",
-            DefectKind::UnusedSignal => "unused-signal",
-            DefectKind::UnknownPort => "unknown-port",
-            DefectKind::PortCountMismatch => "port-count-mismatch",
-            DefectKind::UnconnectedPort => "unconnected-port",
-            DefectKind::PortDirectionMismatch => "port-direction-mismatch",
-            DefectKind::MultiplyDriven => "multiply-driven",
-            DefectKind::UndrivenOutput => "undriven-output",
-            DefectKind::RegMultiAlways => "reg-multi-always",
-            DefectKind::WidthMismatch => "width-mismatch",
-            DefectKind::CombLoop => "comb-loop",
-            DefectKind::IncompleteSensitivity => "incomplete-sensitivity",
-            DefectKind::IncompleteIf | DefectKind::IncompleteCase => "inferred-latch",
-            DefectKind::BlockingInSequential => "blocking-in-sequential",
-            DefectKind::NonblockingInComb => "nonblocking-in-comb",
+            DefectKind::UndeclaredIdent => RuleId::UndeclaredIdent,
+            DefectKind::RedeclaredIdent => RuleId::RedeclaredIdent,
+            DefectKind::UnusedSignal => RuleId::UnusedSignal,
+            DefectKind::UnknownPort => RuleId::UnknownPort,
+            DefectKind::PortCountMismatch => RuleId::PortCountMismatch,
+            DefectKind::UnconnectedPort => RuleId::UnconnectedPort,
+            DefectKind::PortDirectionMismatch => RuleId::PortDirectionMismatch,
+            DefectKind::MultiplyDriven => RuleId::MultiplyDriven,
+            DefectKind::UndrivenOutput => RuleId::UndrivenOutput,
+            DefectKind::RegMultiAlways => RuleId::RegMultiAlways,
+            DefectKind::WidthMismatch => RuleId::WidthMismatch,
+            DefectKind::CombLoop => RuleId::CombLoop,
+            DefectKind::IncompleteSensitivity => RuleId::IncompleteSensitivity,
+            DefectKind::IncompleteIf | DefectKind::IncompleteCase => RuleId::InferredLatch,
+            DefectKind::BlockingInSequential => RuleId::BlockingInSequential,
+            DefectKind::NonblockingInComb => RuleId::NonblockingInComb,
+            DefectKind::UnsynchronizedCdc => RuleId::UnsynchronizedCdc,
+            DefectKind::MixedClockEdge => RuleId::MixedClockEdge,
+            DefectKind::AsyncResetPolarity => RuleId::AsyncResetPolarity,
+            DefectKind::MixedResetStyle => RuleId::MixedResetStyle,
+            DefectKind::CaseArmOverlap => RuleId::CaseArmOverlap,
+            DefectKind::PortWidthMismatch => RuleId::PortWidthMismatch,
         }
     }
 
@@ -116,6 +140,12 @@ impl DefectKind {
             DefectKind::IncompleteCase => "latch_case",
             DefectKind::BlockingInSequential => "blocking_seq",
             DefectKind::NonblockingInComb => "nonblocking_comb",
+            DefectKind::UnsynchronizedCdc => "cdc",
+            DefectKind::MixedClockEdge => "mixed_edge",
+            DefectKind::AsyncResetPolarity => "reset_polarity",
+            DefectKind::MixedResetStyle => "reset_style",
+            DefectKind::CaseArmOverlap => "case_overlap",
+            DefectKind::PortWidthMismatch => "port_width",
         }
     }
 
@@ -236,6 +266,58 @@ impl DefectKind {
             DefectKind::NonblockingInComb => format!(
                 "module {name}(input a, output reg y);\n\
                  \talways @* y <= a;\n\
+                 endmodule\n"
+            ),
+            DefectKind::UnsynchronizedCdc => format!(
+                "module {name}(input clk_a, input clk_b, input d, output reg q);\n\
+                 \treg meta;\n\
+                 \talways @(posedge clk_a) meta <= d;\n\
+                 \talways @(posedge clk_b) q <= meta;\n\
+                 endmodule\n"
+            ),
+            DefectKind::MixedClockEdge => format!(
+                "module {name}(input clk, input d, output reg q, output reg p);\n\
+                 \talways @(posedge clk) q <= d;\n\
+                 \talways @(negedge clk) p <= d;\n\
+                 endmodule\n"
+            ),
+            DefectKind::AsyncResetPolarity => format!(
+                "module {name}(input clk, input rst_n, input d, output reg q);\n\
+                 \talways @(posedge clk or negedge rst_n) begin\n\
+                 \t\tif (rst_n) q <= 1'b0;\n\
+                 \t\telse q <= d;\n\
+                 \tend\n\
+                 endmodule\n"
+            ),
+            DefectKind::MixedResetStyle => format!(
+                "module {name}(input clk, input rst, input d, output reg q, output reg p);\n\
+                 \talways @(posedge clk or posedge rst) begin\n\
+                 \t\tif (rst) q <= 1'b0;\n\
+                 \t\telse q <= d;\n\
+                 \tend\n\
+                 \talways @(posedge clk) begin\n\
+                 \t\tif (rst) p <= 1'b0;\n\
+                 \t\telse p <= d;\n\
+                 \tend\n\
+                 endmodule\n"
+            ),
+            DefectKind::CaseArmOverlap => format!(
+                "module {name}(input [1:0] sel, input a, input b, output reg y);\n\
+                 \talways @* begin\n\
+                 \t\tcasez (sel)\n\
+                 \t\t\t2'b1?: y = a;\n\
+                 \t\t\t2'b10: y = b;\n\
+                 \t\t\tdefault: y = 1'b0;\n\
+                 \t\tendcase\n\
+                 \tend\n\
+                 endmodule\n"
+            ),
+            DefectKind::PortWidthMismatch => format!(
+                "module {name}_sub(input [3:0] i, output [3:0] o);\n\
+                 \tassign o = i;\n\
+                 endmodule\n\
+                 module {name}(input [1:0] a, output [3:0] y);\n\
+                 \t{name}_sub u0(.i(a), .o(y));\n\
                  endmodule\n"
             ),
         }

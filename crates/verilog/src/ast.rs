@@ -91,7 +91,7 @@ impl ExprArena {
     pub fn collect_idents(&self, id: ExprId, out: &mut Vec<Symbol>) {
         match &self[id] {
             Expr::Ident(sym) => out.push(*sym),
-            Expr::Number { .. } | Expr::StringLit(_) => {}
+            Expr::Number { .. } | Expr::Pattern { .. } | Expr::StringLit(_) => {}
             Expr::Unary { operand, .. } => self.collect_idents(*operand, out),
             Expr::Binary { lhs, rhs, .. } => {
                 self.collect_idents(*lhs, out);
@@ -181,6 +181,18 @@ impl std::fmt::Debug for ExprDebug<'_> {
             Expr::Number { value, width } => f
                 .debug_struct("Number")
                 .field("value", value)
+                .field("width", width)
+                .finish(),
+            Expr::Pattern {
+                value,
+                x_mask,
+                z_mask,
+                width,
+            } => f
+                .debug_struct("Pattern")
+                .field("value", value)
+                .field("x_mask", x_mask)
+                .field("z_mask", z_mask)
                 .field("width", width)
                 .finish(),
             Expr::Ident(sym) => f
@@ -379,7 +391,7 @@ pub struct Declaration {
 }
 
 /// Edge qualifier inside a sensitivity list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EdgeKind {
     /// `posedge sig`
     Posedge,
@@ -673,6 +685,23 @@ pub enum Expr {
     Number {
         /// Literal value.
         value: u64,
+        /// Declared width in bits, if the literal was sized.
+        width: Option<u32>,
+    },
+    /// A based literal containing `x`/`z`/`?` digits (e.g. `4'b1?0x`).
+    ///
+    /// `value` holds the known bits with wildcard positions at zero, so the
+    /// two-state interpreter and constant folder treat a pattern exactly
+    /// like the equivalent [`Expr::Number`]; the masks record which bits
+    /// were spelled `x` and which `z`/`?`, which is what `casez`/`casex`
+    /// subsumption analysis needs.
+    Pattern {
+        /// Known bits (wildcard positions are zero).
+        value: u64,
+        /// Bits spelled `x`/`X`.
+        x_mask: u64,
+        /// Bits spelled `z`/`Z`/`?`.
+        z_mask: u64,
         /// Declared width in bits, if the literal was sized.
         width: Option<u32>,
     },

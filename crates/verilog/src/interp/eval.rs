@@ -567,7 +567,9 @@ impl CompiledModule {
     /// [`EvalError::Unsupported`] for constructs outside the subset.
     pub fn eval_expr_id(&self, expr: ExprId, state: &EvalState) -> Result<Value, EvalError> {
         match self.arena[expr] {
-            Expr::Number { value, width } => Ok(Value::new(value, width.unwrap_or(32).min(64))),
+            Expr::Number { value, width } | Expr::Pattern { value, width, .. } => {
+                Ok(Value::new(value, width.unwrap_or(32).min(64)))
+            }
             Expr::StringLit(_) => Ok(Value::zero(1)),
             Expr::Ident(sym) => {
                 let name = self.symbols.resolve(sym);
@@ -835,7 +837,7 @@ pub(crate) fn const_eval(
     parameters: &HashMap<String, i64>,
 ) -> Result<i64, EvalError> {
     match arena[expr] {
-        Expr::Number { value, .. } => Ok(value as i64),
+        Expr::Number { value, .. } | Expr::Pattern { value, .. } => Ok(value as i64),
         Expr::Ident(sym) => {
             let name = symbols.resolve(sym);
             parameters

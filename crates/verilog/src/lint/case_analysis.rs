@@ -1,0 +1,303 @@
+//! Pass 7 — `case`/`casez`/`casex` arm subsumption over the ternary
+//! bit-lattice.
+//!
+//! Every case label is folded to a *pattern*: a value plus a wildcard mask
+//! derived from the label's `x`/`z`/`?` bits under the statement's flavour
+//! (`casez` treats `z`/`?` as wildcards, `casex` additionally `x`, plain
+//! `case` none). A later arm whose every label is covered by an earlier
+//! arm's pattern can never be selected — Verilog case statements take the
+//! first matching arm — so the arm is dead code, reported as
+//! [`RuleId::CaseArmOverlap`]: an exact repeat is reported as a duplicate,
+//! a strict subsumption as covered, and any arm after a `default` arm as
+//! unreachable.
+//!
+//! Labels that do not constant-fold (and `casez` labels with literal `x`
+//! bits, which match nothing observable) are skipped conservatively.
+
+use crate::ast::{CaseArm, CaseKind, Expr, ExprId, Statement};
+
+use super::model::const_eval;
+use super::width::walk_statements;
+use super::{diag, LintDiagnostic, ModuleModel, RuleId};
+
+pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for (index, block) in model.always_blocks.iter().enumerate() {
+        let mut case_ordinal = 0usize;
+        walk_statements(&block.body, &mut |s| {
+            if let Statement::Case { kind, arms, .. } = s {
+                let locus = format!("always #{index}, case #{case_ordinal}");
+                check_case(model, *kind, arms, &locus, out);
+                case_ordinal += 1;
+            }
+        });
+    }
+}
+
+/// One folded case label: the exact spelling (for duplicate detection) and
+/// the match set (for subsumption), both over a 64-bit two-state domain
+/// with bits above the declared width fixed at zero.
+#[derive(Clone, Copy)]
+struct FoldedLabel {
+    /// Which arm the label belongs to.
+    arm: usize,
+    /// Known bits of the spelling (wildcard positions zero).
+    value: u64,
+    /// Bits spelled `x`.
+    x_mask: u64,
+    /// Bits spelled `z`/`?`.
+    z_mask: u64,
+    /// Wildcard bits under the statement's flavour; `None` marks a label
+    /// excluded from subsumption (an `x` bit in a `casez` label).
+    wildcards: Option<u64>,
+}
+
+impl FoldedLabel {
+    /// Whether this label's match set contains the later label's.
+    fn covers(&self, later: &FoldedLabel) -> bool {
+        let (Some(we), Some(wl)) = (self.wildcards, later.wildcards) else {
+            return false;
+        };
+        wl & !we == 0 && (self.value ^ later.value) & !we == 0
+    }
+
+    /// Whether the two labels are the same spelling.
+    fn duplicates(&self, later: &FoldedLabel) -> bool {
+        self.value == later.value && self.x_mask == later.x_mask && self.z_mask == later.z_mask
+    }
+}
+
+fn check_case(
+    model: &ModuleModel<'_>,
+    kind: CaseKind,
+    arms: &[CaseArm],
+    locus: &str,
+    out: &mut Vec<LintDiagnostic>,
+) {
+    let mut seen: Vec<FoldedLabel> = Vec::new();
+    let mut default_arm: Option<usize> = None;
+    for (arm_index, arm) in arms.iter().enumerate() {
+        if let Some(default_index) = default_arm {
+            out.push(diag(
+                RuleId::CaseArmOverlap,
+                locus.to_string(),
+                format!(
+                    "arm #{arm_index} is unreachable: it follows the default arm \
+                     (arm #{default_index})"
+                ),
+            ));
+            continue;
+        }
+        if arm.labels.is_empty() {
+            default_arm = Some(arm_index);
+            continue;
+        }
+        for &label in &arm.labels {
+            let Some(folded) = fold_label(model, kind, label, arm_index) else {
+                continue;
+            };
+            // Only earlier *arms* make a later arm unreachable; labels
+            // within one arm are alternatives of each other.
+            let earlier = seen.iter().filter(|f| f.arm < arm_index);
+            if let Some(hit) = earlier.clone().find(|f| f.duplicates(&folded)) {
+                out.push(diag(
+                    RuleId::CaseArmOverlap,
+                    locus.to_string(),
+                    format!(
+                        "arm #{arm_index} duplicates arm #{} (both match {})",
+                        hit.arm,
+                        render_pattern(&folded)
+                    ),
+                ));
+            } else if let Some(hit) = earlier.clone().find(|f| f.covers(&folded)) {
+                out.push(diag(
+                    RuleId::CaseArmOverlap,
+                    locus.to_string(),
+                    format!(
+                        "arm #{arm_index} is unreachable: arm #{} already covers {}",
+                        hit.arm,
+                        render_pattern(&folded)
+                    ),
+                ));
+            }
+            seen.push(folded);
+        }
+    }
+}
+
+/// Folds one label expression to a [`FoldedLabel`], or `None` when it is
+/// not a compile-time pattern.
+fn fold_label(
+    model: &ModuleModel<'_>,
+    kind: CaseKind,
+    label: ExprId,
+    arm: usize,
+) -> Option<FoldedLabel> {
+    let arena = model.arena();
+    if let Expr::Pattern {
+        value,
+        x_mask,
+        z_mask,
+        ..
+    } = arena[label]
+    {
+        let wildcards = match kind {
+            // Plain case compares x/z literally; two-state analysis can
+            // still detect exact duplicates but not subsumption.
+            CaseKind::Case => ((x_mask | z_mask) == 0).then_some(0),
+            // A literal x bit in a casez label matches nothing two-state
+            // observable; leave such labels out of subsumption.
+            CaseKind::Casez => (x_mask == 0).then_some(z_mask),
+            CaseKind::Casex => Some(x_mask | z_mask),
+        };
+        return Some(FoldedLabel {
+            arm,
+            value,
+            x_mask,
+            z_mask,
+            wildcards,
+        });
+    }
+    let value = const_eval(arena, label, &model.params)?;
+    Some(FoldedLabel {
+        arm,
+        value,
+        x_mask: 0,
+        z_mask: 0,
+        wildcards: Some(0),
+    })
+}
+
+/// Renders a folded label for diagnostics: plain decimal for exact values,
+/// binary with wildcard letters otherwise.
+fn render_pattern(label: &FoldedLabel) -> String {
+    let masks = label.x_mask | label.z_mask;
+    if masks == 0 {
+        return format!("{}", label.value);
+    }
+    let top = 63 - (label.value | masks | 1).leading_zeros();
+    let mut text = String::from("'b");
+    for bit in (0..=top).rev() {
+        let m = 1u64 << bit;
+        text.push(if label.x_mask & m != 0 {
+            'x'
+        } else if label.z_mask & m != 0 {
+            'z'
+        } else if label.value & m != 0 {
+            '1'
+        } else {
+            '0'
+        });
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::{Linter, RuleId};
+
+    fn overlaps(source: &str) -> Vec<String> {
+        Linter::new()
+            .lint_source(source)
+            .expect("parse")
+            .into_iter()
+            .filter(|d| d.rule == RuleId::CaseArmOverlap)
+            .map(|d| d.message)
+            .collect()
+    }
+
+    #[test]
+    fn casez_wildcard_covers_later_arm() {
+        let src = "module m(input [1:0] sel, input a, input b, output reg y);\n\
+                   always @* begin\n\
+                   \tcasez (sel)\n\
+                   \t\t2'b1?: y = a;\n\
+                   \t\t2'b10: y = b;\n\
+                   \t\tdefault: y = 1'b0;\n\
+                   \tendcase\n\
+                   end\n\
+                   endmodule\n";
+        let msgs = overlaps(src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("arm #1 is unreachable"), "{msgs:?}");
+    }
+
+    #[test]
+    fn duplicate_arm_is_reported_as_duplicate() {
+        let src = "module m(input [1:0] sel, input a, input b, output reg y);\n\
+                   always @* begin\n\
+                   \tcase (sel)\n\
+                   \t\t2'd1: y = a;\n\
+                   \t\t2'd1: y = b;\n\
+                   \t\tdefault: y = 1'b0;\n\
+                   \tendcase\n\
+                   end\n\
+                   endmodule\n";
+        let msgs = overlaps(src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("arm #1 duplicates arm #0"), "{msgs:?}");
+    }
+
+    #[test]
+    fn arm_after_default_is_unreachable() {
+        let src = "module m(input [1:0] sel, input a, input b, output reg y);\n\
+                   always @* begin\n\
+                   \tcase (sel)\n\
+                   \t\tdefault: y = 1'b0;\n\
+                   \t\t2'd1: y = a;\n\
+                   \tendcase\n\
+                   end\n\
+                   endmodule\n";
+        let msgs = overlaps(src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("follows the default arm"), "{msgs:?}");
+    }
+
+    #[test]
+    fn distinct_casez_patterns_are_clean() {
+        let src = "module m(input [2:0] req, output reg [1:0] grant);\n\
+                   always @* begin\n\
+                   \tcasez (req)\n\
+                   \t\t3'b1??: grant = 2'd2;\n\
+                   \t\t3'b01?: grant = 2'd1;\n\
+                   \t\t3'b001: grant = 2'd0;\n\
+                   \t\tdefault: grant = 2'd3;\n\
+                   \tendcase\n\
+                   end\n\
+                   endmodule\n";
+        assert!(overlaps(src).is_empty());
+    }
+
+    #[test]
+    fn parameter_labels_fold_and_compare() {
+        let src = "module m(input [1:0] sel, input a, output reg y);\n\
+                   localparam S0 = 2'd0;\n\
+                   localparam S1 = 2'd0;\n\
+                   always @* begin\n\
+                   \tcase (sel)\n\
+                   \t\tS0: y = a;\n\
+                   \t\tS1: y = ~a;\n\
+                   \t\tdefault: y = 1'b0;\n\
+                   \tendcase\n\
+                   end\n\
+                   endmodule\n";
+        let msgs = overlaps(src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("duplicates"), "{msgs:?}");
+    }
+
+    #[test]
+    fn casex_x_bits_are_wildcards() {
+        let src = "module m(input [1:0] sel, input a, input b, output reg y);\n\
+                   always @* begin\n\
+                   \tcasex (sel)\n\
+                   \t\t2'bx1: y = a;\n\
+                   \t\t2'b11: y = b;\n\
+                   \t\tdefault: y = 1'b0;\n\
+                   \tendcase\n\
+                   end\n\
+                   endmodule\n";
+        let msgs = overlaps(src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("already covers"), "{msgs:?}");
+    }
+}

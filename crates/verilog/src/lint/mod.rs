@@ -2,8 +2,8 @@
 //! ASTs.
 //!
 //! The curation funnel's syntax filter only asks "does it parse?". This
-//! module asks the next question — "is it *plausible* hardware?" — with five
-//! analysis passes over the AST:
+//! module asks the next question — "is it *plausible* hardware?" — with
+//! eight analysis passes over the AST:
 //!
 //! 1. **Scope analysis** ([`scope`]): symbol resolution over ports, nets,
 //!    parameters and genvars; undeclared/unused/redeclared identifiers and
@@ -19,6 +19,16 @@
 //! 5. **Procedural style** ([`latch`]): latch inference (incomplete
 //!    `if`/`case` in combinational `always`) and blocking/non-blocking
 //!    assignment misuse by edge kind.
+//! 6. **Clock/reset domains** ([`clock`]): per-`always` clock and
+//!    async-reset inference; unsynchronized clock-domain crossings,
+//!    mixed clock edges, contradictory async-reset polarity, and resets
+//!    used both sync and async.
+//! 7. **Case semantics** ([`case_analysis`]): `casez`/`casex` wildcard
+//!    subsumption over the ternary bit-lattice; duplicated and covered
+//!    (unreachable) case arms.
+//! 8. **Cross-module widths** ([`xmodule`]): instance connection widths
+//!    folded under instantiation parameter overrides against the target
+//!    port's declared width.
 //!
 //! Every rule is catalogued in [`RuleId`] with a stable kebab-case id and a
 //! default [`Severity`]; diagnostics are deterministic — the same source
@@ -40,12 +50,15 @@
 //! assert!(diags.iter().any(|d| d.rule == RuleId::MultiplyDriven));
 //! ```
 
+mod case_analysis;
+mod clock;
 mod drivers;
 mod graph;
 mod latch;
 mod model;
 mod scope;
 mod width;
+mod xmodule;
 
 use std::fmt;
 
@@ -127,11 +140,30 @@ pub enum RuleId {
     BlockingInSequential,
     /// A non-blocking assignment inside a combinational `always`.
     NonblockingInComb,
+    /// A signal registered in one clock domain is sampled in another
+    /// without a two-flop synchronizer chain.
+    UnsynchronizedCdc,
+    /// The same clock is used on both `posedge` and `negedge` across
+    /// `always` blocks.
+    MixedClockEdge,
+    /// An async reset's sensitivity edge contradicts the polarity its
+    /// reset branch tests, or its edge disagrees across blocks.
+    AsyncResetPolarity,
+    /// The same reset is used asynchronously in one `always` block and
+    /// synchronously in another.
+    MixedResetStyle,
+    /// A later `case` arm is unreachable because an earlier arm's pattern
+    /// duplicates or covers it.
+    CaseArmOverlap,
+    /// An instance connection's width disagrees with the target port's
+    /// declared width (the non-lossy disagreements `width-mismatch` does
+    /// not already report).
+    PortWidthMismatch,
 }
 
 impl RuleId {
     /// Every rule, in reporting order.
-    pub const ALL: [RuleId; 16] = [
+    pub const ALL: [RuleId; 22] = [
         RuleId::UndeclaredIdent,
         RuleId::RedeclaredIdent,
         RuleId::UnusedSignal,
@@ -148,6 +180,12 @@ impl RuleId {
         RuleId::InferredLatch,
         RuleId::BlockingInSequential,
         RuleId::NonblockingInComb,
+        RuleId::UnsynchronizedCdc,
+        RuleId::MixedClockEdge,
+        RuleId::AsyncResetPolarity,
+        RuleId::MixedResetStyle,
+        RuleId::CaseArmOverlap,
+        RuleId::PortWidthMismatch,
     ];
 
     /// The stable kebab-case rule id (used in configs, provenance
@@ -170,7 +208,20 @@ impl RuleId {
             RuleId::InferredLatch => "inferred-latch",
             RuleId::BlockingInSequential => "blocking-in-sequential",
             RuleId::NonblockingInComb => "nonblocking-in-comb",
+            RuleId::UnsynchronizedCdc => "unsynchronized-cdc",
+            RuleId::MixedClockEdge => "mixed-clock-edge",
+            RuleId::AsyncResetPolarity => "async-reset-polarity",
+            RuleId::MixedResetStyle => "mixed-reset-style",
+            RuleId::CaseArmOverlap => "case-arm-overlap",
+            RuleId::PortWidthMismatch => "port-width-mismatch",
         }
+    }
+
+    /// The inverse of [`RuleId::id`]: resolves a kebab-case rule name back
+    /// to its [`RuleId`], so configs (e.g. `LintConfig::disabled_rules`)
+    /// can be validated against the catalogue.
+    pub fn parse(id: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.id() == id)
     }
 
     /// The rule id with `-` replaced by `_` — a metric-safe key for
@@ -187,7 +238,8 @@ impl RuleId {
             | RuleId::PortCountMismatch
             | RuleId::PortDirectionMismatch
             | RuleId::MultiplyDriven
-            | RuleId::CombLoop => Severity::Error,
+            | RuleId::CombLoop
+            | RuleId::AsyncResetPolarity => Severity::Error,
             RuleId::RedeclaredIdent
             | RuleId::UnusedSignal
             | RuleId::UnconnectedPort
@@ -197,7 +249,12 @@ impl RuleId {
             | RuleId::IncompleteSensitivity
             | RuleId::InferredLatch
             | RuleId::BlockingInSequential
-            | RuleId::NonblockingInComb => Severity::Warning,
+            | RuleId::NonblockingInComb
+            | RuleId::UnsynchronizedCdc
+            | RuleId::MixedClockEdge
+            | RuleId::MixedResetStyle
+            | RuleId::CaseArmOverlap
+            | RuleId::PortWidthMismatch => Severity::Warning,
         }
     }
 
@@ -220,6 +277,12 @@ impl RuleId {
             RuleId::InferredLatch => "combinational always leaves a target unassigned on some path",
             RuleId::BlockingInSequential => "blocking assignment in edge-triggered always",
             RuleId::NonblockingInComb => "non-blocking assignment in combinational always",
+            RuleId::UnsynchronizedCdc => "signal crosses clock domains without a 2-FF synchronizer",
+            RuleId::MixedClockEdge => "same clock used on both posedge and negedge",
+            RuleId::AsyncResetPolarity => "async reset edge contradicts the tested polarity",
+            RuleId::MixedResetStyle => "same reset used both synchronously and asynchronously",
+            RuleId::CaseArmOverlap => "case arm duplicated or covered by an earlier arm",
+            RuleId::PortWidthMismatch => "instance connection width differs from the port width",
         }
     }
 }
@@ -326,6 +389,9 @@ impl Linter {
             width::check(&model, &mut module_diags);
             graph::check(&model, &mut module_diags);
             latch::check(&model, &mut module_diags);
+            clock::check(&model, &mut module_diags);
+            case_analysis::check(&model, &mut module_diags);
+            xmodule::check(&model, &mut module_diags);
             module_diags.retain(|d| self.config.is_enabled(d.rule));
             // Deterministic order: rule, then locus, then message — the
             // passes already run in a fixed order, this pins ties.
@@ -383,6 +449,22 @@ mod tests {
             assert!(!rule.summary().is_empty());
         }
         assert_eq!(seen.len(), RuleId::ALL.len());
+    }
+
+    #[test]
+    fn rule_ids_round_trip_through_parse() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.id()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+        assert_eq!(RuleId::parse(""), None);
+        // Underscore spellings are metric keys, not rule ids.
+        assert_eq!(RuleId::parse("comb_loop"), None);
+    }
+
+    #[test]
+    fn catalogue_has_twenty_two_rules() {
+        assert_eq!(RuleId::ALL.len(), 22);
     }
 
     #[test]

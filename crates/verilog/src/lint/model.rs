@@ -621,7 +621,7 @@ pub(crate) fn lvalue_targets(arena: &ExprArena, target: ExprId) -> Vec<(Symbol, 
 pub(crate) fn const_eval(arena: &ExprArena, expr: ExprId, params: &[Option<u64>]) -> Option<u64> {
     use crate::ast::{BinaryOp, UnaryOp};
     match arena[expr] {
-        Expr::Number { value, .. } => Some(value),
+        Expr::Number { value, .. } | Expr::Pattern { value, .. } => Some(value),
         Expr::Ident(sym) => params.get(sym.index()).copied().flatten(),
         Expr::Unary { op, operand } => {
             let v = const_eval(arena, operand, params)?;

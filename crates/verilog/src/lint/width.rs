@@ -103,7 +103,10 @@ fn check_concats(arena: &ExprArena, expr: ExprId, locus: &str, out: &mut Vec<Lin
     match arena[expr] {
         Expr::Concat(ref parts) => {
             for &part in parts {
-                if matches!(arena[part], Expr::Number { width: None, .. }) {
+                if matches!(
+                    arena[part],
+                    Expr::Number { width: None, .. } | Expr::Pattern { width: None, .. }
+                ) {
                     out.push(diag(
                         RuleId::WidthMismatch,
                         locus.to_string(),
@@ -182,7 +185,7 @@ pub(crate) fn lvalue_width(model: &ModuleModel<'_>, target: ExprId) -> Option<u3
 pub(crate) fn infer_width(model: &ModuleModel<'_>, expr: ExprId) -> Option<u32> {
     let arena = model.arena();
     match arena[expr] {
-        Expr::Number { width, .. } => width,
+        Expr::Number { width, .. } | Expr::Pattern { width, .. } => width,
         Expr::Ident(sym) => symbol_lvalue_width(model, sym),
         Expr::Unary { op, operand } => match op {
             UnaryOp::Not

@@ -1,0 +1,131 @@
+//! Pass 8 — cross-module port-width checking.
+//!
+//! For every instance whose target module is defined in the same source,
+//! [`ModuleModel::build`] has already folded each child port's width under
+//! the instantiation's parameter overrides (see `resolve_instance`). This
+//! pass compares that folded width against the width of the connected
+//! expression in the parent and reports any disagreement the
+//! truncation-only `width-mismatch` rule deliberately leaves alone: the
+//! implicitly-extending direction (narrow expression into a wide input,
+//! narrow output into a wide net) and `inout` connections, where *any*
+//! width difference is suspect because the port is driven from both sides.
+//!
+//! The two rules partition the disagreement space, so a connection is
+//! reported by exactly one of `width-mismatch` and `port-width-mismatch`.
+
+use crate::ast::PortDirection;
+
+use super::width::infer_width;
+use super::{diag, LintDiagnostic, ModuleModel, RuleId};
+
+pub(crate) fn check(model: &ModuleModel<'_>, out: &mut Vec<LintDiagnostic>) {
+    for inst in &model.instances {
+        let Some(target) = inst.target else { continue };
+        let locus = format!("instance '{}'", model.resolve(inst.instance.name));
+        for conn in &inst.connections {
+            let (Some(expr), Some(port_width)) = (conn.expr, conn.port_width) else {
+                continue;
+            };
+            let Some(conn_width) = infer_width(model, expr) else {
+                continue;
+            };
+            if conn_width == port_width {
+                continue;
+            }
+            // The lossy direction is `width-mismatch` (pass 3) territory.
+            let lossy = match conn.direction {
+                PortDirection::Input => conn_width > port_width,
+                PortDirection::Output => port_width > conn_width,
+                PortDirection::Inout => false,
+            };
+            if lossy {
+                continue;
+            }
+            let detail = match conn.direction {
+                PortDirection::Input => "the connection is implicitly extended",
+                PortDirection::Output => "the driven net is implicitly extended",
+                PortDirection::Inout => "an inout port must match its connection exactly",
+            };
+            out.push(diag(
+                RuleId::PortWidthMismatch,
+                locus.clone(),
+                format!(
+                    "port '{}' of module '{}' is {port_width} bits but its \
+                     connection is {conn_width} bits; {detail}",
+                    conn.port_name, target.name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::{Linter, RuleId};
+
+    fn rules(source: &str) -> Vec<RuleId> {
+        Linter::new()
+            .lint_source(source)
+            .expect("parse")
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn narrow_wire_into_wide_input_is_flagged() {
+        let src = "module sub(input [3:0] i, output [3:0] o);\n\
+                   assign o = i;\n\
+                   endmodule\n\
+                   module m(input [1:0] a, output [3:0] y);\n\
+                   sub u0(.i(a), .o(y));\n\
+                   endmodule\n";
+        assert_eq!(rules(src), vec![RuleId::PortWidthMismatch]);
+    }
+
+    #[test]
+    fn exact_widths_are_clean() {
+        let src = "module sub(input [3:0] i, output [3:0] o);\n\
+                   assign o = i;\n\
+                   endmodule\n\
+                   module m(input [3:0] a, output [3:0] y);\n\
+                   sub u0(.i(a), .o(y));\n\
+                   endmodule\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn parameter_overrides_fold_into_port_widths() {
+        let src = "module sub #(parameter W = 8) (input [W-1:0] i, output [W-1:0] o);\n\
+                   assign o = i;\n\
+                   endmodule\n\
+                   module m(input [3:0] a, output [3:0] y);\n\
+                   sub #(.W(4)) u0(.i(a), .o(y));\n\
+                   endmodule\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn lossy_direction_stays_width_mismatch() {
+        let src = "module sub(input [1:0] i, output [1:0] o);\n\
+                   assign o = i;\n\
+                   endmodule\n\
+                   module m(input [3:0] a, output [1:0] y);\n\
+                   sub u0(.i(a), .o(y));\n\
+                   endmodule\n";
+        let got = rules(src);
+        assert!(got.contains(&RuleId::WidthMismatch), "{got:?}");
+        assert!(!got.contains(&RuleId::PortWidthMismatch), "{got:?}");
+    }
+
+    #[test]
+    fn narrow_output_into_wide_net_is_flagged() {
+        let src = "module sub(input [3:0] i, output [1:0] o);\n\
+                   assign o = i[1:0];\n\
+                   endmodule\n\
+                   module m(input [3:0] a, output [3:0] y);\n\
+                   sub u0(.i(a), .o(y));\n\
+                   endmodule\n";
+        assert_eq!(rules(src), vec![RuleId::PortWidthMismatch]);
+    }
+}

@@ -944,6 +944,14 @@ impl<'a, A: ExprAlloc> Parser<'a, A> {
             TokenKind::Number(span) => {
                 self.pos += 1;
                 let text = span.text(self.src);
+                if let Some((value, x_mask, z_mask, width)) = parse_pattern_literal(text) {
+                    return Ok(self.alloc(Expr::Pattern {
+                        value,
+                        x_mask,
+                        z_mask,
+                        width,
+                    }));
+                }
                 let (value, width) = parse_number_literal(text)
                     .ok_or_else(|| self.error(format!("invalid number literal `{text}`")))?;
                 Ok(self.alloc(Expr::Number { value, width }))
@@ -1137,6 +1145,88 @@ pub fn parse_number_literal(text: &str) -> Option<(u64, Option<u32>)> {
         }
         Some((value, None))
     }
+}
+
+/// Parses a based literal containing `x`/`z`/`?` digits into
+/// `(value, x_mask, z_mask, declared_width)`.
+///
+/// Returns `None` for literals without wildcard digits (the common case,
+/// handled by [`parse_number_literal`]) and for spellings whose wildcard
+/// positions cannot be mapped to bits — a malformed literal falls back to
+/// the plain number path, which keeps error reporting unchanged.
+///
+/// The `value` and `width` agree exactly with [`parse_number_literal`] on
+/// the same spelling (wildcard digits contribute zero bits), so every
+/// consumer that only looks at the folded value behaves as before.
+pub fn parse_pattern_literal(text: &str) -> Option<(u64, u64, u64, Option<u32>)> {
+    let bytes = text.as_bytes();
+    let quote = bytes.iter().position(|&b| b == b'\'')?;
+    if !bytes[quote..]
+        .iter()
+        .any(|&b| matches!(b, b'x' | b'X' | b'z' | b'Z' | b'?'))
+    {
+        return None;
+    }
+    let width = if quote == 0 {
+        None
+    } else {
+        let mut width: u32 = 0;
+        let mut any = false;
+        for &b in bytes[..quote].iter().filter(|&&b| b != b'_') {
+            if !b.is_ascii_digit() {
+                return None;
+            }
+            any = true;
+            width = width.checked_mul(10)?.checked_add(u32::from(b - b'0'))?;
+        }
+        any.then_some(width)
+    };
+    let mut i = quote + 1;
+    if matches!(bytes.get(i), Some(b's' | b'S')) {
+        i += 1;
+    }
+    // Only power-of-two radices map digits onto bit positions.
+    let (radix, bits_per_digit) = match bytes.get(i)?.to_ascii_lowercase() {
+        b'b' => (2u32, 1u32),
+        b'o' => (8, 3),
+        b'h' => (16, 4),
+        _ => return None,
+    };
+    i += 1;
+    let digit_mask = (1u64 << bits_per_digit) - 1;
+    let (mut value, mut x_mask, mut z_mask) = (0u64, 0u64, 0u64);
+    let mut any = false;
+    for &b in &bytes[i..] {
+        if b == b'_' {
+            continue;
+        }
+        let (digit, xm, zm) = match b {
+            b'x' | b'X' => (0, digit_mask, 0),
+            b'z' | b'Z' | b'?' => (0, 0, digit_mask),
+            _ => (u64::from((b as char).to_digit(radix)?), 0, 0),
+        };
+        any = true;
+        // Overflow out of 64 bits mirrors `parse_number_literal`'s
+        // checked arithmetic: the literal falls back to the number path.
+        if (value | x_mask | z_mask) >> (64 - bits_per_digit) != 0 {
+            return None;
+        }
+        value = (value << bits_per_digit) | digit;
+        x_mask = (x_mask << bits_per_digit) | xm;
+        z_mask = (z_mask << bits_per_digit) | zm;
+    }
+    if !any {
+        return None;
+    }
+    if let Some(w) = width {
+        if w < 64 {
+            let m = (1u64 << w) - 1;
+            value &= m;
+            x_mask &= m;
+            z_mask &= m;
+        }
+    }
+    Some((value, x_mask, z_mask, width))
 }
 
 #[cfg(test)]
